@@ -1,0 +1,138 @@
+"""A1 (ablation) — the transactional outbox vs naive dual writes.
+
+Design choice under test (DESIGN.md §4, paper §3.2): a service that must
+update its database *and* publish an event has three options:
+
+- ``dual-write`` — write DB, then publish: a crash between the two loses
+  the event (or, ordered the other way, publishes a ghost event);
+- ``outbox`` — enqueue the event in the same DB transaction; an
+  at-least-once relay publishes it; consumer dedup absorbs relay retries;
+- ``outbox-no-dedup`` — same relay without consumer dedup: duplicates
+  reach the consumer (isolates the contribution of each half).
+
+We inject a 10% crash probability between the two halves of the dual
+write and a 10% relay crash-after-publish probability, then reconcile
+DB state against consumer-observed events.
+"""
+
+from repro.db import Database, IsolationLevel
+from repro.harness import format_rows
+from repro.messaging import Broker, Deduplicator
+from repro.messaging.outbox import OutboxRelay, TransactionalOutbox
+from repro.sim import Environment
+
+from benchmarks.common import report
+
+ORDERS = 200
+CRASH_PROB = 0.10
+SER = IsolationLevel.SERIALIZABLE
+
+
+def _consume_all(env, broker, dedup):
+    consumer = broker.consumer("billing", "order-events")
+    seen = []
+
+    def pump():
+        while True:
+            batch = yield from consumer.poll(max_records=50)
+            for record in batch:
+                event_id = record.value.get("event_id", record.offset)
+                if dedup is None or not dedup.is_duplicate(event_id):
+                    seen.append(record.value)
+            yield from consumer.commit()
+
+    env.process(pump())
+    return seen
+
+
+def run_dual_write(seed):
+    env = Environment(seed=seed)
+    db = Database(env)
+    db.create_table("orders", primary_key="id")
+    broker = Broker(env)
+    broker.create_topic("order-events")
+    rng = env.stream("crash")
+    seen = _consume_all(env, broker, dedup=None)
+
+    def place(i):
+        txn = db.begin(SER)
+        yield from db.insert(txn, "orders", {"id": f"o{i}"})
+        yield from db.commit(txn)
+        if rng.random() < CRASH_PROB:
+            return  # crashed between DB commit and publish: event lost
+        yield from broker.publish("order-events", f"o{i}",
+                                  {"event_id": f"o{i}", "order": f"o{i}"})
+
+    def driver():
+        for i in range(ORDERS):
+            yield env.timeout(2.0)
+            yield from place(i)
+
+    env.run_until(env.process(driver()))
+    env.run(until=env.now + 500)
+    orders = len(db.all_rows("orders"))
+    distinct = len({e["event_id"] for e in seen})
+    dupes = len(seen) - distinct
+    return ["dual-write", orders, len(seen), orders - distinct, dupes]
+
+
+def run_outbox(seed, with_dedup):
+    env = Environment(seed=seed)
+    db = Database(env)
+    db.create_table("orders", primary_key="id")
+    broker = Broker(env)
+    broker.create_topic("order-events")
+    outbox = TransactionalOutbox(db)
+    relay = OutboxRelay(env, outbox, broker, poll_interval=10.0,
+                        crash_after_publish_prob=CRASH_PROB)
+    env.process(relay.run())
+    dedup = Deduplicator() if with_dedup else None
+    seen = _consume_all(env, broker, dedup=dedup)
+
+    def place(i):
+        txn = db.begin(SER)
+        yield from db.insert(txn, "orders", {"id": f"o{i}"})
+        yield from outbox.enqueue(txn, "order-events", f"o{i}", {"order": f"o{i}"})
+        yield from db.commit(txn)
+
+    def driver():
+        for i in range(ORDERS):
+            yield env.timeout(2.0)
+            yield from place(i)
+
+    env.run_until(env.process(driver()))
+    env.run(until=env.now + 2000)  # let the relay drain
+    relay.stop()
+    orders = len(db.all_rows("orders"))
+    distinct = len({e["event_id"] for e in seen})
+    dupes = len(seen) - distinct
+    label = "outbox+dedup" if with_dedup else "outbox-no-dedup"
+    return [label, orders, len(seen), orders - distinct, dupes]
+
+
+def run_all():
+    return [
+        run_dual_write(seed=161),
+        run_outbox(seed=162, with_dedup=False),
+        run_outbox(seed=163, with_dedup=True),
+    ]
+
+
+def test_a1_outbox_vs_dual_write(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "A1", "atomic state+event publication: dual write vs outbox",
+        format_rows(
+            ["strategy", "orders in DB", "events consumed", "missing events",
+             "duplicate events"],
+            [[str(c) for c in row] for row in rows],
+        ),
+    )
+    dual, outbox_raw, outbox_dedup = rows
+    # Dual writes lose events (~10%).
+    assert dual[3] > 0 and dual[4] == 0
+    # The outbox never loses; without dedup it duplicates.
+    assert outbox_raw[3] == 0 and outbox_raw[4] > 0
+    # Outbox + consumer dedup: exactly once.
+    assert outbox_dedup[3] == 0 and outbox_dedup[4] == 0
+    assert outbox_dedup[1] == outbox_dedup[2] == ORDERS

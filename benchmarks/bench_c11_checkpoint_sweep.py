@@ -1,0 +1,88 @@
+"""C11 — The checkpoint interval trades runtime overhead against recovery.
+
+Paper background (§4.1): dataflow fault tolerance is checkpoint + replay;
+"on failure, the system can retrieve its state by reloading the latest
+checkpoint ... and continuing from where it was left off".  The classic
+ablation: frequent checkpoints cost steady-state work (state snapshots to
+the object store) but shrink the replay window; sparse checkpoints invert
+the trade.
+
+Setup: the banking stream on the exactly-once dataflow engine with
+checkpoint intervals from 25 ms to 1600 ms; a crash at a fixed point, then
+recovery.  Reported: checkpoints taken, recovery duration (restore +
+replay), and records replayed.  Expected shape: replayed records and
+recovery time grow with the interval; checkpoint count shrinks.
+"""
+
+from repro.apps import DataflowBank
+from repro.harness import format_rows
+from repro.sim import Environment
+from repro.workloads import TransferWorkload
+
+from benchmarks.common import report
+
+OPS = 200
+CRASH_AT = 450.0
+INTERVALS = [25.0, 100.0, 400.0, 1600.0]
+
+
+def run_interval(interval, seed):
+    env = Environment(seed=seed)
+    workload = TransferWorkload(num_accounts=30, theta=0.5)
+    bank = DataflowBank(env, workload, checkpoint_interval=interval)
+    bank.start()
+    ops = list(workload.operations(env.stream("ops"), OPS))
+
+    def feeder():
+        # 200 ops over ~1.2s: the crash at t=450 lands mid-stream.
+        for op in ops:
+            yield env.timeout(6.0)
+            bank.submit(op)
+
+    env.process(feeder())
+    timing = {}
+
+    def crash_then_recover():
+        yield env.timeout(CRASH_AT)
+        bank.runtime.crash_worker(0)
+        bank.runtime.crash_worker(1)
+        started = env.now
+        yield from bank.runtime.recover()
+        timing["restore_ms"] = env.now - started
+
+    env.process(crash_then_recover())
+    env.run(until=30_000)
+    total = sum(row["balance"] for row in bank.balances())
+    return {
+        "interval": interval,
+        "checkpoints": bank.runtime.stats.checkpoints_completed,
+        "restore_ms": timing.get("restore_ms", 0.0),
+        "replayed": bank.runtime.stats.replayed_records,
+        "completed": len(bank.completed_ops()),
+        "conserved": total == workload.expected_total,
+    }
+
+
+def run_all():
+    return [run_interval(interval, seed=111 + i)
+            for i, interval in enumerate(INTERVALS)]
+
+
+def test_c11_checkpoint_interval_sweep(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "C11", "checkpoint interval: overhead vs recovery window",
+        format_rows(
+            ["interval ms", "checkpoints", "restore ms", "replayed records",
+             "transfers done", "conserved"],
+            [[f"{r['interval']:.0f}", r["checkpoints"], f"{r['restore_ms']:.1f}",
+              r["replayed"], r["completed"], r["conserved"]] for r in rows],
+        ),
+    )
+    # Exactly-once state effects at every interval.
+    assert all(r["conserved"] for r in rows)
+    assert all(r["completed"] == OPS for r in rows)
+    # Sparser checkpoints -> fewer checkpoints, bigger replay window.
+    checkpoints = [r["checkpoints"] for r in rows]
+    assert checkpoints == sorted(checkpoints, reverse=True)
+    assert rows[-1]["replayed"] > rows[0]["replayed"]

@@ -1,0 +1,91 @@
+"""C12 — Cross-service causal consistency (the Antipode direction).
+
+Paper claim (§5.2): "more recent work introduces causal consistency for
+microservice architectures" — because without it, a service acting on a
+notification can read a replica that has not yet seen the state the
+notification refers to.
+
+Setup: service A writes an order to a replicated store (replication delay
+15 ms) and immediately notifies service B (message delay ~1 ms).  B reads
+the order at *its* replica:
+
+- ``eventual`` — plain read: B frequently sees nothing (stale read);
+- ``causal`` — A's causal context travels on the notification and B's
+  read waits for it: never stale, at the cost of waiting out replication
+  lag on cache-cold reads.
+"""
+
+from repro.core.metrics import percentile
+from repro.harness import format_rows
+from repro.sim import Environment
+from repro.transactions import CausalStore
+
+from benchmarks.common import report
+
+EVENTS = 200
+REPLICATION_MS = 15.0
+NOTIFY_MS = 1.0
+
+
+def run_mode(causal: bool, seed: int):
+    env = Environment(seed=seed)
+    store = CausalStore(env, ["replica-a", "replica-b"],
+                        replication_delay=REPLICATION_MS)
+    stale = {"count": 0}
+    latencies = []
+
+    def one(index):
+        # Service A: write the order, then notify B.
+        session_a = store.session("replica-a")
+        session_a.write(f"order-{index}", {"status": "placed"})
+        yield env.timeout(NOTIFY_MS)  # the notification hop
+        # Service B: handle the notification by reading the order.
+        session_b = store.session("replica-b")
+        started = env.now
+        if causal:
+            session_b.attach(session_a.context)  # lineage on the message
+            value = yield from session_b.read(f"order-{index}")
+        else:
+            value = session_b.read_eventual(f"order-{index}")
+        latencies.append(env.now - started)
+        if value is None:
+            stale["count"] += 1
+
+    def driver():
+        for index in range(EVENTS):
+            yield env.timeout(5.0)
+            env.process(one(index))
+
+    env.process(driver())
+    env.run(until=60_000)
+    return {
+        "mode": "causal (context propagated)" if causal else "eventual (no context)",
+        "stale_reads": stale["count"],
+        "p50_read_ms": percentile(latencies, 50),
+        "p99_read_ms": percentile(latencies, 99),
+        "waits": store.stats.stale_reads_prevented,
+    }
+
+
+def run_all():
+    return [run_mode(causal=False, seed=121), run_mode(causal=True, seed=122)]
+
+
+def test_c12_causal_consistency(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "C12", "cross-service reads: eventual vs causal",
+        format_rows(
+            ["mode", "stale reads", f"of {EVENTS}", "read p50 ms",
+             "read p99 ms", "reads that waited"],
+            [[r["mode"], r["stale_reads"], EVENTS, f"{r['p50_read_ms']:.1f}",
+              f"{r['p99_read_ms']:.1f}", r["waits"]] for r in rows],
+        ),
+    )
+    eventual, causal = rows
+    # Without causal metadata, B misses most reads (15ms lag vs 1ms hop).
+    assert eventual["stale_reads"] > EVENTS * 0.5
+    # With it, B never reads stale state — it waits instead.
+    assert causal["stale_reads"] == 0
+    assert causal["waits"] > 0
+    assert causal["p99_read_ms"] >= REPLICATION_MS - NOTIFY_MS - 1

@@ -1,0 +1,82 @@
+"""C2 — Microservices avoid 2PC; its blocking nature hurts, sagas trade isolation.
+
+Paper claims (§4.2): "microservices often avoid distributed commit
+protocols"; "the blocking nature of traditional protocol implementations
+affects performance"; sagas give eventual consistency through
+compensations instead.
+
+This bench runs the marketplace checkout (contended: 5 products) in four
+coordination modes.  Expected shape:
+
+- ``none`` is fastest and *broken* (orphan reservations on failures);
+- ``saga`` is clean at the end and close to ``none`` in throughput;
+- ``choreography`` is clean too, but each step rides the broker (publish +
+  consumer poll), so latency is dominated by event-hop delays;
+- ``2pc`` is clean but slower at the tail — cross-service locks held
+  through the prepare/commit round trips serialize contended checkouts.
+"""
+
+from repro.apps import MicroserviceShop
+from repro.apps.shop_choreography import ChoreographedShop
+from repro.harness import WorkloadDriver, format_results
+from repro.sim import Environment
+from repro.workloads import ClosedLoop, MarketplaceWorkload
+
+from benchmarks.common import report
+
+OPS = 120
+CLIENTS = 6
+
+
+def run_mode(mode, seed):
+    env = Environment(seed=seed)
+    workload = MarketplaceWorkload(
+        num_products=5, initial_stock=1000, payment_failure_rate=0.15, theta=0.4
+    )
+    if mode == "choreography":
+        shop = ChoreographedShop(env, workload)
+        shop_label = mode
+    else:
+        shop = MicroserviceShop(env, workload, mode=mode)
+        shop_label = mode
+    ops = list(workload.operations(env.stream("ops"), OPS))
+    driver = WorkloadDriver(env, label=mode)
+    driver.ledger = shop.ledger
+    arrival = ClosedLoop(clients=CLIENTS, ops_per_client=OPS // CLIENTS,
+                         think_time_ms=2.0)
+    result = env.run_until(
+        env.process(
+            driver.run(
+                ops[: arrival.total_ops],
+                shop.execute,
+                arrival,
+                invariants=workload.invariants(),
+                state_fn=shop.final_state,
+            )
+        )
+    )
+    return result
+
+
+def run_all():
+    return [run_mode(mode, seed)
+            for mode, seed in (("none", 21), ("saga", 22),
+                               ("choreography", 24), ("2pc", 23))]
+
+
+def test_c2_saga_vs_2pc(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("C2", "checkout coordination: none vs saga vs choreography vs 2PC",
+           format_results(results))
+    by_label = {r.label: r for r in results}
+
+    # Uncoordinated checkouts leave broken state behind.
+    assert not by_label["none"].anomalies.clean
+
+    # Both saga styles and 2PC end clean.
+    assert by_label["saga"].anomalies.clean
+    assert by_label["choreography"].anomalies.clean
+    assert by_label["2pc"].anomalies.clean
+
+    # The blocking protocol is slower than the orchestrated saga at the tail.
+    assert by_label["2pc"].p(99) > by_label["saga"].p(99)

@@ -1,0 +1,81 @@
+"""C3 — Orleans-style actor transactions carry a significant penalty.
+
+Paper claim (§4.2): enabling transactional serializability in actor
+runtimes (Orleans Transactions) "has been shown to introduce a significant
+performance penalty according to recent experimental evaluations,
+demotivating broader adoption".
+
+This bench runs the transfer workload on plain actors vs actor
+transactions at three contention levels and reports the penalty factor.
+Expected shape: the transactional build is several times slower at p50
+everywhere, and degrades further as contention grows (locks serialize hot
+accounts), while plain actors are almost contention-insensitive — they
+simply don't coordinate (and pay in atomicity, see C1).
+"""
+
+from repro.apps import ActorBank
+from repro.sim import Environment
+from repro.workloads import TransferWorkload
+
+from benchmarks.common import report, run_transfers
+from repro.harness import format_rows
+
+OPS = 120
+CLIENTS = 6
+CONTENTION = [("low", 200, 0.2), ("medium", 40, 0.7), ("high", 8, 0.9)]
+
+
+def run_pair(accounts, theta, seed):
+    out = {}
+    for mode in ("plain", "transaction"):
+        env = Environment(seed=seed + (0 if mode == "plain" else 1))
+        workload = TransferWorkload(num_accounts=accounts, theta=theta)
+        bank = ActorBank(env, workload, mode=mode)
+        out[mode] = run_transfers(
+            env, bank, workload, f"{mode}", ops_count=OPS, clients=CLIENTS,
+            setup=True,
+        )
+    return out
+
+
+def run_all():
+    rows = []
+    for label, accounts, theta in CONTENTION:
+        pair = run_pair(accounts, theta, seed=3000 + accounts)
+        penalty_p50 = pair["transaction"].p(50) / max(1e-9, pair["plain"].p(50))
+        penalty_tput = pair["plain"].throughput / max(1e-9, pair["transaction"].throughput)
+        rows.append(
+            (label, accounts, pair["plain"], pair["transaction"],
+             penalty_p50, penalty_tput)
+        )
+    return rows
+
+
+def test_c3_actor_transaction_penalty(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table_rows = [
+        [
+            label,
+            accounts,
+            f"{plain.throughput:.0f}",
+            f"{txn.throughput:.0f}",
+            f"{plain.p(50):.2f}",
+            f"{txn.p(50):.2f}",
+            f"{penalty_p50:.1f}x",
+            f"{penalty_tput:.1f}x",
+        ]
+        for label, accounts, plain, txn, penalty_p50, penalty_tput in rows
+    ]
+    report(
+        "C3", "actor transactions: the price of ACID on actors",
+        format_rows(
+            ["contention", "accounts", "plain ops/s", "txn ops/s",
+             "plain p50", "txn p50", "p50 penalty", "tput penalty"],
+            table_rows,
+        ),
+    )
+    penalties = {label: p for label, _a, _p, _t, p, _tp in rows}
+    # A significant penalty at every contention level...
+    assert all(p > 1.5 for p in penalties.values())
+    # ...that worsens with contention.
+    assert penalties["high"] > penalties["low"]

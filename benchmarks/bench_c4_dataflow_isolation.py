@@ -1,0 +1,164 @@
+"""C4 — Exactly-once processing is not transactional isolation; Styx closes the gap.
+
+Paper claims (§4.2): "exactly-once processing guarantees alone cannot
+ensure transactional isolation"; and (§3.1) implementing serializable
+multi-service transactions on dataflows is the open problem systems like
+Styx address.
+
+Setup: the same transfer stream through (a) the exactly-once dataflow
+engine (debit operator → credit operator), and (b) the deterministic
+transactional dataflow.  A concurrent auditor repeatedly reads the total
+balance.  Expected shape:
+
+- both engines *converge* to the exact total (exactly-once state effects);
+- the plain engine's audits observe in-flight money (isolation
+  violations); the transactional engine's audits never do;
+- the transactional engine pays an epoch-commit latency premium.
+"""
+
+from repro.apps import DataflowBank, StatefunBank, TxnDataflowBank
+from repro.harness import format_rows
+from repro.sim import Environment
+from repro.workloads import TransferWorkload
+
+from benchmarks.common import report
+
+OPS = 150
+
+
+def run_plain():
+    env = Environment(seed=41)
+    workload = TransferWorkload(num_accounts=30, theta=0.6)
+    bank = DataflowBank(env, workload, checkpoint_interval=50.0)
+    bank.start()
+    ops = list(workload.operations(env.stream("ops"), OPS))
+    dirty_audits = {"count": 0, "total": 0}
+
+    def auditor():
+        while dirty_audits["total"] < 60:
+            yield env.timeout(1.0)
+            dirty_audits["total"] += 1
+            if bank.audit_total() != workload.expected_total:
+                dirty_audits["count"] += 1
+
+    for op in ops:
+        bank.submit(op)
+    env.process(auditor())
+    env.run(until=3000)
+    completed = bank.completed_ops()
+    done_at = max(t for _k, _v, t in bank.runtime.sink_outputs("done"))
+    conserved = (
+        sum(row["balance"] for row in bank.balances()) == workload.expected_total
+    )
+    return {
+        "label": "exactly-once dataflow",
+        "completed": len(completed),
+        "duration_ms": done_at,
+        "dirty_audits": dirty_audits["count"],
+        "audits": dirty_audits["total"],
+        "conserved": conserved,
+    }
+
+
+def run_txn():
+    env = Environment(seed=42)
+    workload = TransferWorkload(num_accounts=30, theta=0.6)
+    bank = TxnDataflowBank(env, workload, epoch_interval=5.0)
+    bank.start()
+    env.run_until(env.process(bank.setup()))
+    ops = list(workload.operations(env.stream("ops"), OPS))
+    dirty_audits = {"count": 0, "total": 0}
+    finished = {"at": 0.0, "n": 0}
+
+    def auditor():
+        while dirty_audits["total"] < 60:
+            yield env.timeout(5.0)
+            dirty_audits["total"] += 1
+            total = yield from bank.audit()
+            if total != workload.expected_total:
+                dirty_audits["count"] += 1
+
+    def client(op):
+        yield from bank.execute(op)
+        finished["n"] += 1
+        finished["at"] = env.now
+
+    start = env.now
+    for op in ops:
+        env.process(client(op))
+    env.process(auditor())
+    env.run(until=start + 3000)
+    conserved = (
+        sum(row["balance"] for row in bank.balances()) == workload.expected_total
+    )
+    return {
+        "label": "txn dataflow (Styx-like)",
+        "completed": finished["n"],
+        "duration_ms": finished["at"] - start,
+        "dirty_audits": dirty_audits["count"],
+        "audits": dirty_audits["total"],
+        "conserved": conserved,
+    }
+
+
+def run_statefun():
+    env = Environment(seed=43)
+    workload = TransferWorkload(num_accounts=30, theta=0.6)
+    bank = StatefunBank(env, workload, checkpoint_interval=50.0)
+    bank.start()
+    ops = list(workload.operations(env.stream("ops"), OPS))
+    dirty_audits = {"count": 0, "total": 0}
+
+    def auditor():
+        while dirty_audits["total"] < 60:
+            yield env.timeout(1.0)
+            dirty_audits["total"] += 1
+            if bank.audit_total() != workload.expected_total:
+                dirty_audits["count"] += 1
+
+    def feeder():
+        for op in ops:
+            yield env.timeout(0.5)
+            bank.submit(op)
+
+    env.process(feeder())
+    env.process(auditor())
+    env.run(until=3000)
+    completed = bank.completed_ops()
+    conserved = (
+        sum(row["balance"] for row in bank.balances()) == workload.expected_total
+    )
+    return {
+        "label": "statefun (rewind)",
+        "completed": len(completed),
+        "duration_ms": float("nan"),
+        "dirty_audits": dirty_audits["count"],
+        "audits": dirty_audits["total"],
+        "conserved": conserved,
+    }
+
+
+def run_all():
+    return [run_plain(), run_statefun(), run_txn()]
+
+
+def test_c4_exactly_once_vs_isolation(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "C4", "exactly-once != isolation (and how txn dataflow fixes it)",
+        format_rows(
+            ["engine", "transfers done", "inconsistent audits",
+             "audits", "final total conserved"],
+            [[r["label"], r["completed"],
+              r["dirty_audits"], r["audits"], r["conserved"]] for r in rows],
+        ),
+    )
+    plain, statefun, txn = rows
+    # All three engines converge exactly (exactly-once state effects).
+    assert plain["conserved"] and statefun["conserved"] and txn["conserved"]
+    assert plain["completed"] == OPS and txn["completed"] == OPS
+    assert statefun["completed"] == OPS
+    # Only the non-transactional engines expose inconsistent reads.
+    assert plain["dirty_audits"] > 0
+    assert statefun["dirty_audits"] > 0
+    assert txn["dirty_audits"] == 0

@@ -1,0 +1,111 @@
+"""C6 — A shared database jeopardizes performance isolation.
+
+Paper claim (§3.3): "a physically centralized database can impact teams by
+sharing database resources and artifacts (e.g., memory and disk resources,
+locks, or latches), jeopardizing performance isolation"; database-per-
+service buys isolation "at the expense of higher complexity and
+infrastructure costs".
+
+Setup: a latency-sensitive *victim* service does point reads while a
+*noisy* tenant hammers big scans.  Two deployments with the same total
+resources: one shared database (one 8-connection pool) vs two dedicated
+databases (4 connections each).  Expected shape: the victim's p99 degrades
+by a large factor under the shared deployment and stays flat under the
+dedicated one.
+"""
+
+from repro.db import DatabaseServer, IsolationLevel
+from repro.harness import format_rows
+from repro.net.latency import Latency
+from repro.core.metrics import percentile
+from repro.sim import Environment
+
+from benchmarks.common import report
+
+RC = IsolationLevel.READ_COMMITTED
+VICTIM_OPS = 150
+NOISY_CLIENTS = 12
+RUN_MS = 2000.0
+
+
+def _load(db, table, rows):
+    db.create_table(table, primary_key="id")
+    db.load(table, rows)
+
+
+def run_deployment(shared: bool, seed: int):
+    env = Environment(seed=seed)
+    if shared:
+        victim_db = noisy_db = DatabaseServer(
+            env, name="shared", connections=8,
+            op_service_time=Latency.constant(0.3),
+            network_rtt=Latency.constant(0.5),
+        )
+    else:
+        victim_db = DatabaseServer(
+            env, name="victim", connections=4,
+            op_service_time=Latency.constant(0.3),
+            network_rtt=Latency.constant(0.5),
+        )
+        noisy_db = DatabaseServer(
+            env, name="noisy", connections=4,
+            op_service_time=Latency.constant(0.3),
+            network_rtt=Latency.constant(0.5),
+        )
+    _load(victim_db, "profiles", [{"id": i, "data": "x"} for i in range(100)])
+    if noisy_db is not victim_db:
+        _load(noisy_db, "events", [{"id": i, "blob": "y"} for i in range(500)])
+    else:
+        _load(noisy_db, "events", [{"id": i, "blob": "y"} for i in range(500)])
+
+    latencies = []
+
+    def victim(env):
+        rng = env.stream("victim")
+        for _ in range(VICTIM_OPS):
+            yield env.timeout(rng.expovariate(1.0 / 10.0))
+            start = env.now
+            txn = yield from victim_db.begin(RC)
+            yield from victim_db.get(txn, "profiles", rng.randrange(100))
+            yield from victim_db.commit(txn)
+            latencies.append(env.now - start)
+
+    def noisy(env):
+        while env.now < RUN_MS:
+            txn = yield from noisy_db.begin(RC)
+            # A fat analytical scan holding its connection for a long time.
+            for _ in range(5):
+                yield from noisy_db.scan(txn, "events")
+            yield from noisy_db.commit(txn)
+
+    env.process(victim(env))
+    for _ in range(NOISY_CLIENTS):
+        env.process(noisy(env))
+    env.run(until=RUN_MS * 3)
+    return {
+        "deployment": "shared database" if shared else "database per service",
+        "victim_p50": percentile(latencies, 50),
+        "victim_p99": percentile(latencies, 99),
+        "victim_ops": len(latencies),
+    }
+
+
+def run_all():
+    return [run_deployment(shared=True, seed=61),
+            run_deployment(shared=False, seed=62)]
+
+
+def test_c6_shared_vs_dedicated(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "C6", "noisy neighbour: shared vs dedicated database",
+        format_rows(
+            ["deployment", "victim p50 ms", "victim p99 ms", "victim ops"],
+            [[r["deployment"], f"{r['victim_p50']:.2f}",
+              f"{r['victim_p99']:.2f}", r["victim_ops"]] for r in rows],
+        ),
+    )
+    shared, dedicated = rows
+    # Performance isolation: the dedicated victim is far better at p99.
+    assert shared["victim_p99"] > 3 * dedicated["victim_p99"]
+    assert shared["victim_p50"] > dedicated["victim_p50"]

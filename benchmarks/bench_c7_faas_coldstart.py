@@ -1,0 +1,137 @@
+"""C7 — Cold starts and disaggregated state undermine FaaS latency.
+
+Paper claims: "challenges associated with cold starts, execution
+performance, and costs undermine a wider adoption of the FaaS paradigm"
+(§4.3); with disaggregated state, "operations on shared state necessarily
+incur network round trips" (§3.3), which caching trades against staleness
+(§3.4).
+
+Two sweeps:
+
+1. request inter-arrival time vs keep-alive window → cold-start fraction
+   and p99 (sparse traffic re-pays the cold start constantly);
+2. remote vs cached state access → per-invocation latency for a 5-read
+   function.
+"""
+
+from repro.core.metrics import percentile
+from repro.faas import FaasPlatform, SharedKv
+from repro.harness import format_rows
+from repro.net.latency import Latency
+from repro.sim import Environment
+
+from benchmarks.common import report
+
+KEEP_ALIVE = 300.0
+REQUESTS = 80
+
+
+def run_arrival_sweep():
+    rows = []
+    for label, gap_ms in [("hot (10ms gaps)", 10.0),
+                          ("warmish (100ms gaps)", 100.0),
+                          ("sparse (500ms gaps)", 500.0),
+                          ("cold (2000ms gaps)", 2000.0)]:
+        env = Environment(seed=71)
+        platform = FaasPlatform(
+            env, keep_alive=KEEP_ALIVE,
+            cold_start=Latency.constant(150.0),
+            warm_dispatch=Latency.constant(0.5),
+        )
+
+        @platform.function("handler")
+        def handler(ctx, payload):
+            yield ctx.env.timeout(1.0)
+            return payload
+
+        latencies = []
+
+        def client(env):
+            for i in range(REQUESTS):
+                yield env.timeout(gap_ms)
+                start = env.now
+                yield from platform.invoke("handler", i)
+                latencies.append(env.now - start)
+
+        env.run_until(env.process(client(env)))
+        steady = latencies[1:]  # drop the unavoidable first cold start
+        rows.append({
+            "label": label,
+            "cold_fraction": platform.stats.cold_fraction,
+            "p50": percentile(steady, 50),
+            "p99": percentile(steady, 99),
+        })
+    return rows
+
+
+def run_state_access():
+    rows = []
+    for label, cached in [("remote state (disaggregated)", False),
+                          ("cached state (embedded-ish)", True)]:
+        env = Environment(seed=72)
+        platform = FaasPlatform(
+            env, cached_state=cached,
+            cold_start=Latency.constant(150.0),
+            warm_dispatch=Latency.constant(0.5),
+            kv=SharedKv(env, rtt=Latency.constant(2.0)),
+        )
+
+        @platform.function("reader")
+        def reader(ctx, payload):
+            total = 0
+            for key_index in range(5):
+                value = yield from ctx.kv_get(f"k{key_index}", 0)
+                total += value
+            return total
+
+        def seed_data(env):
+            for key_index in range(5):
+                yield from platform.kv.put(f"k{key_index}", key_index)
+
+        env.run_until(env.process(seed_data(env)))
+        latencies = []
+
+        def client(env):
+            for i in range(60):
+                yield env.timeout(5.0)
+                start = env.now
+                yield from platform.invoke("reader", i)
+                latencies.append(env.now - start)
+
+        env.run_until(env.process(client(env)))
+        rows.append({
+            "label": label,
+            "p50": percentile(latencies[1:], 50),  # skip the cold start
+            "remote_reads": platform.kv.remote_reads,
+            "cached_reads": platform.kv.cached_reads,
+        })
+    return rows
+
+
+def run_all():
+    return run_arrival_sweep(), run_state_access()
+
+
+def test_c7_faas_cold_start_and_state(benchmark):
+    arrival_rows, state_rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_rows(
+        ["traffic", "cold fraction", "p50 ms", "p99 ms"],
+        [[r["label"], f"{r['cold_fraction']:.2f}", f"{r['p50']:.1f}",
+          f"{r['p99']:.1f}"] for r in arrival_rows],
+    )
+    text += "\n\n" + format_rows(
+        ["state access", "p50 ms (5 reads)", "remote reads", "cached reads"],
+        [[r["label"], f"{r['p50']:.2f}", r["remote_reads"], r["cached_reads"]]
+         for r in state_rows],
+    )
+    report("C7", "FaaS cold starts and state locality", text)
+
+    # Sparse traffic beyond the keep-alive re-pays the cold start always.
+    assert arrival_rows[0]["cold_fraction"] < 0.1
+    assert arrival_rows[-1]["cold_fraction"] > 0.9
+    assert arrival_rows[-1]["p99"] > 10 * arrival_rows[0]["p99"]
+
+    # Disaggregated state pays ~5 round trips; the cache collapses them.
+    remote, cached = state_rows
+    assert remote["p50"] > 3 * cached["p50"]
+    assert cached["cached_reads"] > 0

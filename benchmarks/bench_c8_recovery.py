@@ -1,0 +1,192 @@
+"""C8 — Recovery models: stateless restart vs actor migration vs checkpoint replay.
+
+Paper claims (§4.1): microservices recover by restarting stateless
+instances against a surviving database; actor runtimes migrate actors to
+surviving silos (but unsaved state is lost); dataflows roll back to the
+last checkpoint and replay.
+
+Setup: each runtime processes a stream of operations; a crash is injected
+mid-run; we measure *unavailability* (gap until the first post-crash
+success), lost effects, and duplicated effects.  Expected shape:
+
+- microservices: short gap (restart), no lost committed state;
+- actors: gap ~ one failed call + re-activation, unsaved deltas lost when
+  saves are skipped (we save on every call here, so clean);
+- dataflow: gap ~ recovery + replay, exactly-once state.
+"""
+
+from repro.apps import ActorBank, DataflowBank, DbBank
+from repro.db import IsolationLevel
+from repro.harness import format_rows
+from repro.messaging import RpcTimeout
+from repro.microservices import Microservice, MicroserviceApp
+from repro.sim import Environment
+from repro.workloads import TransferWorkload
+
+from benchmarks.common import report
+
+OPS = 120
+GAP_MS = 5.0
+CRASH_AT = 300.0
+
+
+def _issue_loop(env, execute, results, ops):
+    def loop():
+        for index, op in enumerate(ops):
+            yield env.timeout(GAP_MS)
+            try:
+                yield from execute(op)
+                results.append((env.now, True))
+            except Exception:
+                results.append((env.now, False))
+
+    return loop
+
+
+def _downtime(results):
+    """Longest success-to-success gap bracketing the crash instant."""
+    successes = [t for t, ok in results if ok]
+    gaps = [(b - a, a) for a, b in zip(successes, successes[1:])]
+    around_crash = [g for g, at in gaps if at <= CRASH_AT + 100]
+    return max(around_crash) if around_crash else 0.0
+
+
+def run_microservices():
+    env = Environment(seed=81)
+    workload = TransferWorkload(num_accounts=20, theta=0.4)
+
+    def init_db(db):
+        db.create_table("accounts", primary_key="id")
+        db.load("accounts", workload.initial_rows())
+
+    service = Microservice("bank", init_db=init_db)
+
+    @service.handler("transfer")
+    def transfer(ctx, payload):
+        from repro.apps.shop import _with_txn
+
+        def body(txn):
+            src = yield from ctx.db.get(txn, "accounts", payload["src"])
+            dst = yield from ctx.db.get(txn, "accounts", payload["dst"])
+            yield from ctx.db.put(txn, "accounts", payload["src"],
+                                  {"id": payload["src"],
+                                   "balance": src["balance"] - payload["amount"]})
+            yield from ctx.db.put(txn, "accounts", payload["dst"],
+                                  {"id": payload["dst"],
+                                   "balance": dst["balance"] + payload["amount"]})
+            return True
+
+        result = yield from _with_txn(ctx, body)
+        return result
+
+    app = MicroserviceApp(env, dedup_requests=True)
+    app.add_service(service)
+    ops = list(workload.operations(env.stream("ops"), OPS))
+    results = []
+
+    def execute(op):
+        yield from app.request(
+            "bank", "transfer",
+            {"src": op.src, "dst": op.dst, "amount": op.amount},
+            timeout=30.0, retries=3, idempotency_key=op.op_id,
+        )
+
+    env.process(_issue_loop(env, execute, results, ops)())
+    env.schedule(CRASH_AT, app.crash_service, "bank")
+    env.schedule(CRASH_AT + 40.0, app.restart_service, "bank")  # pod restart
+    env.run(until=20_000)
+    rows = app.database_of("bank").engine.all_rows("accounts")
+    total = sum(row["balance"] for row in rows)
+    return {
+        "runtime": "microservice (stateless restart)",
+        "ok": sum(1 for _t, ok in results if ok),
+        "failed": sum(1 for _t, ok in results if not ok),
+        "downtime_ms": _downtime(results),
+        "conserved": total == workload.expected_total,
+    }
+
+
+def run_actors():
+    env = Environment(seed=82)
+    workload = TransferWorkload(num_accounts=20, theta=0.4)
+    bank = ActorBank(env, workload, mode="transaction")
+    env.run_until(env.process(bank.setup()))
+    ops = list(workload.operations(env.stream("ops"), OPS))
+    results = []
+
+    def execute(op):
+        yield from bank.execute(op)
+
+    env.process(_issue_loop(env, execute, results, ops)())
+    env.schedule(CRASH_AT, bank.runtime.crash_silo, 0)
+    env.schedule(CRASH_AT + 500.0, bank.runtime.restart_silo, 0)
+    env.run(until=30_000)
+    total = sum(row["balance"] for row in bank.balances())
+    return {
+        "runtime": "actors (migration)",
+        "ok": sum(1 for _t, ok in results if ok),
+        "failed": sum(1 for _t, ok in results if not ok),
+        "downtime_ms": _downtime(results),
+        "conserved": total == workload.expected_total,
+    }
+
+
+def run_dataflow():
+    env = Environment(seed=83)
+    workload = TransferWorkload(num_accounts=20, theta=0.4)
+    bank = DataflowBank(env, workload, checkpoint_interval=100.0)
+    bank.start()
+    ops = list(workload.operations(env.stream("ops"), OPS))
+
+    def feeder():
+        for op in ops:
+            yield env.timeout(GAP_MS)
+            bank.submit(op)
+
+    env.process(feeder())
+
+    def crash_and_recover():
+        yield env.timeout(CRASH_AT)
+        bank.runtime.crash_worker(0)
+        yield env.timeout(20.0)  # detection delay
+        yield from bank.runtime.recover()
+
+    env.process(crash_and_recover())
+    env.run(until=30_000)
+    outputs = bank.runtime.sink_outputs("done")
+    emit_times = sorted(t for _k, _v, t in outputs)
+    gaps = [b - a for a, b in zip(emit_times, emit_times[1:])]
+    total = sum(row["balance"] for row in bank.balances())
+    return {
+        "runtime": "dataflow (checkpoint+replay)",
+        "ok": len(outputs),
+        "failed": 0,
+        "downtime_ms": max(gaps) if gaps else 0.0,
+        "conserved": total == workload.expected_total,
+        "replayed": bank.runtime.stats.replayed_records,
+    }
+
+
+def run_all():
+    return [run_microservices(), run_actors(), run_dataflow()]
+
+
+def test_c8_recovery_models(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "C8", "crash mid-run: recovery behaviour per runtime",
+        format_rows(
+            ["runtime", "ok", "failed", "max success gap ms", "state conserved"],
+            [[r["runtime"], r["ok"], r["failed"], f"{r['downtime_ms']:.0f}",
+              r["conserved"]] for r in rows],
+        ),
+    )
+    micro, actors, dataflow = rows
+    # Every model eventually restores a consistent state.
+    assert micro["conserved"] and actors["conserved"] and dataflow["conserved"]
+    # All made progress after the crash.
+    assert micro["ok"] > OPS * 0.8
+    assert dataflow["ok"] == OPS
+    # Each paradigm shows a visible unavailability window around the crash.
+    assert micro["downtime_ms"] > 2 * GAP_MS
+    assert dataflow["downtime_ms"] > 2 * GAP_MS

@@ -1,0 +1,63 @@
+"""Shared helpers for the claim benchmarks (C1..C12).
+
+Each benchmark regenerates one table operationalizing one qualitative claim
+of the tutorial (see DESIGN.md §3).  Tables are printed *and* written to
+``benchmarks/results/<cid>.txt`` so `pytest`'s output capture never loses
+them; EXPERIMENTS.md records the expected-vs-measured shape.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Generator, Optional
+
+from repro.harness import RunResult, WorkloadDriver, format_results, format_rows
+from repro.sim import Environment
+from repro.workloads import ClosedLoop, TransferWorkload
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def report(cid: str, title: str, text: str) -> str:
+    """Print a claim table and persist it under ``benchmarks/results``."""
+    banner = f"\n=== {cid}: {title} ===\n{text}\n"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{cid}.txt"), "w") as handle:
+        handle.write(banner)
+    print(banner)
+    return banner
+
+
+def run_transfers(
+    env: Environment,
+    bank,
+    workload: TransferWorkload,
+    label: str,
+    ops_count: int = 200,
+    clients: int = 8,
+    think_time_ms: float = 2.0,
+    setup: bool = False,
+) -> RunResult:
+    """Drive a transfer workload through a bank adapter (closed loop)."""
+    if setup:
+        env.run_until(env.process(bank.setup()))
+    ops = list(workload.operations(env.stream(f"ops:{label}"), ops_count))
+    driver = WorkloadDriver(env, label=label)
+    driver.ledger = bank.ledger  # the bank applies effects into this ledger
+    arrival = ClosedLoop(
+        clients=clients,
+        ops_per_client=ops_count // clients,
+        think_time_ms=think_time_ms,
+    )
+    result = env.run_until(
+        env.process(
+            driver.run(
+                ops[: arrival.total_ops],
+                bank.execute,
+                arrival,
+                invariants=workload.invariants(),
+                state_fn=bank.balances,
+            )
+        )
+    )
+    return result

@@ -1,0 +1,11 @@
+"""Benchmark bootstrap: make ``repro`` importable from a bare checkout."""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)

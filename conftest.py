@@ -1,0 +1,15 @@
+"""Pytest bootstrap: make ``repro`` importable from a bare checkout.
+
+Preferred install is ``pip install -e .`` (or ``python setup.py develop`` on
+offline machines); this fallback lets ``pytest`` work either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)

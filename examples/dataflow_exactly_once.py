@@ -1,0 +1,81 @@
+"""Exactly-once stream processing through crash and recovery.
+
+Run:  python examples/dataflow_exactly_once.py
+
+A word-count job ingests a stream, a worker dies mid-run, and the job
+recovers from its last aligned checkpoint, replaying the tail of the
+source.  The transactional (exactly-once) sink shows each count exactly
+once; an at-least-once sink run of the same scenario shows the duplicates
+replay produces.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.dataflow import DataflowRuntime, JobGraph
+from repro.net.latency import Latency
+from repro.sim import Environment
+from repro.storage.object_store import ObjectStore, ObjectStoreServer
+
+WORDS = ["saga", "actor", "stream", "saga", "txn", "saga", "actor",
+         "stream", "txn", "saga", "actor", "saga"]
+
+
+def count_words(state, key, value, emit):
+    total = state.get(key, 0) + 1
+    state.put(key, total)
+    emit(key, total)
+
+
+def run(sink_mode):
+    env = Environment(seed=5)
+    graph = JobGraph("wordcount")
+    graph.source("lines", emit_interval=10.0)
+    graph.operator("count", count_words, parallelism=2)
+    graph.sink("out", mode=sink_mode)
+    graph.connect("lines", "count")
+    graph.connect("count", "out")
+    runtime = DataflowRuntime(
+        env, graph, checkpoint_interval=30.0,
+        checkpoint_store=ObjectStoreServer(env, ObjectStore(),
+                                           latency=Latency.constant(2.0)),
+    )
+    runtime.start()
+    for word in WORDS:
+        runtime.send("lines", word, 1)
+
+    def chaos():
+        yield env.timeout(60.0)  # mid-stream
+        runtime.crash_worker(0)
+        yield env.timeout(10.0)
+        yield from runtime.recover()
+
+    env.process(chaos())
+    env.run(until=2000)
+    return runtime
+
+
+def main():
+    for mode in ("exactly_once", "at_least_once"):
+        runtime = run(mode)
+        outputs = [(k, v) for k, v, _t in runtime.sink_outputs("out")]
+        finals = {}
+        for key, value in outputs:
+            finals[key] = max(value, finals.get(key, 0))
+        expected = {w: WORDS.count(w) for w in set(WORDS)}
+        print(f"--- sink mode: {mode} ---")
+        print(f"  checkpoints completed: {runtime.stats.checkpoints_completed}, "
+              f"recoveries: {runtime.stats.recoveries}, "
+              f"records replayed: {runtime.stats.replayed_records}")
+        print(f"  sink emitted {len(outputs)} records "
+              f"({len(outputs) - len(WORDS)} duplicates vs {len(WORDS)} inputs)")
+        print(f"  final counts correct: {finals == expected}  {finals}")
+        per_value = sorted(outputs)
+        dupes = len(per_value) - len(set(per_value))
+        print(f"  duplicated (word,count) emissions: {dupes}\n")
+
+
+if __name__ == "__main__":
+    main()

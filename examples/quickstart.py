@@ -1,0 +1,76 @@
+"""Quickstart: the taxonomy, a transaction, and an anomaly in 80 lines.
+
+Run:  python examples/quickstart.py
+
+This script shows the three things the library is about:
+
+1. the paper's taxonomy of transactional cloud runtimes, as data;
+2. a serializable transaction on the from-scratch database engine;
+3. the same logic at a weaker isolation level, losing an update —
+   detected by the invariant machinery every benchmark uses.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.core import taxonomy_table
+from repro.db import Database, IsolationLevel
+from repro.sim import Environment
+from repro.transactions import ConservationInvariant
+
+
+def racing_increments(isolation):
+    """Two concurrent read-modify-writes on one account."""
+    env = Environment(seed=7)
+    db = Database(env)
+    db.create_table("accounts", primary_key="id")
+    db.load("accounts", [{"id": "alice", "balance": 100}])
+    commits = []
+
+    def incrementer():
+        from repro.db.errors import TransactionAborted
+
+        txn = db.begin(isolation)
+        try:
+            row = yield from db.get(txn, "accounts", "alice")
+            yield env.timeout(5)  # overlap window (think time)
+            yield from db.put(txn, "accounts", "alice",
+                              {"id": "alice", "balance": row["balance"] + 10})
+            yield from db.commit(txn)
+            commits.append(1)
+        except TransactionAborted:
+            db.abort(txn)
+
+    env.process(incrementer())
+    env.process(incrementer())
+    env.run()
+    return db.read_latest("accounts", "alice")["balance"], len(commits)
+
+
+def main():
+    print("The paper's taxonomy (Figure 1), as implemented here:\n")
+    print(taxonomy_table())
+
+    print("\n\nTwo racing +10 increments on balance=100, per isolation level:")
+    for isolation in (IsolationLevel.READ_COMMITTED,
+                      IsolationLevel.SNAPSHOT,
+                      IsolationLevel.SERIALIZABLE):
+        balance, commits = racing_increments(isolation)
+        expected = 100 + 10 * commits
+        invariant = ConservationInvariant(
+            "balance", expected, name="every commit applied"
+        )
+        violations = invariant.check([{"balance": balance}])
+        verdict = "SILENT LOST UPDATE" if violations else "correct"
+        print(f"  {isolation.value:<16} -> {commits} committed, "
+              f"balance={balance} (expected {expected})  [{verdict}]")
+
+    print("\n(READ COMMITTED commits both but applies one — a silent lost"
+          "\n update.  SNAPSHOT and SERIALIZABLE abort one racer instead;"
+          "\n a production client retries it — see repro.apps.banking.DbBank.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""A multi-service checkout with sagas: success, failure, compensation.
+
+Run:  python examples/saga_checkout.py
+
+Deploys the marketplace application (stock, payment, order microservices,
+each with its own database) and runs two checkouts through the saga
+orchestrator: one succeeds end to end, one fails at payment and is
+compensated.  Afterwards the cross-service invariants verify no oversell,
+exactly one charge per order, and no orphan reservations.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.apps.shop import MicroserviceShop
+from repro.sim import Environment
+from repro.workloads.marketplace import CheckoutOp, MarketplaceWorkload
+
+
+def main():
+    env = Environment(seed=11)
+    workload = MarketplaceWorkload(num_products=3, initial_stock=10)
+    shop = MicroserviceShop(env, workload, mode="saga")
+
+    good = CheckoutOp(op_id="order-good", customer="ada",
+                      cart=(("prod-0000", 2), ("prod-0001", 1)),
+                      payment_fails=False)
+    bad = CheckoutOp(op_id="order-bad", customer="bob",
+                     cart=(("prod-0000", 3),),
+                     payment_fails=True)  # card will be declined
+
+    def run_checkout(op):
+        try:
+            yield from shop.execute(op)
+            print(f"  {op.op_id}: COMPLETED")
+        except Exception as exc:
+            print(f"  {op.op_id}: FAILED ({type(exc).__name__}) — compensated")
+
+    def scenario():
+        print("Running checkouts through the saga orchestrator:")
+        yield from run_checkout(good)
+        yield from run_checkout(bad)
+
+    env.run_until(env.process(scenario()))
+
+    state = shop.final_state()
+    print("\nFinal state:")
+    for product in state["products"]:
+        print(f"  {product['id']}: stock={product['stock']} "
+              f"reserved={product['reserved']}")
+    print(f"  orders: {[o['id'] for o in state['orders']]}")
+    print(f"  payments: {[p['order_id'] for p in state['payments']]}")
+
+    print("\nInvariant check:")
+    clean = True
+    for invariant in workload.invariants():
+        for violation in invariant.check(state):
+            clean = False
+            print(f"  VIOLATION {violation.invariant}: {violation.detail}")
+    if clean:
+        print("  all invariants hold — the failed checkout left no trace")
+
+    outcomes = shop.orchestrator.outcomes
+    print("\nSaga outcomes:",
+          ", ".join(f"{o.saga.split('-', 1)[1]}={o.status}" for o in outcomes))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Stateful entities: ordinary classes, transactional superpowers.
+
+Run:  python examples/stateful_entities.py
+
+The paper's §5.1 asks whether "a programming model and system with
+transparent parallelization, scalability, and consistency" is possible,
+citing the stateful-entities line of work.  This example writes a bank as
+a plain Python class — no transactions, no locks, no retries, no messaging
+— compiles it onto the deterministic transactional dataflow, and then
+hammers it with concurrent conflicting transfers.  Money is conserved
+exactly, because every method call *is* a serializable transaction.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.dataflow import Entity, TransactionalDataflow, compile_entities
+from repro.sim import Environment
+
+
+class Account(Entity):
+    """Look ma, no transactions."""
+
+    initial_state = {"balance": 0, "history": ()}
+
+    def deposit(self, amount):
+        self.balance += amount
+        self.history = self.history + (("deposit", amount),)
+        return self.balance
+
+    def transfer_to(self, dst, amount):
+        if self.balance < amount:
+            raise ValueError("insufficient funds")
+        self.balance -= amount
+        self.history = self.history + (("sent", dst, amount),)
+        new_dst_balance = yield self.call_entity("Account", dst, "deposit", amount)
+        return new_dst_balance
+
+
+def main():
+    env = Environment(seed=29)
+    engine = TransactionalDataflow(env, epoch_interval=5.0)
+    handle = compile_entities(engine, [Account])
+    engine.start()
+
+    accounts = [f"acct-{i}" for i in range(8)]
+    for account in accounts:
+        handle.invoke("Account", account, "deposit", 100,
+                      touches=[("Account", account)])
+    env.run(until=20)
+
+    rng = env.stream("demo")
+    submitted = 0
+    for _ in range(60):
+        src, dst = rng.sample(accounts, 2)
+        handle.invoke("Account", src, "transfer_to", dst, rng.randint(1, 20),
+                      touches=[("Account", src), ("Account", dst)])
+        submitted += 1
+    env.run(until=5000)
+
+    balances = {a: handle.state_of("Account", a)["balance"] for a in accounts}
+    total = sum(balances.values())
+    stats = engine.stats
+    print(f"submitted {submitted} concurrent conflicting transfers")
+    print(f"committed={stats.committed} aborted={stats.aborted} "
+          f"(aborts are business failures: insufficient funds)")
+    print(f"epochs={stats.epochs}, conflict-free waves={stats.waves}")
+    print("\nfinal balances:")
+    for account, balance in balances.items():
+        moves = len(handle.state_of("Account", account)["history"])
+        print(f"  {account}: {balance:4d}  ({moves} ledger entries)")
+    print(f"\ntotal = {total} (expected 800): "
+          f"{'CONSERVED' if total == 800 else 'BROKEN'}")
+
+
+if __name__ == "__main__":
+    main()

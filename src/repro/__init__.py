@@ -1,0 +1,15 @@
+"""repro — transactional cloud application runtimes, end to end.
+
+A working reproduction of "Transactional Cloud Applications: Status Quo,
+Challenges, and Opportunities" (SIGMOD 2025 tutorial): every runtime the
+tutorial surveys — microservice frameworks, virtual actors, stateful FaaS,
+durable orchestrations, and stateful/transactional dataflows — implemented
+from scratch on a deterministic discrete-event simulation substrate, with
+a benchmark suite that operationalizes the paper's qualitative claims.
+
+Start with :mod:`repro.sim` (the kernel), :mod:`repro.core` (the paper's
+taxonomy as data), and the README's code tour.  ``examples/quickstart.py``
+is the two-minute version.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,35 @@
+"""A virtual actor runtime (Orleans / Dapr stand-in).
+
+Implements the §3.1 virtual-actor model: location transparency (callers
+address actors by type + key, never by placement), on-demand activation,
+turn-based concurrency (one message at a time per actor), and failure
+transparency (a crashed silo's actors reactivate elsewhere, §4.1).
+
+State management follows §3.3: actor state is private, memory-resident,
+and explicitly checkpointed to an external storage provider via
+``save_state`` — the freshness of a reactivated actor is bounded by its
+last save, which is exactly the actor-consistency caveat of §4.1/§4.2.
+
+:mod:`repro.actors.transactions` adds the Orleans-Transactions-style ACID
+facility whose "significant performance penalty" (§4.2) benchmark C3
+quantifies.
+"""
+
+from repro.actors.actor import Actor, ActorError
+from repro.actors.runtime import ActorRef, ActorRuntime, StateStorageProvider
+from repro.actors.transactions import (
+    ActorTransactionCoordinator,
+    TransactionFailed,
+    transactional,
+)
+
+__all__ = [
+    "Actor",
+    "ActorError",
+    "ActorRef",
+    "ActorRuntime",
+    "ActorTransactionCoordinator",
+    "StateStorageProvider",
+    "TransactionFailed",
+    "transactional",
+]

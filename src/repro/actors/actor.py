@@ -1,0 +1,74 @@
+"""The actor base class: private state, turns, explicit persistence."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+
+class ActorError(Exception):
+    """Raised for actor protocol misuse."""
+
+
+class Actor:
+    """Base class for user-defined actors.
+
+    Subclasses define generator methods operating on ``self.state`` (a
+    plain dict).  The runtime guarantees turn-based execution: at most one
+    method of a given activation runs at a time.
+
+    Durability is *explicit*: mutations live in silo memory until the actor
+    calls ``yield from self.save_state()`` (§3.3: "some actor frameworks
+    offer state management APIs that allow developers to store memory-
+    resident states in durable storage").  A crash between mutation and
+    save loses the delta — a behaviour the tests assert rather than hide.
+    """
+
+    #: Default state for fresh activations; subclasses override.
+    initial_state: dict[str, Any] = {}
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.state: dict[str, Any] = dict(type(self).initial_state)
+        self._runtime = None  # wired by the silo at activation
+        self.activation_count = 0
+
+    # -- lifecycle (overridable) ----------------------------------------------
+
+    def on_activate(self) -> Generator:
+        """Called after state is loaded, before the first turn."""
+        return
+        yield  # pragma: no cover
+
+    def on_deactivate(self) -> Generator:
+        """Called when the silo evicts the activation."""
+        return
+        yield  # pragma: no cover
+
+    # -- runtime services -------------------------------------------------------
+
+    def save_state(self) -> Generator:
+        """Persist ``self.state`` to the storage provider (a round trip)."""
+        if self._runtime is None:
+            raise ActorError("actor is not activated")
+        yield from self._runtime.provider.save(
+            type(self).__name__, self.key, self.state
+        )
+
+    def call_actor(self, actor_type: str, key: str, method: str, *args: Any) -> Generator:
+        """Invoke another actor (asynchronous message, awaited reply).
+
+        Calling back into an actor that is awaiting this call deadlocks —
+        actors here are non-reentrant, like Orleans' default.
+        """
+        if self._runtime is None:
+            raise ActorError("actor is not activated")
+        ref = self._runtime.ref(actor_type, key)
+        via = self._silo.name if getattr(self, "_silo", None) is not None else None
+        result = yield from ref.call(method, *args, via=via)
+        return result
+
+    @property
+    def env(self):
+        if self._runtime is None:
+            raise ActorError("actor is not activated")
+        return self._runtime.env

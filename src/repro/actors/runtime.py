@@ -1,0 +1,349 @@
+"""The actor runtime: silos, directory, activation, migration.
+
+Placement uses rendezvous hashing over the *alive* silos, giving both
+location transparency and automatic migration: when a silo dies, each of
+its actors deterministically maps to a surviving silo and is re-activated
+there on its next call, state loaded from the storage provider (§4.1
+"failure transparency by migrating actors across nodes").
+
+Message delivery is at-most-once by default (§4.2: "with at-most-once
+messaging delivery guarantees by default, weak consistency ... is a
+popular design choice"); per-call retries opt into at-least-once.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Generator, Optional, Type
+
+from repro.actors.actor import Actor, ActorError
+from repro.messaging.rpc import RpcClient, RpcServer, RpcTimeout
+from repro.net.latency import Latency, Sampler
+from repro.net.network import Network
+from repro.sim import Environment, Lock
+
+
+class StateStorageProvider:
+    """External durable actor-state store (a DB table, §3.3/§4.1).
+
+    Latency-charged on both load and save; contents survive silo crashes
+    by construction.
+    """
+
+    def __init__(self, env: Environment, latency: Optional[Sampler] = None) -> None:
+        self.env = env
+        self._latency = latency or Latency.intra_zone()
+        self._rng = env.stream("actor-state-store")
+        self._data: dict[tuple[str, str], dict] = {}
+        self.loads = 0
+        self.saves = 0
+
+    def save(self, actor_type: str, key: str, state: dict) -> Generator:
+        yield self.env.timeout(self._latency(self._rng))
+        self._data[(actor_type, key)] = dict(state)
+        self.saves += 1
+
+    def load(self, actor_type: str, key: str) -> Generator:
+        yield self.env.timeout(self._latency(self._rng))
+        self.loads += 1
+        state = self._data.get((actor_type, key))
+        return dict(state) if state is not None else None
+
+    def peek(self, actor_type: str, key: str) -> Optional[dict]:
+        """Zero-latency read for tests and invariant checks."""
+        state = self._data.get((actor_type, key))
+        return dict(state) if state is not None else None
+
+
+@dataclass
+class ActorRuntimeStats:
+    activations: int = 0
+    migrations: int = 0
+    calls: int = 0
+    dropped_calls: int = 0
+    idle_deactivations: int = 0
+
+
+class _Silo:
+    """One cluster member hosting activations."""
+
+    def __init__(self, runtime: "ActorRuntime", name: str) -> None:
+        self.runtime = runtime
+        self.name = name
+        self.node = runtime.net.add_node(name)
+        self.activations: dict[tuple[str, str], Actor] = {}
+        self.turn_locks: dict[tuple[str, str], Lock] = {}
+        self.last_used: dict[tuple[str, str], float] = {}
+        self.rpc = RpcServer(runtime.net, self.node, service="actors")
+        self.rpc.register("invoke", self._invoke)
+        self.node.on_restart(lambda _node: self._on_restart())
+        if runtime.idle_timeout is not None:
+            self.node.spawn(self._collector(), label=f"{name}.collector")
+
+    def _on_restart(self) -> None:
+        # Memory is gone: fresh activation tables; RPC re-registered by its
+        # own restart hook, so only our maps need resetting.
+        self.activations = {}
+        self.turn_locks = {}
+        self.last_used = {}
+        if self.runtime.idle_timeout is not None:
+            self.node.spawn(self._collector(), label=f"{self.name}.collector")
+
+    def _collector(self) -> Generator:
+        """Deactivate activations idle beyond the runtime's idle_timeout.
+
+        Orleans' activation garbage collection: memory is reclaimed, and
+        the next call transparently re-activates from the state provider.
+        """
+        timeout = self.runtime.idle_timeout
+        while True:
+            yield self.runtime.env.timeout(timeout / 2)
+            now = self.runtime.env.now
+            for ident, used_at in list(self.last_used.items()):
+                lock = self.turn_locks.get(ident)
+                if (now - used_at >= timeout and ident in self.activations
+                        and (lock is None or not lock.locked)):
+                    yield from self.deactivate(*ident)
+                    self.last_used.pop(ident, None)
+                    self.runtime.stats.idle_deactivations += 1
+
+    def _invoke(self, payload: dict) -> Generator:
+        actor_type = payload["actor_type"]
+        key = payload["key"]
+        ident = (actor_type, key)
+        lock = self.turn_locks.get(ident)
+        if lock is None:
+            lock = Lock(self.runtime.env, label=f"turn:{ident}")
+            self.turn_locks[ident] = lock
+        yield lock.acquire()  # turn-based concurrency (covers activation too)
+        try:
+            actor = self.activations.get(ident)
+            if actor is None:
+                actor = yield from self._activate(actor_type, key)
+            self.last_used[ident] = self.runtime.env.now
+            method = getattr(actor, payload["method"])
+            result = yield from method(*payload["args"])
+            return result
+        finally:
+            self.last_used[ident] = self.runtime.env.now
+            lock.release()
+
+    def _activate(self, actor_type: str, key: str) -> Generator:
+        cls = self.runtime.actor_class(actor_type)
+        actor = cls(key)
+        actor._runtime = self.runtime
+        actor._silo = self
+        saved = yield from self.runtime.provider.load(actor_type, key)
+        if saved is not None:
+            actor.state = saved
+        ident = (actor_type, key)
+        previous_host = self.runtime._last_host.get(ident)
+        if previous_host is not None and previous_host != self.name:
+            self.runtime.stats.migrations += 1
+        self.runtime._last_host[ident] = self.name
+        self.activations[ident] = actor
+        self.runtime.stats.activations += 1
+        actor.activation_count += 1
+        yield from actor.on_activate()
+        return actor
+
+    def deactivate(self, actor_type: str, key: str) -> Generator:
+        ident = (actor_type, key)
+        actor = self.activations.pop(ident, None)
+        self.turn_locks.pop(ident, None)
+        if actor is not None:
+            yield from actor.on_deactivate()
+
+
+class ActorRef:
+    """Location-transparent handle to one actor."""
+
+    def __init__(self, runtime: "ActorRuntime", actor_type: str, key: str) -> None:
+        self.runtime = runtime
+        self.actor_type = actor_type
+        self.key = key
+
+    def call(
+        self,
+        method: str,
+        *args: Any,
+        timeout: float = 30.0,
+        retries: int = 0,
+        via: Optional[str] = None,
+    ) -> Generator:
+        """Invoke a method; ``retries=0`` is Orleans-default at-most-once.
+
+        ``via`` names the silo originating the call (set automatically for
+        actor-to-actor calls); external callers go through the client edge.
+        """
+        result = yield from self.runtime._dispatch(
+            self.actor_type, self.key, method, args, timeout, retries, via=via
+        )
+        return result
+
+    def __repr__(self) -> str:
+        return f"<ActorRef {self.actor_type}/{self.key}>"
+
+
+class ActorRuntime:
+    """The cluster: silos + directory + client edge."""
+
+    def __init__(
+        self,
+        env: Environment,
+        num_silos: int = 3,
+        provider: Optional[StateStorageProvider] = None,
+        network_latency: Optional[Sampler] = None,
+        idle_timeout: Optional[float] = None,
+    ) -> None:
+        if num_silos <= 0:
+            raise ValueError("num_silos must be positive")
+        self.env = env
+        self.idle_timeout = idle_timeout
+        self.net = Network(env, default_latency=network_latency or Latency.intra_zone())
+        self.provider = provider or StateStorageProvider(env)
+        self._classes: dict[str, Type[Actor]] = {}
+        self.silos = [_Silo(self, f"silo-{i}") for i in range(num_silos)]
+        self._last_host: dict[tuple[str, str], str] = {}
+        client_node = self.net.add_node("actor-client")
+        self._client_rpc = RpcClient(self.net, client_node, service="actors")
+        self._silo_rpc: dict[str, RpcClient] = {
+            silo.name: RpcClient(self.net, silo.node, service="actors")
+            for silo in self.silos
+        }
+        self._reminders: dict[str, bool] = {}  # durable reminder table
+        self.stats = ActorRuntimeStats()
+
+    # -- registration / addressing ---------------------------------------------
+
+    def register(self, cls: Type[Actor]) -> None:
+        """Make an actor class instantiable by name."""
+        self._classes[cls.__name__] = cls
+
+    def actor_class(self, name: str) -> Type[Actor]:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise ActorError(f"actor type {name!r} is not registered") from None
+
+    def ref(self, actor_type: str, key: str) -> ActorRef:
+        if actor_type not in self._classes:
+            raise ActorError(f"actor type {actor_type!r} is not registered")
+        return ActorRef(self, actor_type, key)
+
+    # -- placement -----------------------------------------------------------------
+
+    def place(self, actor_type: str, key: str) -> _Silo:
+        """Rendezvous-hash the actor onto the alive silos."""
+        alive = [silo for silo in self.silos if silo.node.alive]
+        if not alive:
+            raise ActorError("no silo is alive")
+        return max(
+            alive,
+            key=lambda silo: zlib.crc32(
+                f"{silo.name}|{actor_type}|{key}".encode("utf-8")
+            ),
+        )
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    def _dispatch(
+        self,
+        actor_type: str,
+        key: str,
+        method: str,
+        args: tuple,
+        timeout: float,
+        retries: int,
+        via: Optional[str] = None,
+    ) -> Generator:
+        self.stats.calls += 1
+        rpc = self._silo_rpc.get(via, self._client_rpc) if via else self._client_rpc
+        payload = {
+            "actor_type": actor_type,
+            "key": key,
+            "method": method,
+            "args": list(args),
+        }
+        attempts = 0
+        while True:
+            silo = self.place(actor_type, key)
+            try:
+                result = yield from rpc.call(
+                    silo.node.name, "invoke", payload,
+                    timeout=timeout, retries=0,
+                )
+                return result
+            except RpcTimeout:
+                attempts += 1
+                if attempts > retries:
+                    self.stats.dropped_calls += 1
+                    raise
+                # Re-resolve placement: the silo may have died; the actor
+                # will be re-activated elsewhere (failure transparency).
+
+    # -- reminders -------------------------------------------------------------------
+
+    def register_reminder(
+        self,
+        actor_type: str,
+        key: str,
+        method: str,
+        period: float,
+        args: tuple = (),
+    ) -> str:
+        """A durable periodic callback (Orleans *reminders*).
+
+        Unlike an in-memory timer, the reminder lives in the runtime's
+        durable reminder table: it keeps firing after the hosting silo
+        crashes — the call simply re-activates the actor wherever
+        placement decides.  Returns an id for :meth:`cancel_reminder`.
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        reminder_id = f"reminder-{actor_type}-{key}-{method}-{len(self._reminders)}"
+        self._reminders[reminder_id] = True
+        self.env.process(
+            self._reminder_loop(reminder_id, actor_type, key, method, period, args),
+            label=reminder_id,
+        )
+        return reminder_id
+
+    def cancel_reminder(self, reminder_id: str) -> bool:
+        """Stop a reminder; returns whether it existed."""
+        if reminder_id in self._reminders:
+            self._reminders[reminder_id] = False
+            return True
+        return False
+
+    def _reminder_loop(
+        self, reminder_id: str, actor_type: str, key: str, method: str,
+        period: float, args: tuple,
+    ) -> Generator:
+        from repro.messaging.rpc import RpcTimeout
+
+        while self._reminders.get(reminder_id):
+            yield self.env.timeout(period)
+            if not self._reminders.get(reminder_id):
+                return
+            try:
+                yield from self.ref(actor_type, key).call(
+                    method, *args, retries=2
+                )
+            except (RpcTimeout, ActorError):
+                continue  # the tick is skipped; the reminder itself survives
+
+    # -- operations ----------------------------------------------------------------------
+
+    def crash_silo(self, index: int) -> None:
+        self.silos[index].node.crash()
+        self.silos[index].activations = {}
+        self.silos[index].turn_locks = {}
+
+    def restart_silo(self, index: int) -> None:
+        self.silos[index].node.restart()
+
+    def host_of(self, actor_type: str, key: str) -> Optional[str]:
+        """The silo that most recently activated this actor (tests)."""
+        return self._last_host.get((actor_type, key))

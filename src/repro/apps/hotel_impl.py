@@ -1,0 +1,171 @@
+"""The DeathStarBench-style hotel reservation app on microservices.
+
+A small service graph in the DeathStar shape (paper ref [27]): a frontend
+fans out to a search service (read-only queries over a city index) and a
+reservation service (the transactional core holding room capacity).  The
+capacity invariant — never more confirmed reservations than rooms — is the
+workload's correctness criterion and breaks under lost isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.shop import _with_txn
+from repro.db import IsolationLevel
+from repro.microservices import Microservice, MicroserviceApp
+from repro.sim import Environment
+from repro.transactions.anomalies import EffectLedger
+from repro.workloads.hotel import HotelWorkload, ReserveOp, SearchOp
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+class NoVacancy(Exception):
+    """The hotel is fully booked (a business outcome, not a bug)."""
+
+
+class HotelApp:
+    """Deployed hotel application plus workload executors."""
+
+    def __init__(self, env: Environment, workload: HotelWorkload) -> None:
+        self.env = env
+        self.workload = workload
+        self.ledger = EffectLedger()
+        self.app = MicroserviceApp(env, dedup_requests=True)
+        self.app.add_service(self._search_service())
+        self.app.add_service(self._reservation_service())
+        self.app.add_service(self._frontend_service())
+
+    # -- services -----------------------------------------------------------------
+
+    def _search_service(self) -> Microservice:
+        workload = self.workload
+
+        def init_db(db):
+            db.create_table("hotels", primary_key="id")
+            db.create_index("hotels", "city")
+            db.load("hotels", [
+                {"id": h["id"], "city": h["city"], "stars": 3 + (i % 3)}
+                for i, h in enumerate(workload.initial_hotels())
+            ])
+
+        service = Microservice("search", init_db=init_db)
+
+        @service.handler("nearby")
+        def nearby(ctx, payload):
+            def body(txn):
+                rows = yield from ctx.db.lookup(txn, "hotels", "city", payload["city"])
+                return sorted(r["id"] for r in rows)
+
+            result = yield from _with_txn(ctx, body)
+            return result
+
+        return service
+
+    def _reservation_service(self) -> Microservice:
+        workload = self.workload
+
+        def init_db(db):
+            db.create_table("capacity", primary_key="id")
+            db.create_table("reservations", primary_key="rid")
+            db.load("capacity", [
+                {"id": h["id"], "capacity": h["capacity"], "available": h["available"]}
+                for h in workload.initial_hotels()
+            ])
+
+        service = Microservice("reservation", init_db=init_db)
+
+        @service.handler("reserve")
+        def reserve(ctx, payload):
+            def body(txn):
+                row = yield from ctx.db.get(txn, "capacity", payload["hotel"])
+                if row is None or row["available"] <= 0:
+                    raise NoVacancy(payload["hotel"])
+                yield from ctx.db.update(
+                    txn, "capacity", payload["hotel"],
+                    {"available": row["available"] - 1},
+                )
+                yield from ctx.db.insert(
+                    txn, "reservations",
+                    {"rid": payload["reservation_id"],
+                     "hotel": payload["hotel"],
+                     "customer": payload["customer"],
+                     "nights": payload["nights"]},
+                )
+                return payload["reservation_id"]
+
+            result = yield from _with_txn(ctx, body)
+            return result
+
+        @service.handler("cancel")
+        def cancel(ctx, payload):
+            def body(txn):
+                reservation = yield from ctx.db.get(
+                    txn, "reservations", payload["reservation_id"]
+                )
+                if reservation is None:
+                    return False  # idempotent cancel
+                row = yield from ctx.db.get(txn, "capacity", reservation["hotel"])
+                yield from ctx.db.update(
+                    txn, "capacity", reservation["hotel"],
+                    {"available": row["available"] + 1},
+                )
+                yield from ctx.db.delete(
+                    txn, "reservations", payload["reservation_id"]
+                )
+                return True
+
+            result = yield from _with_txn(ctx, body)
+            return result
+
+        return service
+
+    def _frontend_service(self) -> Microservice:
+        service = Microservice("frontend")
+
+        @service.handler("search")
+        def search(ctx, payload):
+            hotels = yield from ctx.call("search", "nearby",
+                                         {"city": payload["city"]})
+            return hotels
+
+        @service.handler("book")
+        def book(ctx, payload):
+            result = yield from ctx.call(
+                "reservation", "reserve", payload,
+                idempotency_key=payload["reservation_id"],
+            )
+            return result
+
+        return service
+
+    # -- executors ------------------------------------------------------------------
+
+    def execute(self, op) -> Generator:
+        if isinstance(op, SearchOp):
+            yield from self.app.request(
+                "frontend", "search", {"city": op.city},
+                idempotency_key=op.op_id, timeout=200.0,
+            )
+        else:
+            yield from self.app.request(
+                "frontend", "book",
+                {"reservation_id": op.op_id, "hotel": op.hotel,
+                 "customer": op.customer, "nights": op.nights},
+                idempotency_key=op.op_id, timeout=200.0,
+            )
+        self.ledger.apply(op.op_id)
+
+    # -- final state -------------------------------------------------------------------
+
+    def final_state(self) -> dict:
+        reservation_db = self.app.database_of("reservation").engine
+        return {
+            "hotels": [
+                {"id": row["id"], "city": self.workload.city_of(0),
+                 "capacity": row["capacity"], "available": row["available"]}
+                for row in reservation_db.all_rows("capacity")
+            ],
+            "reservations": reservation_db.all_rows("reservations"),
+        }

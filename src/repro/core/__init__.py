@@ -1,0 +1,38 @@
+"""Core abstractions: the paper's taxonomy, metrics, and fault injection.
+
+The tutorial's contribution is a *taxonomy* (§2, Figure 1) organizing cloud
+application runtimes along programming model, messaging, and state
+management axes.  :mod:`repro.core.taxonomy` encodes that taxonomy as data,
+with one :class:`RuntimeProfile` per runtime built in this repository;
+:mod:`repro.core.metrics` and :mod:`repro.core.faults` provide the
+measurement and failure-injection machinery shared by every benchmark.
+"""
+
+from repro.core.faults import FaultEvent, FaultPlan
+from repro.core.metrics import LatencyRecorder, MetricsCollector, percentile
+from repro.core.taxonomy import (
+    PROFILES,
+    ConsistencyGuarantee,
+    DeliveryGuarantee,
+    ProgrammingModel,
+    RuntimeProfile,
+    StateAccess,
+    StatePlacement,
+    taxonomy_table,
+)
+
+__all__ = [
+    "ConsistencyGuarantee",
+    "DeliveryGuarantee",
+    "FaultEvent",
+    "FaultPlan",
+    "LatencyRecorder",
+    "MetricsCollector",
+    "PROFILES",
+    "ProgrammingModel",
+    "RuntimeProfile",
+    "StateAccess",
+    "StatePlacement",
+    "percentile",
+    "taxonomy_table",
+]

@@ -1,0 +1,99 @@
+"""Declarative fault plans: scripted crashes, partitions, and chaos.
+
+A :class:`FaultPlan` turns a benchmark's failure scenario into data:
+"crash node X at t=500, restart it at t=800, partition A|B from 1000 to
+1500".  Plans apply against a :class:`~repro.net.network.Network` and are
+shared by the recovery benchmarks (C8) and fault-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action."""
+
+    at: float
+    kind: str  # crash | restart | partition | heal | loss | duplication
+    target: Optional[str] = None
+    group_a: tuple[str, ...] = ()
+    group_b: tuple[str, ...] = ()
+    rate: float = 0.0
+
+
+class FaultPlan:
+    """A scriptable sequence of fault events.
+
+    Build fluently, then :meth:`apply`::
+
+        plan = (FaultPlan()
+                .crash("silo-1", at=500)
+                .restart("silo-1", at=800)
+                .partition(["db"], ["svc-a", "svc-b"], at=1000, heal_at=1500))
+        plan.apply(env, net)
+    """
+
+    def __init__(self) -> None:
+        self.events: list[FaultEvent] = []
+
+    def crash(self, node: str, at: float) -> "FaultPlan":
+        self.events.append(FaultEvent(at=at, kind="crash", target=node))
+        return self
+
+    def restart(self, node: str, at: float) -> "FaultPlan":
+        self.events.append(FaultEvent(at=at, kind="restart", target=node))
+        return self
+
+    def crash_restart(self, node: str, at: float, downtime: float) -> "FaultPlan":
+        return self.crash(node, at).restart(node, at + downtime)
+
+    def partition(
+        self,
+        group_a: list[str],
+        group_b: list[str],
+        at: float,
+        heal_at: Optional[float] = None,
+    ) -> "FaultPlan":
+        self.events.append(
+            FaultEvent(at=at, kind="partition",
+                       group_a=tuple(group_a), group_b=tuple(group_b))
+        )
+        if heal_at is not None:
+            self.events.append(FaultEvent(at=heal_at, kind="heal"))
+        return self
+
+    def loss(self, rate: float, at: float = 0.0) -> "FaultPlan":
+        self.events.append(FaultEvent(at=at, kind="loss", rate=rate))
+        return self
+
+    def duplication(self, rate: float, at: float = 0.0) -> "FaultPlan":
+        self.events.append(FaultEvent(at=at, kind="duplication", rate=rate))
+        return self
+
+    def apply(self, env: Environment, net: Network) -> None:
+        """Schedule every event against the network's environment."""
+        for event in self.events:
+            env.schedule(event.at, self._execute, net, event)
+
+    @staticmethod
+    def _execute(net: Network, event: FaultEvent) -> None:
+        if event.kind == "crash":
+            net.node(event.target).crash("fault-plan")
+        elif event.kind == "restart":
+            net.node(event.target).restart()
+        elif event.kind == "partition":
+            net.partition(list(event.group_a), list(event.group_b))
+        elif event.kind == "heal":
+            net.heal()
+        elif event.kind == "loss":
+            net.set_loss(event.rate)
+        elif event.kind == "duplication":
+            net.set_duplication(event.rate)
+        else:
+            raise ValueError(f"unknown fault kind {event.kind!r}")

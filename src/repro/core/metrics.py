@@ -1,0 +1,156 @@
+"""Latency/throughput measurement over virtual time.
+
+Because the clock is virtual, latencies are exact (no measurement noise)
+and percentiles are reproducible.  A :class:`MetricsCollector` is shared by
+the workload drivers; benchmarks print its :meth:`MetricsCollector.summary`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Matches numpy's default behaviour; defined to avoid the dependency in
+    the core path.  Raises ``ValueError`` on an empty sample set.
+    """
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+class LatencyRecorder:
+    """Accumulates latency samples for one operation type."""
+
+    def __init__(self) -> None:
+        self.samples: list[float] = []
+
+    def record(self, latency: float) -> None:
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def p(self, q: float) -> float:
+        """Percentile; 0.0 when empty (keeps report rendering simple)."""
+        return percentile(self.samples, q) if self.samples else 0.0
+
+
+@dataclass
+class OpSummary:
+    """Per-operation aggregate used in benchmark tables."""
+
+    name: str
+    completed: int
+    failed: int
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    throughput_per_s: float
+
+
+class MetricsCollector:
+    """Shared sink for operation outcomes during a run.
+
+    ``start()``/``stop()`` bracket the measured window in virtual time;
+    throughput = completed / window.  Operations completing outside the
+    window still record latency (the window only scales throughput).
+    """
+
+    def __init__(self) -> None:
+        self._latencies: dict[str, LatencyRecorder] = defaultdict(LatencyRecorder)
+        self._failures: dict[str, int] = defaultdict(int)
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        self._started_at = now
+
+    def stop(self, now: float) -> None:
+        self._stopped_at = now
+
+    @property
+    def window(self) -> float:
+        if self._started_at is None or self._stopped_at is None:
+            return 0.0
+        return self._stopped_at - self._started_at
+
+    def record_success(self, op: str, latency: float) -> None:
+        self._latencies[op].record(latency)
+
+    def record_failure(self, op: str) -> None:
+        self._failures[op] += 1
+
+    def completed(self, op: Optional[str] = None) -> int:
+        if op is not None:
+            return self._latencies[op].count
+        return sum(r.count for r in self._latencies.values())
+
+    def failed(self, op: Optional[str] = None) -> int:
+        if op is not None:
+            return self._failures[op]
+        return sum(self._failures.values())
+
+    def latency(self, op: str) -> LatencyRecorder:
+        return self._latencies[op]
+
+    def throughput(self, op: Optional[str] = None) -> float:
+        """Completed operations per second of virtual time (window-scaled)."""
+        window_s = self.window / 1000.0  # clock unit is ms
+        if window_s <= 0:
+            return 0.0
+        return self.completed(op) / window_s
+
+    def summary(self) -> list[OpSummary]:
+        """One row per operation type, sorted by name."""
+        rows = []
+        for name in sorted(set(self._latencies) | set(self._failures)):
+            recorder = self._latencies[name]
+            rows.append(
+                OpSummary(
+                    name=name,
+                    completed=recorder.count,
+                    failed=self._failures[name],
+                    mean_ms=recorder.mean,
+                    p50_ms=recorder.p(50),
+                    p99_ms=recorder.p(99),
+                    throughput_per_s=self.throughput(name),
+                )
+            )
+        return rows
+
+
+def render_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Align rows under headers; the shared ASCII table helper."""
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt(row: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""The paper's taxonomy (Figure 1) encoded as data.
+
+Each runtime implemented in this repository carries a
+:class:`RuntimeProfile` placing it on the taxonomy's axes: programming
+model, state placement (embedded vs external), state access (centralized vs
+decentralized), message-delivery guarantee, and cross-component consistency
+guarantee.  ``taxonomy_table()`` renders the comparison the tutorial walks
+its audience through.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ProgrammingModel(enum.Enum):
+    """§3.1: how application logic is expressed."""
+
+    MICROSERVICE = "microservice framework"
+    ACTOR = "virtual actors"
+    FAAS = "stateful functions (FaaS)"
+    DATAFLOW = "stateful dataflow"
+
+
+class StatePlacement(enum.Enum):
+    """§3.3: where state lives relative to the application runtime."""
+
+    EMBEDDED = "embedded"
+    EXTERNAL = "external"
+
+
+class StateAccess(enum.Enum):
+    """§3.3: unified vs per-component state management."""
+
+    CENTRALIZED = "centralized"
+    DECENTRALIZED = "decentralized"
+
+
+class DeliveryGuarantee(enum.Enum):
+    """§3.2: what the messaging substrate promises."""
+
+    AT_MOST_ONCE = "at-most-once"
+    AT_LEAST_ONCE = "at-least-once"
+    EXACTLY_ONCE = "exactly-once"
+
+
+class ConsistencyGuarantee(enum.Enum):
+    """§4.2: strongest cross-component guarantee offered by default."""
+
+    NONE = "none (eventual)"
+    CAUSAL = "causal"
+    ATOMIC = "atomic (no isolation)"
+    SERIALIZABLE = "serializable"
+
+
+@dataclass(frozen=True)
+class RuntimeProfile:
+    """One runtime's position in the taxonomy, plus its repro module."""
+
+    name: str
+    model: ProgrammingModel
+    state_placement: StatePlacement
+    state_access: StateAccess
+    delivery: DeliveryGuarantee
+    consistency: ConsistencyGuarantee
+    stands_in_for: str
+    module: str
+
+
+PROFILES: dict[str, RuntimeProfile] = {
+    "microservices": RuntimeProfile(
+        name="microservices",
+        model=ProgrammingModel.MICROSERVICE,
+        state_placement=StatePlacement.EXTERNAL,
+        state_access=StateAccess.DECENTRALIZED,
+        delivery=DeliveryGuarantee.AT_LEAST_ONCE,
+        consistency=ConsistencyGuarantee.NONE,
+        stands_in_for="Spring Boot / Flask + sagas",
+        module="repro.microservices",
+    ),
+    "actors": RuntimeProfile(
+        name="actors",
+        model=ProgrammingModel.ACTOR,
+        state_placement=StatePlacement.EXTERNAL,
+        state_access=StateAccess.DECENTRALIZED,
+        delivery=DeliveryGuarantee.AT_MOST_ONCE,
+        consistency=ConsistencyGuarantee.NONE,
+        stands_in_for="Orleans / Akka virtual actors",
+        module="repro.actors",
+    ),
+    "actors+txn": RuntimeProfile(
+        name="actors+txn",
+        model=ProgrammingModel.ACTOR,
+        state_placement=StatePlacement.EXTERNAL,
+        state_access=StateAccess.DECENTRALIZED,
+        delivery=DeliveryGuarantee.AT_LEAST_ONCE,
+        consistency=ConsistencyGuarantee.SERIALIZABLE,
+        stands_in_for="Orleans Transactions",
+        module="repro.actors.transactions",
+    ),
+    "faas": RuntimeProfile(
+        name="faas",
+        model=ProgrammingModel.FAAS,
+        state_placement=StatePlacement.EXTERNAL,
+        state_access=StateAccess.CENTRALIZED,
+        delivery=DeliveryGuarantee.AT_LEAST_ONCE,
+        consistency=ConsistencyGuarantee.CAUSAL,
+        stands_in_for="Cloudburst-style SFaaS",
+        module="repro.faas",
+    ),
+    "durable-functions": RuntimeProfile(
+        name="durable-functions",
+        model=ProgrammingModel.FAAS,
+        state_placement=StatePlacement.EXTERNAL,
+        state_access=StateAccess.CENTRALIZED,
+        delivery=DeliveryGuarantee.EXACTLY_ONCE,
+        consistency=ConsistencyGuarantee.ATOMIC,
+        stands_in_for="Azure Durable Functions entities",
+        module="repro.faas.entities",
+    ),
+    "transactional-faas": RuntimeProfile(
+        name="transactional-faas",
+        model=ProgrammingModel.FAAS,
+        state_placement=StatePlacement.EXTERNAL,
+        state_access=StateAccess.CENTRALIZED,
+        delivery=DeliveryGuarantee.EXACTLY_ONCE,
+        consistency=ConsistencyGuarantee.SERIALIZABLE,
+        stands_in_for="Beldi / Boki workflows",
+        module="repro.faas.workflows",
+    ),
+    "dataflow": RuntimeProfile(
+        name="dataflow",
+        model=ProgrammingModel.DATAFLOW,
+        state_placement=StatePlacement.EMBEDDED,
+        state_access=StateAccess.DECENTRALIZED,
+        delivery=DeliveryGuarantee.EXACTLY_ONCE,
+        consistency=ConsistencyGuarantee.ATOMIC,
+        stands_in_for="Flink / Statefun",
+        module="repro.dataflow",
+    ),
+    "txn-dataflow": RuntimeProfile(
+        name="txn-dataflow",
+        model=ProgrammingModel.DATAFLOW,
+        state_placement=StatePlacement.EMBEDDED,
+        state_access=StateAccess.DECENTRALIZED,
+        delivery=DeliveryGuarantee.EXACTLY_ONCE,
+        consistency=ConsistencyGuarantee.SERIALIZABLE,
+        stands_in_for="Styx deterministic transactional dataflow",
+        module="repro.dataflow.txn",
+    ),
+}
+
+
+def taxonomy_table() -> str:
+    """Render the taxonomy as an aligned ASCII table (the tutorial's map)."""
+    headers = [
+        "runtime", "model", "state", "access", "delivery", "consistency",
+        "stands in for",
+    ]
+    rows = [
+        [
+            profile.name,
+            profile.model.value,
+            profile.state_placement.value,
+            profile.state_access.value,
+            profile.delivery.value,
+            profile.consistency.value,
+            profile.stands_in_for,
+        ]
+        for profile in PROFILES.values()
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows))
+        for i in range(len(headers))
+    ]
+    def fmt(row: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""A stateful streaming dataflow engine (Flink/Statefun stand-in).
+
+The §3.1 "stateful dataflows" model: the application is a DAG of operators
+over partitioned message streams; operator state is embedded and
+decentralized (per-task LSM stores, §3.3); fault tolerance is aligned
+Chandy-Lamport checkpointing to durable storage with replay from the last
+completed checkpoint (§4.1), which yields exactly-once *state* effects and
+— with transactional sinks — exactly-once outputs (§4.2).
+
+What this engine deliberately does **not** give is transactional isolation
+across keys/partitions ("exactly-once processing guarantees alone cannot
+ensure transactional isolation"); :mod:`repro.dataflow.txn` adds that, the
+Styx way.
+"""
+
+from repro.dataflow.entities import Entity, EntityHandle, compile_entities
+from repro.dataflow.graph import JobGraph
+from repro.dataflow.runtime import DataflowRuntime
+from repro.dataflow.statefun import StatefunRuntime
+from repro.dataflow.txn import TransactionalDataflow, TxnAbort, TxnContext
+
+__all__ = [
+    "DataflowRuntime",
+    "Entity",
+    "EntityHandle",
+    "JobGraph",
+    "StatefunRuntime",
+    "TransactionalDataflow",
+    "TxnAbort",
+    "TxnContext",
+    "compile_entities",
+]

@@ -1,0 +1,366 @@
+"""Deterministic transactional dataflow: a Styx-like SFaaS engine.
+
+The paper's own answer (§3.1, refs [51, 52]) to the open problem that
+"exactly-once processing guarantees alone cannot ensure transactional
+isolation": put stateful functions *on* a dataflow engine and make
+transactions deterministic.
+
+Mechanics reproduced here:
+
+- a **sequencer** assigns every incoming transactional request a global
+  TID and groups requests into **epochs**;
+- within an epoch, transactions execute in TID order; non-conflicting
+  transactions (disjoint declared key sets) run in parallel *waves*
+  (Calvin-style deterministic locking — no runtime deadlocks, no 2PC);
+- a transaction is a tree of function invocations: functions own per-key
+  state and reach other keys only by calling functions on them
+  (cross-partition calls are dataflow messages, charged a hop);
+- all of a transaction's writes are buffered and installed only if its
+  root invocation completes — atomicity with rollback on abort;
+- results are released at **epoch commit** (transactional output), and a
+  durable result log makes replayed epochs release nothing twice;
+- every N epochs the partition states checkpoint to durable storage; on
+  failure the engine restores the snapshot and deterministically replays
+  the durable input log — exactly-once end to end, *with* serializable
+  isolation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Hashable, Optional
+
+from repro.net.latency import Latency
+from repro.sim import Environment, Future, all_of
+from repro.storage.object_store import ObjectStore, ObjectStoreServer
+from repro.transactions.sequencer import SequencedTxn, Sequencer, partition_conflicts
+
+#: Functions: fn(ctx, key, payload) -> Generator returning the result.
+TxnFunction = Callable[["TxnContext", Hashable, Any], Generator]
+
+#: Transactions with no declared key set serialize behind everything.
+_UNIVERSAL_KEY = object()
+
+
+class TxnAbort(Exception):
+    """Raised by a function to abort its whole transaction."""
+
+
+@dataclass
+class _Request:
+    tid: int
+    fn_name: str
+    key: Hashable
+    payload: Any
+    keys: frozenset
+    future: Optional[Future]  # None after recovery replay
+
+
+@dataclass
+class TxnDataflowStats:
+    submitted: int = 0
+    committed: int = 0
+    aborted: int = 0
+    epochs: int = 0
+    waves: int = 0
+    cross_partition_calls: int = 0
+    checkpoints: int = 0
+    recoveries: int = 0
+    replayed: int = 0
+
+
+class TxnContext:
+    """A transaction's view of state and the call fabric."""
+
+    def __init__(self, engine: "TransactionalDataflow", root_key: Hashable) -> None:
+        self._engine = engine
+        self._buffer: dict[Hashable, Any] = {}
+        self._deleted: set[Hashable] = set()
+        self._root_key = root_key
+        self.env = engine.env
+
+    # -- state access (current function's key is enforced by convention) --------
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key in self._deleted:
+            return default
+        if key in self._buffer:
+            return self._buffer[key]
+        value = self._engine._read_state(key)
+        return value if value is not None else default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._deleted.discard(key)
+        self._buffer[key] = value
+
+    def delete(self, key: Hashable) -> None:
+        self._buffer.pop(key, None)
+        self._deleted.add(key)
+
+    def call(self, fn_name: str, key: Hashable, payload: Any = None) -> Generator:
+        """Invoke another function within this transaction.
+
+        A different partition costs a dataflow hop in each direction.
+        """
+        engine = self._engine
+        fn = engine._functions.get(fn_name)
+        if fn is None:
+            raise KeyError(f"no function named {fn_name!r}")
+        if engine._partition(key) != engine._partition(self._root_key):
+            engine.stats.cross_partition_calls += 1
+            yield engine.env.timeout(engine.hop_latency)
+        if engine.work_ms > 0:
+            yield engine.env.timeout(engine.work_ms)
+        result = yield from fn(self, key, payload)
+        if engine._partition(key) != engine._partition(self._root_key):
+            yield engine.env.timeout(engine.hop_latency)
+        return result
+
+
+class TransactionalDataflow:
+    """The engine: sequencer + epoch executor + checkpointing."""
+
+    _tids = itertools.count(1)
+
+    def __init__(
+        self,
+        env: Environment,
+        num_partitions: int = 4,
+        epoch_interval: float = 10.0,
+        hop_latency: float = 0.5,
+        work_ms: float = 0.1,
+        epoch_commit_ms: float = 1.0,
+        checkpoint_every: int = 10,
+        checkpoint_store: Optional[ObjectStoreServer] = None,
+    ) -> None:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.env = env
+        self.num_partitions = num_partitions
+        self.epoch_interval = epoch_interval
+        self.hop_latency = hop_latency
+        self.work_ms = work_ms
+        self.epoch_commit_ms = epoch_commit_ms
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_store = checkpoint_store or ObjectStoreServer(
+            env, ObjectStore(), latency=Latency.object_store()
+        )
+        self._functions: dict[str, TxnFunction] = {}
+        self._state: list[dict[Hashable, Any]] = [{} for _ in range(num_partitions)]
+        self._input_log: list[_Request] = []  # durable (sequencer log)
+        self._pending: list[_Request] = []
+        self._committed_tids: set[int] = set()  # durable result log
+        self._epochs_done = 0
+        self._checkpointed_through = 0  # index into the input log
+        self._running = False
+        self._generation = 0  # bumped on crash/stop so stale loops exit
+        self.stats = TxnDataflowStats()
+
+    # -- registration / submission -----------------------------------------------
+
+    def register(self, fn_name: str, fn: TxnFunction) -> None:
+        if fn_name in self._functions:
+            raise ValueError(f"function {fn_name!r} already registered")
+        self._functions[fn_name] = fn
+
+    def function(self, fn_name: str):
+        """Decorator form of :meth:`register`."""
+
+        def wrap(fn: TxnFunction) -> TxnFunction:
+            self.register(fn_name, fn)
+            return fn
+
+        return wrap
+
+    def submit(
+        self,
+        fn_name: str,
+        key: Hashable,
+        payload: Any = None,
+        keys: Optional[list[Hashable]] = None,
+    ) -> Future:
+        """Enqueue a transaction; the future resolves at its epoch commit.
+
+        ``keys`` declares the transaction's full key set, enabling
+        parallel execution of non-conflicting transactions; undeclared
+        transactions conservatively serialize behind everything.
+        """
+        if fn_name not in self._functions:
+            raise KeyError(f"no function named {fn_name!r}")
+        declared = frozenset(keys) if keys is not None else frozenset({_UNIVERSAL_KEY})
+        request = _Request(
+            tid=next(TransactionalDataflow._tids),
+            fn_name=fn_name,
+            key=key,
+            payload=payload,
+            keys=declared,
+            future=self.env.future(label=f"txn:{fn_name}:{key}"),
+        )
+        self._input_log.append(request)
+        self._pending.append(request)
+        self.stats.submitted += 1
+        return request.future
+
+    # -- state --------------------------------------------------------------------
+
+    def _partition(self, key: Hashable) -> int:
+        import zlib
+
+        return zlib.crc32(repr(key).encode("utf-8")) % self.num_partitions
+
+    def _read_state(self, key: Hashable) -> Any:
+        return self._state[self._partition(key)].get(key)
+
+    def _install(self, buffer: dict[Hashable, Any], deleted: set[Hashable]) -> None:
+        for key, value in buffer.items():
+            self._state[self._partition(key)][key] = value
+        for key in deleted:
+            self._state[self._partition(key)].pop(key, None)
+
+    def state_of(self, key: Hashable) -> Any:
+        """Committed state peek (tests/invariants)."""
+        return self._read_state(key)
+
+    def all_state(self) -> dict[Hashable, Any]:
+        merged: dict[Hashable, Any] = {}
+        for partition in self._state:
+            merged.update(partition)
+        return dict(merged)
+
+    # -- execution -------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("engine already running")
+        self._running = True
+        self._generation += 1
+        self.env.process(self._epoch_loop(self._generation), label="txn-dataflow.epochs")
+
+    def stop(self) -> None:
+        self._running = False
+        self._generation += 1
+
+    def _epoch_loop(self, generation: int) -> Generator:
+        while self._running and self._generation == generation:
+            yield self.env.timeout(self.epoch_interval)
+            if not self._running or self._generation != generation:
+                return
+            if self._pending:
+                batch, self._pending = self._pending, []
+                yield from self._run_epoch(batch, replay=False)
+
+    @staticmethod
+    def _conflict_groups(batch: list[_Request]) -> list[list[_Request]]:
+        """Split at undeclared-key txns: they serialize against everything."""
+        groups: list[list[_Request]] = []
+        current: list[_Request] = []
+        for request in batch:
+            if _UNIVERSAL_KEY in request.keys:
+                if current:
+                    groups.append(current)
+                    current = []
+                groups.append([request])
+            else:
+                current.append(request)
+        if current:
+            groups.append(current)
+        return groups
+
+    def _run_epoch(self, batch: list[_Request], replay: bool) -> Generator:
+        """Execute one epoch: conflict waves, then atomic commit."""
+        outcomes: list[tuple[_Request, bool, Any]] = []
+        for group in self._conflict_groups(batch):
+            sequencer = Sequencer()
+            sequenced = [sequencer.submit(request) for request in group]
+            waves = partition_conflicts(sequenced, keys_of=lambda req: set(req.keys))
+            for wave in waves:
+                self.stats.waves += 1
+                running = [
+                    self.env.process(
+                        self._execute_one(item.payload), label=f"txn-{item.payload.tid}"
+                    )
+                    for item in wave
+                ]
+                results = yield all_of(self.env, running)
+                outcomes.extend(results)
+        # Epoch commit: flush, record results durably, release futures.
+        yield self.env.timeout(self.epoch_commit_ms)
+        self._epochs_done += 1
+        self.stats.epochs += 1
+        for request, ok, result in outcomes:
+            already_released = request.tid in self._committed_tids
+            self._committed_tids.add(request.tid)
+            if ok:
+                self.stats.committed += 1
+            else:
+                self.stats.aborted += 1
+            if request.future is not None and not already_released:
+                if ok:
+                    request.future.try_succeed(result)
+                else:
+                    request.future.try_fail(result)
+        if not replay and self._epochs_done % self.checkpoint_every == 0:
+            yield from self._checkpoint()
+
+    def _execute_one(self, request: _Request) -> Generator:
+        ctx = TxnContext(self, request.key)
+        fn = self._functions[request.fn_name]
+        try:
+            if self.work_ms > 0:
+                yield self.env.timeout(self.work_ms)
+            result = yield from fn(ctx, request.key, request.payload)
+        except TxnAbort as abort:
+            return (request, False, abort)
+        except Exception as exc:  # noqa: BLE001 - aborts the transaction
+            return (request, False, exc)
+        self._install(ctx._buffer, ctx._deleted)
+        return (request, True, result)
+
+    # -- durability --------------------------------------------------------------------
+
+    def _checkpoint(self) -> Generator:
+        snapshot = {
+            "state": [dict(partition) for partition in self._state],
+            "log_position": len(self._input_log) - len(self._pending),
+            "committed_tids": set(self._committed_tids),
+            "epochs_done": self._epochs_done,
+        }
+        size = sum(len(p) for p in snapshot["state"]) + 1
+        yield from self.checkpoint_store.put(
+            "txn-dataflow", "latest", snapshot, size=size
+        )
+        self._checkpointed_through = snapshot["log_position"]
+        self.stats.checkpoints += 1
+
+    def crash(self) -> None:
+        """Lose all volatile state; the input log and checkpoints survive.
+
+        Client futures for unreleased transactions stay pending until
+        recovery replays them.
+        """
+        self._running = False
+        self._generation += 1
+        self._state = [{} for _ in range(self.num_partitions)]
+        self._pending = []
+        self._committed_tids = set()
+        self._epochs_done = 0
+
+    def recover(self) -> Generator:
+        """Restore the snapshot, replay the input log deterministically."""
+        self.stats.recoveries += 1
+        exists = yield from self.checkpoint_store.exists("txn-dataflow", "latest")
+        position = 0
+        if exists:
+            snapshot = yield from self.checkpoint_store.get("txn-dataflow", "latest")
+            self._state = [dict(partition) for partition in snapshot["state"]]
+            self._committed_tids = set(snapshot["committed_tids"])
+            self._epochs_done = snapshot["epochs_done"]
+            position = snapshot["log_position"]
+        replayable = self._input_log[position:]
+        self.stats.replayed += len(replayable)
+        if replayable:
+            yield from self._run_epoch(replayable, replay=True)
+        self._running = True
+        self._generation += 1
+        self.env.process(self._epoch_loop(self._generation), label="txn-dataflow.epochs")

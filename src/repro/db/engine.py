@@ -1,0 +1,568 @@
+"""The transactional engine: tables, MVCC, isolation levels, WAL, recovery.
+
+Updates are *deferred*: a transaction buffers writes privately and installs
+them at commit, so aborts need no undo and recovery is redo-only
+("ARIES-lite").  Three isolation levels exhibit their textbook behaviour:
+
+- ``READ_COMMITTED`` — reads see the latest committed version; lost updates
+  are possible (the developer-visible anomaly of paper §3.1's microservice
+  frameworks, which inherit "the configured isolation level").
+- ``SNAPSHOT`` — MVCC reads as of transaction begin plus first-committer-
+  wins validation; prevents lost updates, permits write skew.
+- ``SERIALIZABLE`` — strict two-phase locking with intention locks and
+  table-granularity scan locks (phantom protection) plus deadlock
+  detection.
+
+The XA-style ``prepare``/``commit_prepared``/``abort_prepared`` methods make
+any database instance a two-phase-commit participant; between prepare and
+the decision the transaction's locks remain held — the blocking window the
+paper blames for 2PC's performance cost (§4.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Hashable, Optional
+
+from repro.db.errors import (
+    DuplicateKey,
+    InvalidTransactionState,
+    NoSuchTable,
+    TransactionAborted,
+    WriteConflict,
+)
+from repro.db.locks import LockManager, LockMode
+from repro.sim import Environment
+from repro.storage.wal import WriteAheadLog
+
+_DELETED = None  # a version with row=None is a deletion marker
+
+
+class IsolationLevel(enum.Enum):
+    READ_COMMITTED = "read_committed"
+    SNAPSHOT = "snapshot"
+    SERIALIZABLE = "serializable"
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """Handle for an in-flight transaction."""
+
+    tid: int
+    isolation: IsolationLevel
+    begin_seq: int
+    status: TxnStatus = TxnStatus.ACTIVE
+    writes: dict[tuple[str, Hashable], Optional[dict]] = field(default_factory=dict)
+    reads: set[tuple[str, Hashable]] = field(default_factory=set)
+
+    def require(self, *statuses: TxnStatus) -> None:
+        if self.status not in statuses:
+            raise InvalidTransactionState(
+                f"txn {self.tid} is {self.status.value}, "
+                f"needs {[s.value for s in statuses]}"
+            )
+
+
+class _Table:
+    """Versioned heap with primary key and secondary indexes.
+
+    Secondary indexes come in two flavours: hash (equality lookups) and
+    ordered (range lookups over a sorted column directory).
+    """
+
+    def __init__(self, name: str, primary_key: str) -> None:
+        self.name = name
+        self.primary_key = primary_key
+        self.versions: dict[Hashable, list[tuple[int, Optional[dict]]]] = {}
+        self.indexes: dict[str, dict[Any, set[Hashable]]] = {}
+        self.ordered_indexes: set[str] = set()  # columns with sorted access
+        self._sorted_values: dict[str, list[Any]] = {}
+
+    def latest(self, key: Hashable) -> Optional[dict]:
+        chain = self.versions.get(key)
+        return chain[-1][1] if chain else None
+
+    def latest_seq(self, key: Hashable) -> int:
+        chain = self.versions.get(key)
+        return chain[-1][0] if chain else 0
+
+    def read_at(self, key: Hashable, seq: int) -> Optional[dict]:
+        chain = self.versions.get(key)
+        if not chain:
+            return None
+        for version_seq, row in reversed(chain):
+            if version_seq <= seq:
+                return row
+        return None
+
+    def install(self, key: Hashable, row: Optional[dict], seq: int) -> None:
+        old = self.latest(key)
+        self.versions.setdefault(key, []).append((seq, row))
+        for column, index in self.indexes.items():
+            if old is not None and column in old:
+                old_value = old[column]
+                bucket = index.get(old_value, set())
+                bucket.discard(key)
+                if not bucket and column in self.ordered_indexes:
+                    self._sorted_remove(column, old_value)
+                    index.pop(old_value, None)
+            if row is not None and column in row:
+                value = row[column]
+                if value not in index and column in self.ordered_indexes:
+                    self._sorted_insert(column, value)
+                index.setdefault(value, set()).add(key)
+
+    def _sorted_insert(self, column: str, value: Any) -> None:
+        import bisect
+
+        directory = self._sorted_values.setdefault(column, [])
+        bisect.insort(directory, value)
+
+    def _sorted_remove(self, column: str, value: Any) -> None:
+        import bisect
+
+        directory = self._sorted_values.get(column, [])
+        position = bisect.bisect_left(directory, value)
+        if position < len(directory) and directory[position] == value:
+            del directory[position]
+
+    def range_values(self, column: str, low: Any, high: Any) -> list[Any]:
+        """Index values in ``[low, high)`` (ordered index required)."""
+        import bisect
+
+        directory = self._sorted_values.get(column, [])
+        start = bisect.bisect_left(directory, low)
+        stop = bisect.bisect_left(directory, high)
+        return directory[start:stop]
+
+    def keys(self) -> list[Hashable]:
+        return list(self.versions.keys())
+
+    def create_index(self, column: str, ordered: bool = False) -> None:
+        index: dict[Any, set[Hashable]] = {}
+        for key in self.versions:
+            row = self.latest(key)
+            if row is not None and column in row:
+                index.setdefault(row[column], set()).add(key)
+        self.indexes[column] = index
+        if ordered:
+            self.ordered_indexes.add(column)
+            self._sorted_values[column] = sorted(index)
+
+
+@dataclass
+class DbStats:
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+    conflicts: int = 0
+    reads: int = 0
+    writes: int = 0
+
+
+class Database:
+    """A single-node transactional database instance.
+
+    All data-access methods are generators (they may block on locks) and are
+    meant to be driven with ``yield from`` inside simulation processes::
+
+        txn = db.begin(IsolationLevel.SERIALIZABLE)
+        row = yield from db.get(txn, "accounts", "alice")
+        yield from db.put(txn, "accounts", "alice", {**row, "balance": 0})
+        yield from db.commit(txn)
+    """
+
+    def __init__(self, env: Environment, name: str = "db") -> None:
+        self.env = env
+        self.name = name
+        self.locks = LockManager(env)
+        self.wal = WriteAheadLog(name=f"{name}.wal")
+        self._tables: dict[str, _Table] = {}
+        self._txn_ids = itertools.count(1)
+        self._commit_seq = 0
+        self._active: dict[int, Transaction] = {}
+        self._in_doubt: dict[int, dict[tuple[str, Hashable], Optional[dict]]] = {}
+        self.stats = DbStats()
+
+    # -- schema ---------------------------------------------------------------
+
+    def create_table(self, name: str, primary_key: str = "id") -> None:
+        """Define a table (idempotent re-creation is an error)."""
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        self._tables[name] = _Table(name, primary_key)
+        self.wal.append("create_table", (name, primary_key))
+        self.wal.flush()
+
+    def create_index(self, table: str, column: str, ordered: bool = False) -> None:
+        """Build a secondary index on ``column``.
+
+        ``ordered=True`` additionally maintains a sorted value directory,
+        enabling :meth:`range_lookup`.
+        """
+        self._table(table).create_index(column, ordered=ordered)
+        self.wal.append("create_index", (table, column, ordered))
+        self.wal.flush()
+
+    def _table(self, name: str) -> _Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise NoSuchTable(name) from None
+
+    @property
+    def tables(self) -> list[str]:
+        return list(self._tables)
+
+    # -- transaction lifecycle ---------------------------------------------------
+
+    def begin(self, isolation: IsolationLevel = IsolationLevel.SERIALIZABLE) -> Transaction:
+        """Start a transaction at the current snapshot."""
+        txn = Transaction(
+            tid=next(self._txn_ids),
+            isolation=isolation,
+            begin_seq=self._commit_seq,
+        )
+        self._active[txn.tid] = txn
+        self.stats.begun += 1
+        return txn
+
+    def _lock(self, txn: Transaction, resource: Hashable, mode: LockMode) -> Generator:
+        try:
+            yield self.locks.acquire(txn.tid, resource, mode)
+        except TransactionAborted:
+            self.abort(txn)
+            raise
+
+    # -- reads --------------------------------------------------------------------
+
+    def get(self, txn: Transaction, table: str, key: Hashable) -> Generator:
+        """Read one row (or ``None``); blocks only under SERIALIZABLE."""
+        txn.require(TxnStatus.ACTIVE)
+        tbl = self._table(table)
+        self.stats.reads += 1
+        if (table, key) in txn.writes:
+            row = txn.writes[(table, key)]
+            return dict(row) if row is not None else None
+        txn.reads.add((table, key))
+        if txn.isolation is IsolationLevel.SERIALIZABLE:
+            yield from self._lock(txn, ("table", table), LockMode.IS)
+            yield from self._lock(txn, ("row", table, key), LockMode.S)
+            row = tbl.latest(key)
+        elif txn.isolation is IsolationLevel.SNAPSHOT:
+            row = tbl.read_at(key, txn.begin_seq)
+        else:  # READ_COMMITTED
+            row = tbl.latest(key)
+        return dict(row) if row is not None else None
+
+    def scan(
+        self,
+        txn: Transaction,
+        table: str,
+        predicate: Optional[Callable[[dict], bool]] = None,
+    ) -> Generator:
+        """Return all visible rows (optionally filtered); table-locked
+        under SERIALIZABLE for phantom protection."""
+        txn.require(TxnStatus.ACTIVE)
+        tbl = self._table(table)
+        self.stats.reads += 1
+        if txn.isolation is IsolationLevel.SERIALIZABLE:
+            yield from self._lock(txn, ("table", table), LockMode.S)
+        rows: dict[Hashable, Optional[dict]] = {}
+        for key in tbl.keys():
+            if txn.isolation is IsolationLevel.SNAPSHOT:
+                rows[key] = tbl.read_at(key, txn.begin_seq)
+            else:
+                rows[key] = tbl.latest(key)
+        for (wtable, wkey), wrow in txn.writes.items():
+            if wtable == table:
+                rows[wkey] = wrow
+        result = [dict(r) for r in rows.values() if r is not None]
+        if predicate is not None:
+            result = [r for r in result if predicate(r)]
+        return result
+
+    def lookup(self, txn: Transaction, table: str, column: str, value: Any) -> Generator:
+        """Equality lookup through a secondary index.
+
+        The index reflects the *latest committed* state; under SNAPSHOT
+        isolation a key whose indexed value changed after this
+        transaction's snapshot may be missed (a standard limitation of
+        latest-state indexes over MVCC heaps).
+        """
+        txn.require(TxnStatus.ACTIVE)
+        tbl = self._table(table)
+        if column not in tbl.indexes:
+            raise ValueError(f"no index on {table}.{column}")
+        if txn.isolation is IsolationLevel.SERIALIZABLE:
+            yield from self._lock(txn, ("table", table), LockMode.S)
+        keys = set(tbl.indexes[column].get(value, set()))
+        rows = []
+        for key in sorted(keys, key=repr):
+            row = yield from self.get(txn, table, key)
+            if row is not None and row.get(column) == value:
+                rows.append(row)
+        for (wtable, wkey), wrow in txn.writes.items():
+            if wtable == table and wrow is not None and wrow.get(column) == value:
+                if wkey not in keys:
+                    rows.append(dict(wrow))
+        return rows
+
+    def range_lookup(
+        self, txn: Transaction, table: str, column: str, low: Any, high: Any
+    ) -> Generator:
+        """Rows with ``low <= row[column] < high`` via an ordered index.
+
+        Same visibility caveats as :meth:`lookup` (latest-state index over
+        the MVCC heap); SERIALIZABLE takes a table lock for phantom
+        protection, matching :meth:`scan`.
+        """
+        txn.require(TxnStatus.ACTIVE)
+        tbl = self._table(table)
+        if column not in tbl.ordered_indexes:
+            raise ValueError(f"no ordered index on {table}.{column}")
+        if txn.isolation is IsolationLevel.SERIALIZABLE:
+            yield from self._lock(txn, ("table", table), LockMode.S)
+        rows: list[dict] = []
+        seen_keys: set[Hashable] = set()
+        for value in tbl.range_values(column, low, high):
+            for key in sorted(tbl.indexes[column].get(value, set()), key=repr):
+                row = yield from self.get(txn, table, key)
+                if row is not None and low <= row.get(column) < high:
+                    rows.append(row)
+                    seen_keys.add(key)
+        for (wtable, wkey), wrow in txn.writes.items():
+            if (wtable == table and wkey not in seen_keys and wrow is not None
+                    and column in wrow and low <= wrow[column] < high):
+                rows.append(dict(wrow))
+        return rows
+
+    # -- writes -------------------------------------------------------------------
+
+    def _write_locks(self, txn: Transaction, table: str, key: Hashable) -> Generator:
+        yield from self._lock(txn, ("table", table), LockMode.IX)
+        yield from self._lock(txn, ("row", table, key), LockMode.X)
+
+    def insert(self, txn: Transaction, table: str, row: dict) -> Generator:
+        """Insert a new row; raises :class:`DuplicateKey` if visible."""
+        txn.require(TxnStatus.ACTIVE)
+        tbl = self._table(table)
+        key = row[tbl.primary_key]
+        yield from self._write_locks(txn, table, key)
+        if (table, key) in txn.writes:
+            existing = txn.writes[(table, key)]
+        else:
+            existing = tbl.latest(key)
+        if existing is not None:
+            self.abort(txn)
+            raise DuplicateKey(table, key)
+        txn.writes[(table, key)] = dict(row)
+        self.stats.writes += 1
+
+    def put(self, txn: Transaction, table: str, key: Hashable, row: dict) -> Generator:
+        """Insert-or-overwrite a full row."""
+        txn.require(TxnStatus.ACTIVE)
+        tbl = self._table(table)
+        row = dict(row)
+        row.setdefault(tbl.primary_key, key)
+        yield from self._write_locks(txn, table, key)
+        txn.writes[(table, key)] = row
+        self.stats.writes += 1
+
+    def update(self, txn: Transaction, table: str, key: Hashable, changes: dict) -> Generator:
+        """Merge ``changes`` into an existing row; returns the new row.
+
+        Raises ``KeyError`` if the row is not visible to this transaction.
+        """
+        current = yield from self.get(txn, table, key)
+        yield from self._write_locks(txn, table, key)
+        if current is None:
+            self.abort(txn)
+            raise KeyError(f"{table}[{key!r}] does not exist")
+        current.update(changes)
+        txn.writes[(table, key)] = current
+        self.stats.writes += 1
+        return dict(current)
+
+    def delete(self, txn: Transaction, table: str, key: Hashable) -> Generator:
+        """Delete a row (no-op if absent)."""
+        txn.require(TxnStatus.ACTIVE)
+        self._table(table)
+        yield from self._write_locks(txn, table, key)
+        txn.writes[(table, key)] = _DELETED
+        self.stats.writes += 1
+
+    # -- commit / abort ---------------------------------------------------------
+
+    def _validate(self, txn: Transaction) -> None:
+        """Snapshot isolation: first committer wins on each written key."""
+        if txn.isolation is not IsolationLevel.SNAPSHOT:
+            return
+        for (table, key) in txn.writes:
+            if self._table(table).latest_seq(key) > txn.begin_seq:
+                self.stats.conflicts += 1
+                error = WriteConflict(txn.tid, table, key)
+                self.abort(txn)
+                raise error
+
+    def _log_writes(self, txn: Transaction, decision: str) -> None:
+        for (table, key), row in txn.writes.items():
+            self.wal.append("write", (txn.tid, table, key, row))
+        self.wal.append(decision, (txn.tid,))
+        self.wal.flush()
+
+    def _install(self, writes: dict[tuple[str, Hashable], Optional[dict]]) -> int:
+        self._commit_seq += 1
+        seq = self._commit_seq
+        for (table, key), row in writes.items():
+            self._table(table).install(key, row, seq)
+        return seq
+
+    def commit(self, txn: Transaction) -> Generator:
+        """Validate, log durably, install, and release locks."""
+        txn.require(TxnStatus.ACTIVE)
+        self._validate(txn)
+        self._log_writes(txn, "commit")
+        self._install(txn.writes)
+        txn.status = TxnStatus.COMMITTED
+        self._finish(txn)
+        self.stats.committed += 1
+        return
+        yield  # pragma: no cover - generator protocol only
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back: buffered writes are simply discarded."""
+        if txn.status in (TxnStatus.COMMITTED, TxnStatus.ABORTED):
+            return
+        self.wal.append("abort", (txn.tid,))
+        txn.status = TxnStatus.ABORTED
+        self._finish(txn)
+        self.stats.aborted += 1
+
+    def _finish(self, txn: Transaction) -> None:
+        self.locks.release_all(txn.tid)
+        self._active.pop(txn.tid, None)
+
+    # -- XA participant interface (used by 2PC coordinators) ----------------------
+
+    def prepare(self, txn: Transaction) -> Generator:
+        """Phase one: validate and make the writes durable; keep locks."""
+        txn.require(TxnStatus.ACTIVE)
+        self._validate(txn)
+        self._log_writes(txn, "prepare")
+        txn.status = TxnStatus.PREPARED
+        self._in_doubt[txn.tid] = dict(txn.writes)
+        return
+        yield  # pragma: no cover
+
+    def commit_prepared(self, txn: Transaction) -> None:
+        """Phase two, commit decision."""
+        txn.require(TxnStatus.PREPARED)
+        self.wal.append("commit", (txn.tid,))
+        self.wal.flush()
+        self._install(self._in_doubt.pop(txn.tid))
+        txn.status = TxnStatus.COMMITTED
+        self._finish(txn)
+        self.stats.committed += 1
+
+    def abort_prepared(self, txn: Transaction) -> None:
+        """Phase two, abort decision."""
+        txn.require(TxnStatus.PREPARED)
+        self.wal.append("abort", (txn.tid,))
+        self.wal.flush()
+        self._in_doubt.pop(txn.tid, None)
+        txn.status = TxnStatus.ABORTED
+        self._finish(txn)
+        self.stats.aborted += 1
+
+    def in_doubt(self) -> list[int]:
+        """Transaction ids prepared but not yet decided (blocking!)."""
+        return list(self._in_doubt)
+
+    # -- crash / recovery ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state; the WAL keeps its flushed prefix."""
+        self.wal.crash()
+        self._tables.clear()
+        self._active.clear()
+        self._in_doubt.clear()
+        self.locks = LockManager(self.env)
+
+    def recover(self) -> None:
+        """Redo recovery: replay the durable WAL into fresh tables.
+
+        Committed transactions are re-installed in log order; prepared-but-
+        undecided transactions become in-doubt again, awaiting their
+        coordinator (:meth:`resolve_in_doubt`).
+        """
+        self._tables.clear()
+        self._commit_seq = 0
+        pending: dict[int, dict[tuple[str, Hashable], Optional[dict]]] = {}
+        self._in_doubt.clear()
+        for record in self.wal.durable_records():
+            if record.kind == "create_table":
+                name, primary_key = record.payload
+                self._tables[name] = _Table(name, primary_key)
+            elif record.kind == "create_index":
+                table, column, *rest = record.payload
+                ordered = rest[0] if rest else False
+                self._table(table).create_index(column, ordered=ordered)
+            elif record.kind == "write":
+                tid, table, key, row = record.payload
+                pending.setdefault(tid, {})[(table, key)] = row
+            elif record.kind == "commit":
+                (tid,) = record.payload
+                writes = pending.pop(tid, None)
+                if writes is None:
+                    writes = self._in_doubt.pop(tid, {})
+                self._install(writes)
+            elif record.kind == "abort":
+                (tid,) = record.payload
+                pending.pop(tid, None)
+                self._in_doubt.pop(tid, None)
+            elif record.kind == "prepare":
+                (tid,) = record.payload
+                self._in_doubt[tid] = pending.pop(tid, {})
+
+    def resolve_in_doubt(self, tid: int, commit: bool) -> None:
+        """Coordinator's decision for a recovered in-doubt transaction."""
+        writes = self._in_doubt.pop(tid, None)
+        if writes is None:
+            return
+        self.wal.append("commit" if commit else "abort", (tid,))
+        self.wal.flush()
+        if commit:
+            self._install(writes)
+
+    # -- non-transactional helpers (test/bench setup) -------------------------------
+
+    def load(self, table: str, rows: list[dict]) -> None:
+        """Bulk-load committed rows outside any transaction (setup only)."""
+        tbl = self._table(table)
+        self._commit_seq += 1
+        for row in rows:
+            self.wal.append("write", (0, table, row[tbl.primary_key], dict(row)))
+            tbl.install(row[tbl.primary_key], dict(row), self._commit_seq)
+        self.wal.append("commit", (0,))
+        self.wal.flush()
+
+    def read_latest(self, table: str, key: Hashable) -> Optional[dict]:
+        """Dirty read of the latest committed version (metrics/invariants)."""
+        row = self._table(table).latest(key)
+        return dict(row) if row is not None else None
+
+    def all_rows(self, table: str) -> list[dict]:
+        """All live committed rows (invariant checking)."""
+        tbl = self._table(table)
+        rows = (tbl.latest(key) for key in tbl.keys())
+        return [dict(r) for r in rows if r is not None]

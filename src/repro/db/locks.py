@@ -1,0 +1,284 @@
+"""Hierarchical lock manager with deadlock detection.
+
+Implements the classic multi-granularity scheme: intention locks (IS/IX) at
+table level, shared/exclusive (S/X) at row level, FIFO queuing, lock
+upgrades, and waits-for-graph cycle detection.  When a lock request would
+close a cycle, the *requester* is chosen as the deadlock victim and its
+acquire future fails with :class:`DeadlockAbort` — this is what makes "the
+blocking nature of traditional protocol implementations" (paper §4.2)
+observable in the benchmarks.
+
+Because a transaction is a sequential simulation process, it waits on at
+most one resource at a time; its waits-for edges are therefore recomputed
+wholesale whenever the queue it sits in changes, keeping detection exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Hashable, Optional
+
+from repro.db.errors import DeadlockAbort
+from repro.sim import Environment, Future
+
+
+class LockMode(enum.Enum):
+    """Lock modes; compatibility follows the textbook matrix."""
+
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    X = "X"
+
+
+_COMPATIBLE: dict[tuple[LockMode, LockMode], bool] = {
+    (LockMode.IS, LockMode.IS): True,
+    (LockMode.IS, LockMode.IX): True,
+    (LockMode.IS, LockMode.S): True,
+    (LockMode.IS, LockMode.X): False,
+    (LockMode.IX, LockMode.IS): True,
+    (LockMode.IX, LockMode.IX): True,
+    (LockMode.IX, LockMode.S): False,
+    (LockMode.IX, LockMode.X): False,
+    (LockMode.S, LockMode.IS): True,
+    (LockMode.S, LockMode.IX): False,
+    (LockMode.S, LockMode.S): True,
+    (LockMode.S, LockMode.X): False,
+    (LockMode.X, LockMode.IS): False,
+    (LockMode.X, LockMode.IX): False,
+    (LockMode.X, LockMode.S): False,
+    (LockMode.X, LockMode.X): False,
+}
+
+# Upgrade lattice: the mode that covers both (SIX simplified to X).
+_COMBINE: dict[tuple[LockMode, LockMode], LockMode] = {
+    (LockMode.IS, LockMode.IX): LockMode.IX,
+    (LockMode.IS, LockMode.S): LockMode.S,
+    (LockMode.IS, LockMode.X): LockMode.X,
+    (LockMode.IX, LockMode.S): LockMode.X,
+    (LockMode.IX, LockMode.X): LockMode.X,
+    (LockMode.S, LockMode.X): LockMode.X,
+}
+
+
+def combine(held: LockMode, wanted: LockMode) -> LockMode:
+    """The weakest mode covering both ``held`` and ``wanted``."""
+    if held == wanted:
+        return held
+    return _COMBINE.get((held, wanted)) or _COMBINE.get((wanted, held)) or LockMode.X
+
+
+def compatible(a: LockMode, b: LockMode) -> bool:
+    """Whether two modes may be held simultaneously by different txns."""
+    return _COMPATIBLE[(a, b)]
+
+
+@dataclass
+class _Waiter:
+    tid: int
+    mode: LockMode
+    future: Future
+    upgrade: bool
+
+
+@dataclass
+class _LockState:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    queue: Deque[_Waiter] = field(default_factory=deque)
+
+
+@dataclass
+class LockStats:
+    acquired: int = 0
+    waited: int = 0
+    deadlocks: int = 0
+
+
+class LockManager:
+    """Per-database lock table plus the waits-for graph."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._locks: dict[Hashable, _LockState] = {}
+        self._waits_for: dict[int, set[int]] = {}
+        self._held_by_txn: dict[int, set[Hashable]] = {}
+        self.stats = LockStats()
+
+    # -- acquisition --------------------------------------------------------
+
+    def acquire(self, tid: int, resource: Hashable, mode: LockMode) -> Future:
+        """Request a lock; the returned future resolves when granted.
+
+        Fails with :class:`DeadlockAbort` if waiting would close a cycle.
+        Callers must release with :meth:`release_all` on commit and abort.
+        """
+        state = self._locks.setdefault(resource, _LockState())
+        fut = self.env.future(label=f"lock:{resource}:{mode.value}")
+
+        held = state.holders.get(tid)
+        upgrade = False
+        if held is not None:
+            wanted = combine(held, mode)
+            if wanted == held:
+                fut.succeed(None)
+                return fut
+            mode = wanted
+            upgrade = True
+
+        if self._grantable(state, tid, mode, upgrade):
+            self._grant(state, tid, resource, mode)
+            fut.succeed(None)
+            return fut
+
+        waiter = _Waiter(tid, mode, fut, upgrade)
+        if upgrade:
+            state.queue.appendleft(waiter)  # upgrades jump the queue
+        else:
+            state.queue.append(waiter)
+        self.stats.waited += 1
+        self._refresh_edges(resource, state)
+        self._abort_new_deadlock_victims(resource, state, prefer=tid)
+        return fut
+
+    def _grantable(self, state: _LockState, tid: int, mode: LockMode, upgrade: bool) -> bool:
+        conflict = any(
+            holder != tid and not compatible(held_mode, mode)
+            for holder, held_mode in state.holders.items()
+        )
+        if conflict:
+            return False
+        if state.queue and not upgrade:
+            return False  # FIFO fairness: don't jump over waiters
+        return True
+
+    def _grant(self, state: _LockState, tid: int, resource: Hashable, mode: LockMode) -> None:
+        state.holders[tid] = combine(state.holders.get(tid, mode), mode)
+        self._held_by_txn.setdefault(tid, set()).add(resource)
+        self._waits_for.pop(tid, None)
+        self.stats.acquired += 1
+
+    # -- release ------------------------------------------------------------
+
+    def release_all(self, tid: int) -> None:
+        """Release every lock held or awaited by ``tid`` (commit/abort)."""
+        touched: list[Hashable] = []
+        for resource in self._held_by_txn.pop(tid, set()):
+            state = self._locks.get(resource)
+            if state is None:
+                continue
+            state.holders.pop(tid, None)
+            touched.append(resource)
+        for resource, state in list(self._locks.items()):
+            if any(w.tid == tid for w in state.queue):
+                state.queue = deque(w for w in state.queue if w.tid != tid)
+                if resource not in touched:
+                    touched.append(resource)
+        self._waits_for.pop(tid, None)
+        for resource in touched:
+            state = self._locks.get(resource)
+            if state is not None:
+                self._wake_waiters(resource, state)
+
+    def _wake_waiters(self, resource: Hashable, state: _LockState) -> None:
+        while state.queue:
+            waiter = state.queue[0]
+            if waiter.future.done:
+                state.queue.popleft()
+                continue
+            blocked = any(
+                holder != waiter.tid and not compatible(held_mode, waiter.mode)
+                for holder, held_mode in state.holders.items()
+            )
+            if blocked:
+                break
+            state.queue.popleft()
+            self._grant(state, waiter.tid, resource, waiter.mode)
+            waiter.future.succeed(None)
+        if not state.holders and not state.queue:
+            self._locks.pop(resource, None)
+            return
+        self._refresh_edges(resource, state)
+        self._abort_new_deadlock_victims(resource, state)
+
+    # -- deadlock detection ---------------------------------------------------
+
+    def _refresh_edges(self, resource: Hashable, state: _LockState) -> None:
+        """Recompute waits-for edges for every waiter on ``resource``.
+
+        A waiter depends on all conflicting holders and on every waiter
+        ahead of it in the queue (FIFO fairness makes those real blockers).
+        """
+        ahead: list[_Waiter] = []
+        for waiter in state.queue:
+            if waiter.future.done:
+                continue
+            edges = {
+                holder
+                for holder, held_mode in state.holders.items()
+                if holder != waiter.tid and not compatible(held_mode, waiter.mode)
+            }
+            edges.update(w.tid for w in ahead if w.tid != waiter.tid)
+            self._waits_for[waiter.tid] = edges
+            ahead.append(waiter)
+
+    def _abort_new_deadlock_victims(
+        self,
+        resource: Hashable,
+        state: _LockState,
+        prefer: Optional[int] = None,
+    ) -> None:
+        """Abort waiters on ``resource`` whose wait now closes a cycle.
+
+        ``prefer`` (the newest requester) is checked first so the txn that
+        *created* the deadlock is the victim, matching common DBMS policy.
+        """
+        ordered = sorted(
+            (w for w in state.queue if not w.future.done),
+            key=lambda w: (w.tid != prefer,),
+        )
+        for waiter in ordered:
+            cycle = self._find_cycle(waiter.tid)
+            if cycle:
+                self.stats.deadlocks += 1
+                self._waits_for.pop(waiter.tid, None)
+                state.queue = deque(w for w in state.queue if w.tid != waiter.tid)
+                waiter.future.fail(DeadlockAbort(waiter.tid, cycle))
+                self._refresh_edges(resource, state)
+                self._wake_waiters(resource, state)
+                return
+
+    def _find_cycle(self, start: int) -> Optional[list[int]]:
+        """DFS over the waits-for graph; return a cycle through ``start``."""
+        path: list[int] = []
+        visited: set[int] = set()
+
+        def dfs(tid: int) -> Optional[list[int]]:
+            if tid == start and path:
+                return list(path)
+            if tid in visited:
+                return None
+            visited.add(tid)
+            path.append(tid)
+            for nxt in self._waits_for.get(tid, ()):
+                found = dfs(nxt)
+                if found:
+                    return found
+            path.pop()
+            return None
+
+        return dfs(start)
+
+    # -- introspection ---------------------------------------------------------
+
+    def holders(self, resource: Hashable) -> dict[int, LockMode]:
+        state = self._locks.get(resource)
+        return dict(state.holders) if state else {}
+
+    def held_by(self, tid: int) -> set[Hashable]:
+        return set(self._held_by_txn.get(tid, set()))
+
+    def queue_length(self, resource: Hashable) -> int:
+        state = self._locks.get(resource)
+        return sum(1 for w in state.queue if not w.future.done) if state else 0

@@ -1,0 +1,153 @@
+"""A database deployed as a network service with realistic costs.
+
+Wraps a :class:`~repro.db.engine.Database` behind per-operation service time
+and a connection-pool semaphore, so that *shared database* deployments show
+the resource contention the paper warns about (§3.3: "sharing database
+resources ... jeopardizing performance isolation") and every remote access
+costs a round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, Optional
+
+from repro.db.engine import Database, IsolationLevel, Transaction
+from repro.net.latency import Latency, Sampler
+from repro.sim import Environment, Semaphore
+
+
+class DatabaseServer:
+    """Latency- and concurrency-charging facade over an engine.
+
+    Parameters
+    ----------
+    connections:
+        Size of the connection pool.  Every transaction holds a connection
+        from ``begin`` to ``commit``/``abort`` — the contention point that
+        a noisy tenant saturates in a shared-database deployment.
+    op_service_time:
+        Sampler for per-operation processing time (CPU + disk of the
+        database node).
+    network_rtt:
+        Sampler for the client's round trip to the database; charged once
+        per operation, as for a remote (external-state) database.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "db",
+        connections: int = 32,
+        op_service_time: Optional[Sampler] = None,
+        network_rtt: Optional[Sampler] = None,
+    ) -> None:
+        self.env = env
+        self.engine = Database(env, name=name)
+        self.name = name
+        self._pool = Semaphore(env, connections, label=f"{name}.pool")
+        self._service = op_service_time or Latency.local_disk()
+        self._rtt = network_rtt or Latency.intra_zone()
+        self._rng = env.stream(f"dbserver:{name}")
+
+    # -- schema (instant, setup-time) -----------------------------------------
+
+    def create_table(self, name: str, primary_key: str = "id") -> None:
+        self.engine.create_table(name, primary_key)
+
+    def create_index(self, table: str, column: str, ordered: bool = False) -> None:
+        self.engine.create_index(table, column, ordered=ordered)
+
+    def load(self, table: str, rows: list[dict]) -> None:
+        self.engine.load(table, rows)
+
+    # -- transactional API ------------------------------------------------------
+
+    def _charge(self) -> Generator:
+        yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
+
+    def begin(self, isolation: IsolationLevel = IsolationLevel.SERIALIZABLE) -> Generator:
+        """Open a transaction, waiting for a pooled connection."""
+        yield self._pool.acquire()
+        yield from self._charge()
+        return self.engine.begin(isolation)
+
+    def get(self, txn: Transaction, table: str, key: Hashable) -> Generator:
+        yield from self._charge()
+        return (yield from self.engine.get(txn, table, key))
+
+    def scan(self, txn: Transaction, table: str, predicate=None) -> Generator:
+        yield from self._charge()
+        rows = yield from self.engine.scan(txn, table, predicate)
+        # Result-set transfer cost: scans are not free the way gets are.
+        yield self.env.timeout(0.002 * len(rows))
+        return rows
+
+    def lookup(self, txn: Transaction, table: str, column: str, value: Any) -> Generator:
+        yield from self._charge()
+        return (yield from self.engine.lookup(txn, table, column, value))
+
+    def range_lookup(
+        self, txn: Transaction, table: str, column: str, low: Any, high: Any
+    ) -> Generator:
+        yield from self._charge()
+        rows = yield from self.engine.range_lookup(txn, table, column, low, high)
+        yield self.env.timeout(0.002 * len(rows))
+        return rows
+
+    def insert(self, txn: Transaction, table: str, row: dict) -> Generator:
+        yield from self._charge()
+        yield from self.engine.insert(txn, table, row)
+
+    def put(self, txn: Transaction, table: str, key: Hashable, row: dict) -> Generator:
+        yield from self._charge()
+        yield from self.engine.put(txn, table, key, row)
+
+    def update(self, txn: Transaction, table: str, key: Hashable, changes: dict) -> Generator:
+        yield from self._charge()
+        return (yield from self.engine.update(txn, table, key, changes))
+
+    def delete(self, txn: Transaction, table: str, key: Hashable) -> Generator:
+        yield from self._charge()
+        yield from self.engine.delete(txn, table, key)
+
+    def commit(self, txn: Transaction) -> Generator:
+        try:
+            yield from self._charge()
+            yield from self.engine.commit(txn)
+        finally:
+            self._release_connection(txn)
+
+    def abort(self, txn: Transaction) -> Generator:
+        try:
+            yield from self._charge()
+            self.engine.abort(txn)
+        finally:
+            self._release_connection(txn)
+
+    def _released(self, txn: Transaction) -> bool:
+        return getattr(txn, "_conn_released", False)
+
+    def _release_connection(self, txn: Transaction) -> None:
+        if not self._released(txn):
+            txn._conn_released = True  # type: ignore[attr-defined]
+            self._pool.release()
+
+    # -- XA -----------------------------------------------------------------------
+
+    def prepare(self, txn: Transaction) -> Generator:
+        yield from self._charge()
+        yield from self.engine.prepare(txn)
+
+    def commit_prepared(self, txn: Transaction) -> Generator:
+        try:
+            yield from self._charge()
+            self.engine.commit_prepared(txn)
+        finally:
+            self._release_connection(txn)
+
+    def abort_prepared(self, txn: Transaction) -> Generator:
+        try:
+            yield from self._charge()
+            self.engine.abort_prepared(txn)
+        finally:
+            self._release_connection(txn)

@@ -1,0 +1,42 @@
+"""A stateful Function-as-a-Service runtime (§3.1 "Cloud Functions").
+
+Four progressively stronger §4.2 consistency points, each mapped to a
+surveyed system:
+
+- :class:`FaasPlatform` — plain FaaS: event-triggered functions, cold/warm
+  containers, keep-alive expiry, function composition (AWS Lambda);
+- :class:`SharedKv` — a key-value interface to global state, *remote* (a
+  round trip per access) or *cached* (stale reads possible), with CAS
+  (Cloudburst's shared-state model);
+- :mod:`repro.faas.entities` — durable entities with serialized, exactly-
+  once operations and explicit critical sections (Azure Durable Functions);
+- :mod:`repro.faas.workflows` — serializable transactional workflows over
+  the shared KV via OCC with retry (Beldi/Boki).
+"""
+
+from repro.faas.durable import (
+    DurableWorkflows,
+    NonDeterminismError,
+    OrchestrationContext,
+    WorkflowFailed,
+)
+from repro.faas.entities import DurableEntities, EntityError
+from repro.faas.platform import FaasContext, FaasPlatform, FunctionError, Throttled
+from repro.faas.state import SharedKv
+from repro.faas.workflows import TransactionalWorkflows, WorkflowAborted
+
+__all__ = [
+    "DurableEntities",
+    "DurableWorkflows",
+    "EntityError",
+    "FaasContext",
+    "FaasPlatform",
+    "FunctionError",
+    "NonDeterminismError",
+    "OrchestrationContext",
+    "SharedKv",
+    "Throttled",
+    "TransactionalWorkflows",
+    "WorkflowAborted",
+    "WorkflowFailed",
+]

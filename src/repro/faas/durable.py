@@ -1,0 +1,366 @@
+"""Durable workflow orchestrations: event-sourced, replay-based execution.
+
+Azure Durable Functions' orchestration model (paper refs [14, 15], §3.1),
+also the Temporal model: a *workflow* is ordinary-looking code whose every
+interaction with the world goes through commands (``ctx.activity``,
+``ctx.timer``, ``ctx.all``).  The engine persists a **history** of command
+completions; after any crash it re-executes the workflow from the top,
+feeding recorded results instead of re-running activities — so workflow
+progress is durable even though the code looks like a plain function.
+
+Semantics reproduced:
+
+- workflow-level effects are **exactly-once**: each activity's completion
+  is recorded once and replay never re-executes completed activities;
+- activity executions themselves are **at-least-once**: an activity that
+  was scheduled but not yet recorded when the engine crashed runs again on
+  recovery — activities must therefore be idempotent (the §3.2 burden
+  again);
+- workflow code must be **deterministic**: the engine verifies on replay
+  that the code issues the same commands in the same order, raising
+  :class:`NonDeterminismError` otherwise (the formal-semantics point of
+  [15]).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim import Environment, Future, Interrupted
+
+ActivityFn = Callable[..., Generator]
+WorkflowFn = Callable[["OrchestrationContext", Any], Generator]
+
+
+class NonDeterminismError(Exception):
+    """Replay produced different commands than the recorded history."""
+
+
+class WorkflowFailed(Exception):
+    """The workflow raised; carries the original error repr."""
+
+
+@dataclass(frozen=True)
+class _Command:
+    kind: str  # "activity" | "timer" | "all"
+    name: str = ""
+    args: tuple = ()
+    delay: float = 0.0
+    children: tuple = ()
+
+
+@dataclass
+class _HistoryEvent:
+    """One completed command, in issue order."""
+
+    kind: str
+    name: str
+    result: Any
+
+
+@dataclass
+class _Instance:
+    instance_id: str
+    workflow: str
+    input: Any
+    history: list[_HistoryEvent] = field(default_factory=list)
+    status: str = "running"  # running | completed | failed
+    result: Any = None
+    #: commands scheduled but not yet completed: issue-index -> command
+    pending: dict[int, _Command] = field(default_factory=dict)
+    future: Optional[Future] = None
+
+
+class OrchestrationContext:
+    """What workflow code may touch.  Everything else is nondeterminism."""
+
+    def __init__(self, engine: "DurableWorkflows", instance: _Instance) -> None:
+        self._engine = engine
+        self._instance = instance
+        self.instance_id = instance.instance_id
+
+    def activity(self, name: str, *args: Any) -> _Command:
+        """Command: run activity ``name`` (idempotent!) and await its result."""
+        return _Command(kind="activity", name=name, args=args)
+
+    def timer(self, delay: float) -> _Command:
+        """Command: durable timer (survives crashes, unlike a sleep)."""
+        return _Command(kind="timer", name=f"timer:{delay}", delay=delay)
+
+    def all(self, commands: list[_Command]) -> _Command:
+        """Command: run sub-commands concurrently, await all results."""
+        return _Command(kind="all", name="all", children=tuple(commands))
+
+
+@dataclass
+class DurableStats:
+    started: int = 0
+    completed: int = 0
+    failed: int = 0
+    activity_executions: int = 0
+    replays: int = 0
+    timers_fired: int = 0
+
+
+class DurableWorkflows:
+    """The orchestration engine."""
+
+    def __init__(self, env: Environment, activity_latency: float = 1.0) -> None:
+        self.env = env
+        self.activity_latency = activity_latency
+        self._workflows: dict[str, WorkflowFn] = {}
+        self._activities: dict[str, ActivityFn] = {}
+        self._instances: dict[str, _Instance] = {}  # histories are durable
+        self._generation = 0
+        self.stats = DurableStats()
+
+    # -- registration -----------------------------------------------------------
+
+    def workflow(self, name: str):
+        def register(fn: WorkflowFn) -> WorkflowFn:
+            if name in self._workflows:
+                raise ValueError(f"workflow {name!r} already registered")
+            self._workflows[name] = fn
+            return fn
+
+        return register
+
+    def activity(self, name: str):
+        def register(fn: ActivityFn) -> ActivityFn:
+            if name in self._activities:
+                raise ValueError(f"activity {name!r} already registered")
+            self._activities[name] = fn
+            return fn
+
+        return register
+
+    # -- client API ---------------------------------------------------------------
+
+    def start(self, instance_id: str, workflow: str, input: Any = None) -> Future:
+        """Begin an orchestration; the future resolves with its result."""
+        if workflow not in self._workflows:
+            raise KeyError(f"no workflow {workflow!r}")
+        if instance_id in self._instances:
+            instance = self._instances[instance_id]
+            if instance.future is None:
+                instance.future = self.env.future(label=f"wf:{instance_id}")
+                self._settle_if_finished(instance)
+            return instance.future  # idempotent start
+        instance = _Instance(
+            instance_id=instance_id,
+            workflow=workflow,
+            input=input,
+            future=self.env.future(label=f"wf:{instance_id}"),
+        )
+        self._instances[instance_id] = instance
+        self.stats.started += 1
+        self._drive(instance)
+        return instance.future
+
+    def status_of(self, instance_id: str) -> str:
+        return self._instances[instance_id].status
+
+    def history_of(self, instance_id: str) -> list[tuple[str, str]]:
+        return [(e.kind, e.name) for e in self._instances[instance_id].history]
+
+    # -- the replay loop -------------------------------------------------------------
+
+    def _drive(self, instance: _Instance) -> None:
+        """(Re-)execute the workflow from the top against its history."""
+        if instance.status != "running":
+            return
+        self.stats.replays += 1
+        fn = self._workflows[instance.workflow]
+        ctx = OrchestrationContext(self, instance)
+        generator = fn(ctx, instance.input)
+        cursor = 0
+        send_value: Any = None
+        try:
+            while True:
+                command = generator.send(send_value)
+                if not isinstance(command, _Command):
+                    raise NonDeterminismError(
+                        f"{instance.instance_id}: workflow yielded {command!r}; "
+                        "only ctx.activity/ctx.timer/ctx.all may be yielded"
+                    )
+                if cursor < len(instance.history):
+                    event = instance.history[cursor]
+                    if event.name != command.name or event.kind != command.kind:
+                        raise NonDeterminismError(
+                            f"{instance.instance_id}: replay mismatch at step "
+                            f"{cursor}: history has {event.kind}:{event.name}, "
+                            f"code issued {command.kind}:{command.name}"
+                        )
+                    send_value = event.result
+                    cursor += 1
+                    continue
+                # A new command: schedule it and suspend this execution.
+                self._schedule(instance, cursor, command)
+                return
+        except StopIteration as stop:
+            instance.status = "completed"
+            instance.result = stop.value
+            instance.pending.clear()
+            self.stats.completed += 1
+            self._settle_if_finished(instance)
+        except NonDeterminismError as exc:
+            # Determinism violations fail the orchestration (as Durable
+            # Functions does) — they may surface mid-replay in a callback,
+            # where raising would vanish into a background process.
+            self._fail_instance(instance, repr(exc))
+        except Exception as exc:  # noqa: BLE001 - workflow business failure
+            instance.status = "failed"
+            instance.result = repr(exc)
+            instance.pending.clear()
+            self.stats.failed += 1
+            self._settle_if_finished(instance)
+
+    def _settle_if_finished(self, instance: _Instance) -> None:
+        if instance.future is None:
+            return
+        if instance.status == "completed":
+            instance.future.try_succeed(instance.result)
+        elif instance.status == "failed":
+            instance.future.try_fail(WorkflowFailed(instance.result))
+
+    # -- command execution --------------------------------------------------------------
+
+    def _schedule(self, instance: _Instance, index: int, command: _Command) -> None:
+        if index in instance.pending:
+            return  # already in flight (e.g. re-drive while awaiting)
+        instance.pending[index] = command
+        generation = self._generation
+        if command.kind == "all":
+            self.env.process(
+                self._run_all(instance, index, command, generation),
+                label=f"{instance.instance_id}:all@{index}",
+            )
+        elif command.kind == "timer":
+            self.env.schedule(
+                command.delay, self._complete, instance, index, command, None,
+                generation,
+            )
+        else:
+            self.env.process(
+                self._run_activity(instance, index, command, generation),
+                label=f"{instance.instance_id}:{command.name}@{index}",
+            )
+
+    def _run_activity(
+        self, instance: _Instance, index: int, command: _Command, generation: int
+    ) -> Generator:
+        fn = self._activities.get(command.name)
+        if fn is None:
+            self._fail_instance(instance, f"no activity {command.name!r}")
+            return
+        yield self.env.timeout(self.activity_latency)
+        if self._generation != generation:
+            return  # engine crashed while the activity was dispatched
+        self.stats.activity_executions += 1
+        try:
+            result = yield from fn(*command.args)
+        except Interrupted:
+            raise
+        except Exception as exc:  # noqa: BLE001 - activity failure fails the wf
+            self._fail_instance(instance, f"activity {command.name!r}: {exc!r}")
+            return
+        if self._generation != generation:
+            return  # completion lost with the crash: will re-run on recovery
+        self._complete(instance, index, command, result, generation)
+
+    def _run_all(
+        self, instance: _Instance, index: int, command: _Command, generation: int
+    ) -> Generator:
+        from repro.sim import all_of
+
+        child_futures = []
+        for child in command.children:
+            fut = self.env.future(label=f"{instance.instance_id}:child")
+            if child.kind == "timer":
+                self.env.schedule(child.delay, fut.try_succeed, None)
+            else:
+                self.env.process(
+                    self._child_activity(child, fut, generation),
+                    label=f"{instance.instance_id}:child:{child.name}",
+                )
+            child_futures.append(fut)
+        try:
+            results = yield all_of(self.env, child_futures)
+        except Exception as exc:  # noqa: BLE001
+            if self._generation == generation:
+                self._fail_instance(instance, repr(exc))
+            return
+        if self._generation != generation:
+            return
+        self._complete(instance, index, command, list(results), generation)
+
+    def _child_activity(self, child: _Command, fut: Future, generation: int) -> Generator:
+        fn = self._activities.get(child.name)
+        if fn is None:
+            fut.try_fail(KeyError(f"no activity {child.name!r}"))
+            return
+        yield self.env.timeout(self.activity_latency)
+        if self._generation != generation:
+            return
+        self.stats.activity_executions += 1
+        try:
+            result = yield from fn(*child.args)
+        except Interrupted:
+            raise
+        except Exception as exc:  # noqa: BLE001
+            fut.try_fail(exc)
+            return
+        fut.try_succeed(result)
+
+    def _complete(
+        self,
+        instance: _Instance,
+        index: int,
+        command: _Command,
+        result: Any,
+        generation: int,
+    ) -> None:
+        if self._generation != generation or instance.status != "running":
+            return
+        if command.kind == "timer":
+            self.stats.timers_fired += 1
+        instance.pending.pop(index, None)
+        instance.history.append(_HistoryEvent(command.kind, command.name, result))
+        self._drive(instance)
+
+    def _fail_instance(self, instance: _Instance, reason: str) -> None:
+        if instance.status != "running":
+            return
+        instance.status = "failed"
+        instance.result = reason
+        instance.pending.clear()
+        self.stats.failed += 1
+        self._settle_if_finished(instance)
+
+    # -- crash / recovery ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the engine: in-flight activity executions and timers are
+        lost; histories (durable storage) survive."""
+        self._generation += 1
+        for instance in self._instances.values():
+            instance.pending.clear()
+            if instance.future is not None and not instance.future.done:
+                instance.future = None  # the client connection died too
+
+    def recover(self) -> None:
+        """Replay every unfinished orchestration from its history."""
+        self._generation += 1
+        for instance in self._instances.values():
+            if instance.status == "running":
+                self._drive(instance)
+
+    def wait(self, instance_id: str) -> Future:
+        """(Re-)subscribe to an instance's completion (after recovery)."""
+        instance = self._instances[instance_id]
+        if instance.future is None or instance.future.done:
+            instance.future = self.env.future(label=f"wf:{instance_id}")
+        self._settle_if_finished(instance)
+        return instance.future

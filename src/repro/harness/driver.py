@@ -1,0 +1,114 @@
+"""The workload driver: arrivals → operations → metrics + ledger."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.core.metrics import MetricsCollector
+from repro.sim import Environment, Interrupted
+from repro.transactions.anomalies import AnomalyReport, EffectLedger, Invariant
+
+#: An executor runs one abstract operation end to end; raising means the
+#: client observed a failure (the op is then *not* acknowledged).
+Executor = Callable[[Any], Generator]
+
+
+def _kind_of(op: Any) -> str:
+    return getattr(op, "kind", type(op).__name__)
+
+
+@dataclass
+class RunResult:
+    """Everything one benchmark run produced."""
+
+    label: str
+    metrics: MetricsCollector
+    anomalies: AnomalyReport
+    wall_ms: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        return self.metrics.throughput()
+
+    def p(self, q: float) -> float:
+        """Latency percentile pooled over every operation type."""
+        samples: list[float] = []
+        for row in self.metrics.summary():
+            samples.extend(self.metrics.latency(row.name).samples)
+        if not samples:
+            return 0.0
+        from repro.core.metrics import percentile
+
+        return percentile(samples, q)
+
+    @property
+    def completed(self) -> int:
+        return self.metrics.completed()
+
+    @property
+    def failed(self) -> int:
+        return self.metrics.failed()
+
+
+class WorkloadDriver:
+    """Runs an operation list through an executor under an arrival model."""
+
+    def __init__(self, env: Environment, label: str = "run") -> None:
+        self.env = env
+        self.label = label
+        self.metrics = MetricsCollector()
+        self.ledger = EffectLedger()
+
+    def issue_fn(self, ops: list[Any], execute: Executor) -> Callable[[int], Generator]:
+        """Build the per-operation callback for an arrival process."""
+
+        def issue(op_index: int) -> Generator:
+            op = ops[op_index]
+            kind = _kind_of(op)
+            started = self.env.now
+            try:
+                yield from execute(op)
+            except Interrupted:
+                raise
+            except Exception:  # noqa: BLE001 - a failure the client observed
+                self.metrics.record_failure(kind)
+                raise
+            self.metrics.record_success(kind, self.env.now - started)
+            op_id = getattr(op, "op_id", None)
+            if op_id is not None:
+                self.ledger.acknowledge(op_id)
+
+        return issue
+
+    def run(
+        self,
+        ops: Iterable[Any],
+        execute: Executor,
+        arrival,
+        invariants: Iterable[Invariant] = (),
+        state: Any = None,
+        state_fn: Optional[Callable[[], Any]] = None,
+        extra: Optional[dict] = None,
+    ) -> Generator:
+        """Drive the whole run; returns a :class:`RunResult`.
+
+        ``state_fn`` (if given) is called after the run to produce the
+        snapshot the invariants check — use it when final state must be
+        read after quiescence.
+        """
+        ops = list(ops)
+        started = self.env.now
+        self.metrics.start(started)
+        yield from arrival.drive(self.env, self.issue_fn(ops, execute))
+        self.metrics.stop(self.env.now)
+        final_state = state_fn() if state_fn is not None else state
+        report = self.ledger.reconcile(invariants=invariants, state=final_state)
+        return RunResult(
+            label=self.label,
+            metrics=self.metrics,
+            anomalies=report,
+            wall_ms=self.env.now - started,
+            extra=dict(extra or {}),
+        )

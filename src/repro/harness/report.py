@@ -1,0 +1,37 @@
+"""Benchmark report rendering: the tables the benches print."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.metrics import render_table
+from repro.harness.driver import RunResult
+
+
+def format_rows(headers: list[str], rows: list[list[object]]) -> str:
+    """Render arbitrary rows (stringified) under headers."""
+    return render_table(headers, [[str(cell) for cell in row] for row in rows])
+
+
+def format_results(results: Iterable[RunResult], title: str = "") -> str:
+    """The standard benchmark table: perf columns + the correctness column."""
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result.label,
+                f"{result.completed}",
+                f"{result.failed}",
+                f"{result.throughput:.1f}",
+                f"{result.p(50):.2f}",
+                f"{result.p(99):.2f}",
+                result.anomalies.summary(),
+            ]
+        )
+    table = render_table(
+        ["configuration", "ok", "fail", "ops/s", "p50 ms", "p99 ms", "anomalies"],
+        rows,
+    )
+    if title:
+        return f"\n=== {title} ===\n{table}"
+    return table

@@ -1,0 +1,349 @@
+"""A partitioned, persistent, offset-based message broker (Kafka stand-in).
+
+Producers append records to topic partitions (routed by key hash); consumer
+groups track a committed offset per partition.  Delivery semantics are a
+*protocol choice by the consumer*, exactly as the paper describes (§3.2):
+
+- commit offsets **before** processing → at-most-once (a crash loses the
+  in-flight batch);
+- commit offsets **after** processing → at-least-once (a crash redelivers
+  the uncommitted batch, producing duplicates the application must
+  deduplicate).
+
+The broker itself is modeled as durable and highly available (as a
+replicated Kafka cluster is); the interesting failures live in producers
+and consumers.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.sim import Environment, Future, any_of
+
+
+@dataclass(frozen=True)
+class Record:
+    """One immutable log entry."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: Any
+    value: Any
+    timestamp: float
+
+
+@dataclass
+class BrokerStats:
+    published: int = 0
+    polled: int = 0
+    committed_offsets: int = 0
+    redelivered: int = 0
+
+
+class _Partition:
+    def __init__(self, topic: str, index: int) -> None:
+        self.topic = topic
+        self.index = index
+        self.log: list[Record] = []
+        self._waiters: list[Future] = []
+
+    @property
+    def end_offset(self) -> int:
+        return len(self.log)
+
+    def append(self, key: Any, value: Any, timestamp: float) -> Record:
+        record = Record(self.topic, self.index, len(self.log), key, value, timestamp)
+        self.log.append(record)
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter.try_succeed(None)
+        return record
+
+    def wait_for_data(self, env: Environment) -> Future:
+        fut = env.future(label=f"{self.topic}/{self.index}.data")
+        self._waiters.append(fut)
+        return fut
+
+
+class Broker:
+    """The broker: topics, partitions, consumer-group offsets."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "broker",
+        publish_latency: float = 0.8,
+        poll_latency: float = 0.5,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.publish_latency = publish_latency
+        self.poll_latency = poll_latency
+        self._topics: dict[str, list[_Partition]] = {}
+        # committed offsets: (group, topic, partition) -> next offset to read
+        self._offsets: dict[tuple[str, str, int], int] = {}
+        # high-water mark of offsets ever handed to each group (dupe counting)
+        self._delivered: dict[tuple[str, str, int], int] = {}
+        # cooperative group membership: (group, topic) -> members/generation
+        self._group_members: dict[tuple[str, str], dict] = {}
+        self.stats = BrokerStats()
+
+    # -- topics ------------------------------------------------------------------
+
+    def create_topic(self, topic: str, partitions: int = 1) -> None:
+        if partitions <= 0:
+            raise ValueError("partitions must be positive")
+        if topic in self._topics:
+            raise ValueError(f"topic {topic!r} already exists")
+        self._topics[topic] = [_Partition(topic, i) for i in range(partitions)]
+
+    def _partitions(self, topic: str) -> list[_Partition]:
+        try:
+            return self._topics[topic]
+        except KeyError:
+            raise KeyError(f"unknown topic {topic!r}") from None
+
+    def partition_for(self, topic: str, key: Any) -> int:
+        """Key-hash routing: equal keys always land in the same partition."""
+        count = len(self._partitions(topic))
+        return zlib.crc32(repr(key).encode("utf-8")) % count
+
+    def end_offsets(self, topic: str) -> list[int]:
+        return [p.end_offset for p in self._partitions(topic)]
+
+    # -- producing ----------------------------------------------------------------
+
+    def publish(self, topic: str, key: Any, value: Any) -> Generator:
+        """Append durably; resolves once the broker has acked."""
+        partitions = self._partitions(topic)
+        yield self.env.timeout(self.publish_latency)
+        partition = partitions[self.partition_for(topic, key)]
+        record = partition.append(key, value, self.env.now)
+        self.stats.published += 1
+        return record
+
+    def publish_now(self, topic: str, key: Any, value: Any) -> Record:
+        """Zero-latency append (test setup and fire-and-forget relays)."""
+        partitions = self._partitions(topic)
+        partition = partitions[self.partition_for(topic, key)]
+        self.stats.published += 1
+        return partition.append(key, value, self.env.now)
+
+    # -- consuming ----------------------------------------------------------------
+
+    def consumer(self, group: str, topic: str) -> "Consumer":
+        """A consumer owning *all* partitions of ``topic`` for ``group``.
+
+        A new consumer for the same group resumes from the group's
+        committed offsets — what happens when a crashed consumer instance
+        is replaced.  Records between the committed offset and the crashed
+        instance's position are *redelivered*.
+        """
+        return Consumer(self, group, topic)
+
+    # -- consumer groups with rebalancing ------------------------------------------
+
+    def join_group(self, group: str, topic: str, member_id: str) -> "GroupMember":
+        """Join a cooperative consumer group; partitions are split among
+        members (round-robin) and rebalanced on every join/leave.
+
+        Each member polls only its assigned partitions; on a member's
+        departure (:meth:`GroupMember.leave`) survivors take over its
+        partitions from the committed offsets — the at-least-once
+        redelivery window applies across the handoff.
+        """
+        self._partitions(topic)  # validate topic
+        key = (group, topic)
+        state = self._group_members.setdefault(key, {"members": [], "generation": 0})
+        if member_id in state["members"]:
+            raise ValueError(f"member {member_id!r} already in group {group!r}")
+        state["members"].append(member_id)
+        state["generation"] += 1
+        return GroupMember(self, group, topic, member_id)
+
+    def _leave_group(self, group: str, topic: str, member_id: str) -> None:
+        state = self._group_members.get((group, topic))
+        if state is None:
+            return
+        if member_id in state["members"]:
+            state["members"].remove(member_id)
+            state["generation"] += 1
+
+    def _assignment(self, group: str, topic: str, member_id: str) -> list[int]:
+        """Round-robin partition assignment for one member."""
+        state = self._group_members.get((group, topic))
+        if state is None or member_id not in state["members"]:
+            return []
+        members = state["members"]
+        count = len(self._partitions(topic))
+        index = members.index(member_id)
+        return [p for p in range(count) if p % len(members) == index]
+
+    def group_generation(self, group: str, topic: str) -> int:
+        state = self._group_members.get((group, topic))
+        return state["generation"] if state else 0
+
+    def committed(self, group: str, topic: str, partition: int) -> int:
+        return self._offsets.get((group, topic, partition), 0)
+
+    def _commit(self, group: str, topic: str, partition: int, offset: int) -> None:
+        key = (group, topic, partition)
+        self._offsets[key] = max(self._offsets.get(key, 0), offset)
+        self.stats.committed_offsets += 1
+
+    def _note_delivery(self, group: str, topic: str, partition: int, offsets: range) -> None:
+        key = (group, topic, partition)
+        seen_up_to = self._delivered.get(key, 0)
+        for offset in offsets:
+            if offset < seen_up_to:
+                self.stats.redelivered += 1
+        self._delivered[key] = max(seen_up_to, offsets.stop)
+
+    def lag(self, group: str, topic: str) -> int:
+        """Total records not yet committed by the group."""
+        return sum(
+            p.end_offset - self.committed(group, topic, p.index)
+            for p in self._partitions(topic)
+        )
+
+
+class Consumer:
+    """A consumer-group member with explicit offset control.
+
+    Positions start at the group's committed offsets.  ``poll`` advances the
+    in-memory position; ``commit`` persists it.  Records between the
+    committed offset and the position form the at-least-once redelivery
+    window.
+    """
+
+    def __init__(self, broker: Broker, group: str, topic: str) -> None:
+        self.broker = broker
+        self.group = group
+        self.topic = topic
+        self._positions = {
+            p.index: broker.committed(group, topic, p.index)
+            for p in broker._partitions(topic)
+        }
+
+    def poll(self, max_records: int = 32, wait: bool = True) -> Generator:
+        """Fetch the next batch; blocks until data arrives if ``wait``."""
+        env = self.broker.env
+        yield env.timeout(self.broker.poll_latency)
+        while True:
+            batch: list[Record] = []
+            for partition in self.broker._partitions(self.topic):
+                position = self._positions[partition.index]
+                available = partition.log[position:position + max_records - len(batch)]
+                if available:
+                    self.broker._note_delivery(
+                        self.group, self.topic, partition.index,
+                        range(position, position + len(available)),
+                    )
+                    batch.extend(available)
+                    self._positions[partition.index] = position + len(available)
+                if len(batch) >= max_records:
+                    break
+            if batch or not wait:
+                self.broker.stats.polled += len(batch)
+                return batch
+            waits = [p.wait_for_data(env) for p in self.broker._partitions(self.topic)]
+            yield any_of(env, waits)
+
+    def commit(self) -> Generator:
+        """Persist current positions as the group's committed offsets."""
+        yield self.broker.env.timeout(self.broker.poll_latency)
+        for index, position in self._positions.items():
+            self.broker._commit(self.group, self.topic, index, position)
+
+    def commit_now(self) -> None:
+        """Synchronous variant of :meth:`commit` (at-most-once fast path)."""
+        for index, position in self._positions.items():
+            self.broker._commit(self.group, self.topic, index, position)
+
+    def redelivery_window(self) -> int:
+        """Records polled but not committed (duplicated if we crash now)."""
+        return sum(
+            position - self.broker.committed(self.group, self.topic, index)
+            for index, position in self._positions.items()
+        )
+
+
+class GroupMember:
+    """One member of a cooperative consumer group (see ``join_group``).
+
+    Polls only the partitions currently assigned to it; assignments are
+    re-read whenever the group generation changes (a rebalance), resuming
+    each newly acquired partition at the group's committed offset.
+    """
+
+    def __init__(self, broker: Broker, group: str, topic: str, member_id: str) -> None:
+        self.broker = broker
+        self.group = group
+        self.topic = topic
+        self.member_id = member_id
+        self._generation = -1
+        self._positions: dict[int, int] = {}
+        self._refresh()
+
+    def _refresh(self) -> None:
+        generation = self.broker.group_generation(self.group, self.topic)
+        if generation == self._generation:
+            return
+        self._generation = generation
+        assigned = self.broker._assignment(self.group, self.topic, self.member_id)
+        self._positions = {
+            index: self.broker.committed(self.group, self.topic, index)
+            for index in assigned
+        }
+
+    @property
+    def assigned_partitions(self) -> list[int]:
+        self._refresh()
+        return sorted(self._positions)
+
+    def poll(self, max_records: int = 32, wait: bool = True) -> Generator:
+        """Fetch the next batch from the member's assigned partitions."""
+        env = self.broker.env
+        yield env.timeout(self.broker.poll_latency)
+        while True:
+            self._refresh()
+            batch: list[Record] = []
+            partitions = self.broker._partitions(self.topic)
+            for index, position in list(self._positions.items()):
+                partition = partitions[index]
+                available = partition.log[position:position + max_records - len(batch)]
+                if available:
+                    self.broker._note_delivery(
+                        self.group, self.topic, index,
+                        range(position, position + len(available)),
+                    )
+                    batch.extend(available)
+                    self._positions[index] = position + len(available)
+                if len(batch) >= max_records:
+                    break
+            if batch or not wait:
+                self.broker.stats.polled += len(batch)
+                return batch
+            if not self._positions:
+                yield env.timeout(self.broker.poll_latency * 4)  # rebalance wait
+                continue
+            waits = [
+                partitions[index].wait_for_data(env) for index in self._positions
+            ]
+            winner = any_of(env, waits)
+            timeout = env.timeout(self.broker.poll_latency * 10)  # rebalance poll
+            yield any_of(env, [winner, timeout])
+
+    def commit(self) -> Generator:
+        yield self.broker.env.timeout(self.broker.poll_latency)
+        for index, position in self._positions.items():
+            self.broker._commit(self.group, self.topic, index, position)
+
+    def leave(self) -> None:
+        """Leave the group; a rebalance hands the partitions to survivors."""
+        self.broker._leave_group(self.group, self.topic, self.member_id)
+        self._positions = {}

@@ -1,0 +1,122 @@
+"""The transactional outbox pattern: atomic state change + publication.
+
+The dual-write problem: a service that updates its database *and* publishes
+an event can crash between the two, leaving them inconsistent.  The outbox
+fixes it (paper §3.2/§4.2 territory): the event is inserted into an
+``outbox`` table *inside the same database transaction* as the state
+change; a relay process then publishes pending outbox rows to the broker
+and marks them dispatched.  The relay is at-least-once (crash between
+publish and mark → republish), so consumers deduplicate on the event id —
+together yielding exactly-once effects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Optional
+
+from repro.db.engine import Database, IsolationLevel, Transaction
+from repro.messaging.broker import Broker
+from repro.sim import Environment
+
+
+class TransactionalOutbox:
+    """Enqueue events transactionally with your state changes."""
+
+    TABLE = "_outbox"
+
+    _event_ids = itertools.count(1)
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        if self.TABLE not in db.tables:
+            db.create_table(self.TABLE, primary_key="event_id")
+
+    def enqueue(
+        self, txn: Transaction, topic: str, key: Any, value: Any
+    ) -> Generator:
+        """Add an event to the outbox inside ``txn``.
+
+        The event becomes publishable if and only if ``txn`` commits.
+        """
+        event_id = f"evt-{next(TransactionalOutbox._event_ids)}"
+        yield from self.db.insert(
+            txn,
+            self.TABLE,
+            {
+                "event_id": event_id,
+                "topic": topic,
+                "key": key,
+                "value": value,
+                "dispatched": False,
+            },
+        )
+        return event_id
+
+    def pending(self) -> list[dict]:
+        """Committed, not-yet-dispatched events (relay's work list)."""
+        return sorted(
+            (row for row in self.db.all_rows(self.TABLE) if not row["dispatched"]),
+            key=lambda row: row["event_id"],
+        )
+
+
+class OutboxRelay:
+    """Polls an outbox and publishes pending events to the broker.
+
+    ``crash_after_publish_prob`` injects the pattern's characteristic
+    partial failure: the relay publishes but dies before marking the row,
+    so the event is republished on the next sweep — the duplicate that
+    consumer-side dedup must absorb.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        outbox: TransactionalOutbox,
+        broker: Broker,
+        poll_interval: float = 5.0,
+        crash_after_publish_prob: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.outbox = outbox
+        self.broker = broker
+        self.poll_interval = poll_interval
+        self.crash_after_publish_prob = crash_after_publish_prob
+        self._rng = env.stream("outbox-relay")
+        self.published = 0
+        self.republished = 0
+        self._published_ids: set[str] = set()
+        self._running = True
+
+    def stop(self) -> None:
+        self._running = False
+
+    def run(self) -> Generator:
+        """The relay loop; spawn as a process."""
+        while self._running:
+            yield self.env.timeout(self.poll_interval)
+            yield from self.sweep()
+
+    def sweep(self) -> Generator:
+        """One pass: publish every pending event, then mark it dispatched."""
+        for row in self.outbox.pending():
+            event = {"event_id": row["event_id"], "value": row["value"]}
+            yield from self.broker.publish(row["topic"], row["key"], event)
+            self.published += 1
+            if row["event_id"] in self._published_ids:
+                self.republished += 1
+            self._published_ids.add(row["event_id"])
+            if (
+                self.crash_after_publish_prob > 0
+                and self._rng.random() < self.crash_after_publish_prob
+            ):
+                return  # died before marking: the row stays pending
+            yield from self._mark_dispatched(row["event_id"])
+
+    def _mark_dispatched(self, event_id: str) -> Generator:
+        txn = self.outbox.db.begin(IsolationLevel.READ_COMMITTED)
+        yield from self.outbox.db.update(
+            txn, TransactionalOutbox.TABLE, event_id, {"dispatched": True}
+        )
+        yield from self.outbox.db.commit(txn)

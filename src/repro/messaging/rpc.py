@@ -1,0 +1,247 @@
+"""Synchronous RPC over the simulated network (REST/gRPC stand-in).
+
+HTTP-style request/response is stateless and gives no delivery guarantee
+(paper §3.2): a timed-out request is retried, and because the original may
+have been delivered *and executed*, retries create duplicate executions.
+The client attaches an idempotency key to every logical call; whether the
+server deduplicates on it is the server's choice — leaving it off is how
+the benchmarks reproduce the double-charge anomalies the paper warns about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro.messaging.idempotency import IdempotencyStore
+from repro.net.network import Message, Network
+from repro.net.node import Node
+from repro.sim import Environment, Interrupted, any_of
+
+
+class RpcError(Exception):
+    """Base class for RPC failures."""
+
+
+class RpcTimeout(RpcError):
+    """No reply within the deadline after all retries."""
+
+    def __init__(self, dst: str, method: str, attempts: int) -> None:
+        super().__init__(f"rpc {dst}.{method} timed out after {attempts} attempt(s)")
+        self.dst = dst
+        self.method = method
+        self.attempts = attempts
+
+
+class RpcRemoteError(RpcError):
+    """The remote handler raised; carries the remote exception repr."""
+
+    def __init__(self, dst: str, method: str, remote_error: str) -> None:
+        super().__init__(f"rpc {dst}.{method} failed remotely: {remote_error}")
+        self.remote_error = remote_error
+
+
+@dataclass
+class _Request:
+    request_id: int
+    method: str
+    payload: Any
+    reply_to: str
+    reply_port: str
+    idempotency_key: Optional[str]
+
+
+@dataclass
+class _Reply:
+    request_id: int
+    ok: bool
+    value: Any
+
+
+@dataclass
+class RpcStats:
+    calls: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    duplicate_executions: int = 0
+    deduplicated: int = 0
+
+
+class RpcServer:
+    """Dispatches incoming requests to registered handler generators.
+
+    ``handler(payload)`` must be a generator function; each request runs as
+    its own process on the server's node (so a node crash kills in-flight
+    handlers mid-execution — the partial-failure case of §3.2).
+
+    If ``dedup_store`` is given, requests carrying an idempotency key are
+    executed at most once: repeats return the recorded response.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        node: Node,
+        service: str = "rpc",
+        dedup_store: Optional[IdempotencyStore] = None,
+    ) -> None:
+        self.network = network
+        self.node = node
+        self.service = service
+        self.dedup = dedup_store
+        self._handlers: dict[str, Callable[[Any], Generator]] = {}
+        self.stats = RpcStats()
+        self._executed_keys: set[str] = set()
+        self._inflight: dict[str, Any] = {}  # idempotency key -> Future
+        self.node.on_restart(lambda _node: self._on_restart())
+        self._start()
+
+    def _on_restart(self) -> None:
+        self._inflight = {}  # in-flight executions died with the node
+        self._start()
+
+    def register(self, method: str, handler: Callable[[Any], Generator]) -> None:
+        """Expose ``handler`` as ``method`` (a generator function)."""
+        self._handlers[method] = handler
+
+    def _start(self) -> None:
+        inbox = self.node.bind(self.service)
+
+        def listen(env: Environment) -> Generator:
+            while True:
+                message = yield inbox.get()
+                self.node.spawn(
+                    self._handle(message), label=f"{self.service}.handler"
+                )
+
+        self.node.spawn(listen(self.network.env), label=f"{self.service}.listener")
+
+    def _handle(self, message: Message) -> Generator:
+        request: _Request = message.payload
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            self._reply(request, ok=False, value=f"no such method {request.method!r}")
+            return
+        key = request.idempotency_key
+        if key is not None and self.dedup is not None:
+            hit = self.dedup.lookup(key)
+            if hit is not None:
+                self.stats.deduplicated += 1
+                self._reply(request, ok=True, value=hit.response)
+                return
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                # A duplicate arrived while the original still executes:
+                # piggyback on its outcome instead of re-executing.
+                self.stats.deduplicated += 1
+                outcome = yield inflight
+                self._reply(request, ok=outcome[0], value=outcome[1])
+                return
+            self._inflight[key] = self.network.env.future(label=f"inflight:{key}")
+        if key is not None:
+            if key in self._executed_keys:
+                self.stats.duplicate_executions += 1
+            self._executed_keys.add(key)
+        try:
+            result = yield from handler(request.payload)
+        except Interrupted:
+            raise  # node crashed mid-handler; no reply is ever sent
+        except Exception as exc:  # noqa: BLE001 - report remote errors to caller
+            self._settle_inflight(key, ok=False, value=repr(exc))
+            self._reply(request, ok=False, value=repr(exc))
+            return
+        if key is not None and self.dedup is not None:
+            self.dedup.record(key, result)
+        self._settle_inflight(key, ok=True, value=result)
+        self._reply(request, ok=True, value=result)
+
+    def _settle_inflight(self, key: Optional[str], ok: bool, value: Any) -> None:
+        if key is None or self.dedup is None:
+            return
+        fut = self._inflight.pop(key, None)
+        if fut is not None:
+            fut.try_succeed((ok, value))
+
+    def _reply(self, request: _Request, ok: bool, value: Any) -> None:
+        self.network.send(
+            self.node.name,
+            request.reply_to,
+            request.reply_port,
+            _Reply(request.request_id, ok, value),
+        )
+
+
+class RpcClient:
+    """Issues calls from a node, with timeout/retry and reply matching."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, network: Network, node: Node, service: str = "rpc") -> None:
+        self.network = network
+        self.node = node
+        self.service = service
+        self.stats = RpcStats()
+        self._pending: dict[int, Any] = {}
+        self._reply_port = f"{service}-replies"
+        self.node.on_restart(lambda _node: self._start())
+        self._start()
+
+    def _start(self) -> None:
+        inbox = self.node.bind(self._reply_port)
+
+        def pump(env: Environment) -> Generator:
+            while True:
+                message = yield inbox.get()
+                reply: _Reply = message.payload
+                fut = self._pending.pop(reply.request_id, None)
+                if fut is not None:
+                    fut.try_succeed(reply)
+
+        self.node.spawn(pump(self.network.env), label=f"{self._reply_port}.pump")
+
+    def call(
+        self,
+        dst: str,
+        method: str,
+        payload: Any = None,
+        timeout: float = 20.0,
+        retries: int = 3,
+        idempotency_key: Optional[str] = None,
+    ) -> Generator:
+        """Invoke ``method`` on node ``dst``; returns the handler's result.
+
+        Retries up to ``retries`` extra times after each ``timeout``; each
+        retry is a *new network message with the same idempotency key* —
+        the duplicate-generation mechanism of §3.2.  Raises
+        :class:`RpcTimeout` or :class:`RpcRemoteError`.
+        """
+        env = self.network.env
+        self.stats.calls += 1
+        attempts = 0
+        while attempts <= retries:
+            attempts += 1
+            request_id = next(RpcClient._ids)
+            request = _Request(
+                request_id=request_id,
+                method=method,
+                payload=payload,
+                reply_to=self.node.name,
+                reply_port=self._reply_port,
+                idempotency_key=idempotency_key,
+            )
+            fut = env.future(label=f"rpc:{dst}.{method}#{request_id}")
+            self._pending[request_id] = fut
+            self.network.send(self.node.name, dst, self.service, request)
+            winner = yield any_of(env, [fut, env.timeout(timeout, "timeout")])
+            index, value = winner
+            if index == 0:
+                reply: _Reply = value
+                if reply.ok:
+                    return reply.value
+                raise RpcRemoteError(dst, method, reply.value)
+            self._pending.pop(request_id, None)
+            if attempts <= retries:
+                self.stats.retries += 1
+        self.stats.timeouts += 1
+        raise RpcTimeout(dst, method, attempts)

@@ -1,0 +1,144 @@
+"""Application assembly: deploy services onto nodes, wire RPC and state.
+
+The deployment decisions of §3.3 are constructor flags:
+
+- ``shared_database=True`` deploys one :class:`DatabaseServer` (one
+  connection pool, one lock table) for every service — logically separated
+  data, physically shared resources;
+- ``shared_database=False`` (default) gives each service its own server —
+  "database per service", physical isolation at higher infrastructure cost.
+
+Service nodes are stateless: :meth:`MicroserviceApp.crash_service` +
+``restart_service`` model the §4.1 recovery story (kill the pod, the
+replacement reconnects to the same database).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.db.server import DatabaseServer
+from repro.messaging.broker import Broker
+from repro.messaging.idempotency import IdempotencyStore
+from repro.messaging.rpc import RpcClient, RpcServer
+from repro.microservices.service import Microservice, ServiceContext
+from repro.net.latency import Latency, Sampler
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+class MicroserviceApp:
+    """A deployed set of microservices plus a client edge."""
+
+    def __init__(
+        self,
+        env: Environment,
+        shared_database: bool = False,
+        db_connections: int = 32,
+        with_broker: bool = True,
+        network_latency: Optional[Sampler] = None,
+        dedup_requests: bool = False,
+    ) -> None:
+        self.env = env
+        self.net = Network(env, default_latency=network_latency or Latency.intra_zone())
+        self.shared_database = shared_database
+        self.dedup_requests = dedup_requests
+        self._db_connections = db_connections
+        self._shared_db: Optional[DatabaseServer] = None
+        if shared_database:
+            self._shared_db = DatabaseServer(
+                env, name="shared-db", connections=db_connections
+            )
+        self.broker = Broker(env) if with_broker else None
+        self.services: dict[str, Microservice] = {}
+        self.databases: dict[str, DatabaseServer] = {}
+        self.dedup_stores: dict[str, IdempotencyStore] = {}
+        self._service_nodes: dict[str, str] = {}
+        self._contexts: dict[str, ServiceContext] = {}
+        client_node = self.net.add_node("edge-client")
+        self._client_rpc = RpcClient(self.net, client_node)
+
+    # -- deployment -------------------------------------------------------------
+
+    def add_service(self, service: Microservice) -> None:
+        """Deploy a service on its own node with its configured database."""
+        if service.name in self.services:
+            raise ValueError(f"service {service.name!r} already deployed")
+        node = self.net.add_node(service.name)
+        if self.shared_database:
+            db = self._shared_db
+        else:
+            db = DatabaseServer(
+                self.env,
+                name=f"{service.name}-db",
+                connections=self._db_connections,
+            )
+        if service.init_db is not None:
+            service.init_db(db)
+        dedup = IdempotencyStore(clock=lambda: self.env.now) if self.dedup_requests else None
+        if dedup is not None:
+            self.dedup_stores[service.name] = dedup
+        rpc_server = RpcServer(self.net, node, dedup_store=dedup)
+        rpc_client = RpcClient(self.net, node)
+        context = ServiceContext(
+            env=self.env,
+            service_name=service.name,
+            db=db,
+            rpc_client=rpc_client,
+            broker=self.broker,
+            service_nodes=self._service_nodes,
+        )
+        for method, handler in service.handlers.items():
+            rpc_server.register(method, self._bind(handler, context))
+        self.services[service.name] = service
+        self.databases[service.name] = db
+        self._service_nodes[service.name] = node.name
+        self._contexts[service.name] = context
+
+    @staticmethod
+    def _bind(handler: Callable, context: ServiceContext) -> Callable[[Any], Generator]:
+        def bound(payload: Any) -> Generator:
+            result = yield from handler(context, payload)
+            return result
+
+        return bound
+
+    def context(self, service: str) -> ServiceContext:
+        """The deployed context of a service (for tests and sagas)."""
+        return self._contexts[service]
+
+    # -- client edge ---------------------------------------------------------------
+
+    def request(
+        self,
+        service: str,
+        method: str,
+        payload: Any = None,
+        timeout: float = 50.0,
+        retries: int = 2,
+        idempotency_key: Optional[str] = None,
+    ) -> Generator:
+        """An external client request entering the application."""
+        node = self._service_nodes[service]
+        result = yield from self._client_rpc.call(
+            node,
+            method,
+            payload,
+            timeout=timeout,
+            retries=retries,
+            idempotency_key=idempotency_key,
+        )
+        return result
+
+    # -- operations ------------------------------------------------------------------
+
+    def crash_service(self, service: str) -> None:
+        """Kill the (stateless) service node; its database is unaffected."""
+        self.net.node(self._service_nodes[service]).crash()
+
+    def restart_service(self, service: str) -> None:
+        """Bring the node back; RPC listeners re-register via restart hooks."""
+        self.net.node(self._service_nodes[service]).restart()
+
+    def database_of(self, service: str) -> DatabaseServer:
+        return self.databases[service]

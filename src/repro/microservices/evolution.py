@@ -1,0 +1,160 @@
+"""Application evolution: versioned event schemas and upcasting.
+
+Paper §4.3: "in a distributed environment, this includes ... changes in
+the data and event schema.  Surprisingly, support for application
+evolution in cloud applications is limited, and upgrades are often handled
+via ad-hoc approaches."
+
+This module is the non-ad-hoc approach: a schema registry with explicit
+versions and *upcasters* (pure functions lifting an event from version N
+to N+1).  During a rolling upgrade old events sit in broker topics and
+databases; an upgraded consumer reads any historical version by running
+the upcaster chain.  Compatibility is checkable before deployment, not
+discovered in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+Upcaster = Callable[[dict], dict]
+
+
+class SchemaError(Exception):
+    """Validation or registration failure."""
+
+
+class IncompatibleEvent(SchemaError):
+    """An event cannot be brought to the requested version."""
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """One version of one event type."""
+
+    name: str
+    version: int
+    required: frozenset[str]
+    optional: frozenset[str] = frozenset()
+
+    def validate(self, payload: dict) -> None:
+        missing = self.required - payload.keys()
+        if missing:
+            raise SchemaError(
+                f"{self.name} v{self.version}: missing fields {sorted(missing)}"
+            )
+        unknown = payload.keys() - self.required - self.optional
+        if unknown:
+            raise SchemaError(
+                f"{self.name} v{self.version}: unknown fields {sorted(unknown)}"
+            )
+
+
+class SchemaRegistry:
+    """All versions of all event types, plus the upcaster chains."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[tuple[str, int], EventSchema] = {}
+        self._upcasters: dict[tuple[str, int], Upcaster] = {}
+        self.upcasts_performed = 0
+
+    # -- registration --------------------------------------------------------
+
+    def define(
+        self,
+        name: str,
+        version: int,
+        required: list[str],
+        optional: list[str] = (),
+    ) -> EventSchema:
+        """Register a schema version (versions must be added in order)."""
+        if version < 1:
+            raise SchemaError("versions start at 1")
+        if (name, version) in self._schemas:
+            raise SchemaError(f"{name} v{version} already defined")
+        if version > 1 and (name, version - 1) not in self._schemas:
+            raise SchemaError(f"{name} v{version - 1} must be defined first")
+        schema = EventSchema(name, version, frozenset(required), frozenset(optional))
+        self._schemas[(name, version)] = schema
+        return schema
+
+    def upcaster(self, name: str, from_version: int) -> Callable[[Upcaster], Upcaster]:
+        """Decorator registering the ``from_version -> from_version+1`` lift."""
+
+        def register(fn: Upcaster) -> Upcaster:
+            if (name, from_version) not in self._schemas:
+                raise SchemaError(f"{name} v{from_version} is not defined")
+            if (name, from_version + 1) not in self._schemas:
+                raise SchemaError(f"{name} v{from_version + 1} is not defined")
+            if (name, from_version) in self._upcasters:
+                raise SchemaError(f"upcaster {name} v{from_version} already defined")
+            self._upcasters[(name, from_version)] = fn
+            return fn
+
+        return register
+
+    def latest_version(self, name: str) -> int:
+        versions = [v for (n, v) in self._schemas if n == name]
+        if not versions:
+            raise SchemaError(f"no schema named {name!r}")
+        return max(versions)
+
+    # -- producing / consuming ------------------------------------------------
+
+    def write(self, name: str, payload: dict, version: Optional[int] = None) -> dict:
+        """Validate and stamp an event for publication."""
+        version = version if version is not None else self.latest_version(name)
+        schema = self._schemas.get((name, version))
+        if schema is None:
+            raise SchemaError(f"{name} v{version} is not defined")
+        schema.validate(payload)
+        return {"_event": name, "_version": version, **payload}
+
+    def read(self, event: dict, want_version: Optional[int] = None) -> dict:
+        """Return the payload at ``want_version``, upcasting as needed.
+
+        Raises :class:`IncompatibleEvent` if an upcaster in the chain is
+        missing, or if the event is *newer* than the consumer understands
+        (forward compatibility requires the consumer upgrade first — the
+        "consumers before producers" rollout rule).
+        """
+        name = event.get("_event")
+        version = event.get("_version")
+        if name is None or version is None:
+            raise SchemaError("event carries no schema stamp")
+        want_version = (
+            want_version if want_version is not None else self.latest_version(name)
+        )
+        if version > want_version:
+            raise IncompatibleEvent(
+                f"{name} v{version} is newer than consumer's v{want_version}; "
+                "upgrade consumers before producers"
+            )
+        payload = {k: v for k, v in event.items() if not k.startswith("_")}
+        while version < want_version:
+            upcaster = self._upcasters.get((name, version))
+            if upcaster is None:
+                raise IncompatibleEvent(
+                    f"no upcaster for {name} v{version} -> v{version + 1}"
+                )
+            payload = upcaster(dict(payload))
+            version += 1
+            self.upcasts_performed += 1
+        self._schemas[(name, version)].validate(payload)
+        return payload
+
+    # -- compatibility checking --------------------------------------------------
+
+    def check_rollout(self, name: str) -> list[str]:
+        """Pre-deployment check: can every old version reach the latest?
+
+        Returns a list of problems (empty = safe to roll out a consumer
+        on the latest version while old events are still in flight).
+        """
+        problems = []
+        latest = self.latest_version(name)
+        for version in range(1, latest):
+            if (name, version) not in self._upcasters:
+                problems.append(f"missing upcaster {name} v{version} -> v{version + 1}")
+        return problems

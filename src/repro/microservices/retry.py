@@ -1,0 +1,58 @@
+"""Retry policies with exponential backoff and jitter.
+
+Microservice frameworks ship "retrying features for fault tolerance"
+(§3.1); this is that feature, including the property that makes it
+double-edged: each retry of a non-idempotent operation is a potential
+duplicate execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.sim import Environment
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff: delay = base * factor**attempt, capped, jittered."""
+
+    max_attempts: int = 4
+    base_delay: float = 2.0
+    factor: float = 2.0
+    max_delay: float = 60.0
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        raw = min(self.base_delay * (self.factor ** (attempt - 1)), self.max_delay)
+        if self.jitter:
+            raw *= 1 + rng.uniform(-self.jitter, self.jitter)
+        return max(0.0, raw)
+
+    def run(self, env: Environment, operation, *args, retry_on=(Exception,)) -> Generator:
+        """Drive generator-function ``operation(*args)`` with retries.
+
+        Re-raises the last error once attempts are exhausted.
+        """
+        rng = env.stream("retry-policy")
+        last_error: Exception | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                result = yield from operation(*args)
+                return result
+            except retry_on as exc:  # noqa: PERF203 - retries are the point
+                last_error = exc
+                if attempt < self.max_attempts:
+                    yield env.timeout(self.delay(attempt, rng))
+        raise last_error

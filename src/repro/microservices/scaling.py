@@ -1,0 +1,209 @@
+"""Replication and autoscaling for the stateless service tier.
+
+Paper §4.3 (resource management) and abstract: the cloud shift introduced
+"task scheduling, containerization, and (auto)scaling".  Because the §4.1
+recipe makes the service tier stateless, it can be scaled horizontally
+behind a load balancer; the database tier stays put.
+
+- :class:`ReplicaSet` — N identical service replicas (same handlers, same
+  backing database) on separate nodes, with client-side balancing and
+  failover retry to another replica;
+- :class:`Autoscaler` — a control loop sampling in-flight requests per
+  replica and resizing the set toward a target, with provisioning delay
+  and cooldown (scaling is neither free nor instant — that lag is the
+  interesting behaviour).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.messaging.rpc import RpcClient, RpcServer, RpcTimeout
+from repro.net.network import Network
+from repro.sim import Environment
+
+
+@dataclass
+class ScaleEvent:
+    at: float
+    action: str  # "up" | "down"
+    replicas: int
+
+
+class ReplicaSet:
+    """A horizontally scaled stateless service.
+
+    ``handlers`` maps method name to a generator function ``fn(payload)``;
+    every replica registers the same handlers (they share whatever state
+    substrate the closures capture — typically a DatabaseServer, §4.1).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        env: Environment,
+        net: Network,
+        name: str,
+        handlers: dict[str, Callable[[Any], Generator]],
+        initial_replicas: int = 2,
+        provision_delay: float = 120.0,
+    ) -> None:
+        if initial_replicas < 1:
+            raise ValueError("need at least one replica")
+        self.env = env
+        self.net = net
+        self.name = name
+        self.handlers = dict(handlers)
+        self.provision_delay = provision_delay
+        self._replica_seq = itertools.count(0)
+        self._replicas: list[str] = []
+        self._outstanding: dict[str, int] = {}
+        self._rr = 0
+        self.scale_events: list[ScaleEvent] = []
+        for _ in range(initial_replicas):
+            self._add_replica_now()
+
+    # -- membership ---------------------------------------------------------------
+
+    def _add_replica_now(self) -> str:
+        node_name = f"{self.name}-{next(self._replica_seq)}"
+        node = self.net.add_node(node_name)
+        server = RpcServer(self.net, node)
+        for method, handler in self.handlers.items():
+            server.register(method, handler)
+        self._replicas.append(node_name)
+        self._outstanding[node_name] = 0
+        return node_name
+
+    def scale_up(self) -> Generator:
+        """Provision one replica (takes ``provision_delay`` — a cold VM)."""
+        yield self.env.timeout(self.provision_delay)
+        name = self._add_replica_now()
+        self.scale_events.append(ScaleEvent(self.env.now, "up", len(self._replicas)))
+        return name
+
+    def scale_down(self) -> Optional[str]:
+        """Retire the newest replica (immediate; in-flight requests die)."""
+        if len(self._replicas) <= 1:
+            return None
+        victim = self._replicas.pop()
+        self._outstanding.pop(victim, None)
+        self.net.node(victim).crash("scale-down")
+        self.scale_events.append(ScaleEvent(self.env.now, "down", len(self._replicas)))
+        return victim
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    @property
+    def alive_replicas(self) -> list[str]:
+        return [r for r in self._replicas if self.net.node(r).alive]
+
+    def crash_replica(self, index: int) -> None:
+        self.net.node(self._replicas[index]).crash()
+
+    def restart_replica(self, index: int) -> None:
+        self.net.node(self._replicas[index]).restart()
+
+    # -- client-side balancing ---------------------------------------------------------
+
+    def pick(self) -> str:
+        """Least-outstanding routing over alive replicas (round-robin ties)."""
+        alive = self.alive_replicas
+        if not alive:
+            raise RuntimeError(f"no alive replica of {self.name}")
+        self._rr += 1
+        ordered = alive[self._rr % len(alive):] + alive[: self._rr % len(alive)]
+        return min(ordered, key=lambda r: self._outstanding.get(r, 0))
+
+    def call(
+        self,
+        client: RpcClient,
+        method: str,
+        payload: Any = None,
+        timeout: float = 50.0,
+        failover_attempts: int = 2,
+        idempotency_key: Optional[str] = None,
+    ) -> Generator:
+        """Invoke a replica; on timeout, fail over to a different one."""
+        last_error: Exception | None = None
+        for _ in range(1 + failover_attempts):
+            replica = self.pick()
+            self._outstanding[replica] = self._outstanding.get(replica, 0) + 1
+            try:
+                result = yield from client.call(
+                    replica, method, payload,
+                    timeout=timeout, retries=0,
+                    idempotency_key=idempotency_key,
+                )
+                return result
+            except RpcTimeout as exc:
+                last_error = exc
+            finally:
+                if replica in self._outstanding:
+                    self._outstanding[replica] -= 1
+        raise last_error
+
+    @property
+    def total_outstanding(self) -> int:
+        return sum(self._outstanding.get(r, 0) for r in self.alive_replicas)
+
+
+class Autoscaler:
+    """A reactive control loop over a :class:`ReplicaSet`.
+
+    Every ``interval`` it compares mean in-flight requests per replica to
+    ``target_outstanding``; beyond ±25% it scales by one, bounded by
+    ``min_replicas``/``max_replicas``, with a post-action ``cooldown``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        replica_set: ReplicaSet,
+        target_outstanding: float = 4.0,
+        min_replicas: int = 1,
+        max_replicas: int = 10,
+        interval: float = 50.0,
+        cooldown: float = 200.0,
+    ) -> None:
+        if min_replicas < 1 or max_replicas < min_replicas:
+            raise ValueError("invalid replica bounds")
+        self.env = env
+        self.replica_set = replica_set
+        self.target = target_outstanding
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.interval = interval
+        self.cooldown = cooldown
+        self._running = False
+        self.samples: list[tuple[float, float, int]] = []
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("autoscaler already running")
+        self._running = True
+        self.env.process(self._loop(), label=f"autoscaler:{self.replica_set.name}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self) -> Generator:
+        last_action = -1e18
+        while self._running:
+            yield self.env.timeout(self.interval)
+            replicas = self.replica_set.replica_count
+            load = self.replica_set.total_outstanding / max(1, replicas)
+            self.samples.append((self.env.now, load, replicas))
+            if self.env.now - last_action < self.cooldown:
+                continue
+            if load > self.target * 1.25 and replicas < self.max_replicas:
+                last_action = self.env.now
+                yield from self.replica_set.scale_up()
+            elif load < self.target * 0.5 and replicas > self.min_replicas:
+                last_action = self.env.now
+                self.replica_set.scale_down()

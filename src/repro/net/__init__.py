@@ -1,0 +1,22 @@
+"""Simulated cluster network: nodes, links, latency, and fault injection.
+
+This package models the distributed infrastructure that the paper's cloud
+runtimes are deployed on: a set of :class:`~repro.net.node.Node` machines
+connected by a :class:`~repro.net.network.Network` whose links have
+configurable latency distributions and can drop, duplicate, or delay
+messages, and which can be partitioned — the failure modes that motivate
+idempotency keys, retries, and exactly-once protocols (paper §3.2).
+"""
+
+from repro.net.latency import Latency
+from repro.net.network import Message, Network, NetworkStats
+from repro.net.node import Node, NodeCrashed
+
+__all__ = [
+    "Latency",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Node",
+    "NodeCrashed",
+]

@@ -1,0 +1,210 @@
+"""The message fabric connecting nodes, with configurable fault injection.
+
+The network is asynchronous and unreliable by default semantics: messages
+may be delayed, dropped (when loss is injected), duplicated, or lost to
+partitions and crashed receivers.  Reliable delivery is an *application*
+concern (retries + idempotency keys, paper §3.2) — exactly what the
+messaging layer built on top of this module provides.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.latency import Latency, Sampler
+from repro.net.node import Node
+from repro.sim import Environment
+
+
+@dataclass(frozen=True)
+class Message:
+    """An envelope traveling between two nodes."""
+
+    msg_id: int
+    src: str
+    dst: str
+    port: str
+    payload: Any
+    sent_at: float
+    duplicate: bool = False
+
+
+@dataclass
+class NetworkStats:
+    """Counters of everything the fabric did, for assertions and reports."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    dropped_dead: int = 0
+    duplicated: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped_loss": self.dropped_loss,
+            "dropped_partition": self.dropped_partition,
+            "dropped_dead": self.dropped_dead,
+            "duplicated": self.duplicated,
+        }
+
+
+@dataclass
+class _LinkFaults:
+    """Per-link (or global) fault configuration."""
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    extra_delay: float = 0.0
+
+
+class Network:
+    """The cluster fabric: registry of nodes plus a message scheduler."""
+
+    def __init__(
+        self,
+        env: Environment,
+        default_latency: Optional[Sampler] = None,
+    ) -> None:
+        self.env = env
+        self.default_latency = default_latency or Latency.intra_zone()
+        self.nodes: dict[str, Node] = {}
+        self.stats = NetworkStats()
+        self._rng = env.stream("network")
+        self._msg_ids = itertools.count(1)
+        self._global_faults = _LinkFaults()
+        self._link_faults: dict[tuple[str, str], _LinkFaults] = {}
+        self._partitions: set[frozenset[str]] = set()
+        self._link_latency: dict[tuple[str, str], Sampler] = {}
+
+    # -- topology -------------------------------------------------------------
+
+    def add_node(self, name: str) -> Node:
+        """Create and register a node; names must be unique."""
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node = Node(self.env, name)
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        return self.nodes[name]
+
+    def set_link_latency(self, src: str, dst: str, sampler: Sampler) -> None:
+        """Override latency for the directed link ``src -> dst``."""
+        self._link_latency[(src, dst)] = sampler
+
+    # -- fault injection --------------------------------------------------------
+
+    def set_loss(self, rate: float, src: str = "*", dst: str = "*") -> None:
+        """Drop each matching message independently with probability ``rate``."""
+        self._faults_for(src, dst).drop_rate = rate
+
+    def set_duplication(self, rate: float, src: str = "*", dst: str = "*") -> None:
+        """Duplicate each matching message with probability ``rate``."""
+        self._faults_for(src, dst).duplicate_rate = rate
+
+    def set_extra_delay(self, delay: float, src: str = "*", dst: str = "*") -> None:
+        """Add a fixed delay to each matching message (congestion)."""
+        self._faults_for(src, dst).extra_delay = delay
+
+    def partition(self, group_a: list[str], group_b: list[str]) -> None:
+        """Cut bidirectional connectivity between two groups of nodes."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add(frozenset((a, b)))
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partitions.clear()
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        """Whether a message between ``a`` and ``b`` would be cut."""
+        return frozenset((a, b)) in self._partitions
+
+    def _faults_for(self, src: str, dst: str) -> _LinkFaults:
+        if src == "*" and dst == "*":
+            return self._global_faults
+        key = (src, dst)
+        if key not in self._link_faults:
+            self._link_faults[key] = _LinkFaults()
+        return self._link_faults[key]
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, src: str, dst: str, port: str, payload: Any) -> int:
+        """Fire-and-forget a message; returns its id.
+
+        Delivery is asynchronous (after sampled latency) and never
+        acknowledged at this layer.
+        """
+        if dst not in self.nodes:
+            raise KeyError(f"unknown destination node {dst!r}")
+        msg_id = next(self._msg_ids)
+        self.stats.sent += 1
+
+        faults = self._effective_faults(src, dst)
+        if self.is_partitioned(src, dst):
+            self.stats.dropped_partition += 1
+            return msg_id
+        if faults.drop_rate > 0 and self._rng.random() < faults.drop_rate:
+            self.stats.dropped_loss += 1
+            return msg_id
+
+        self._dispatch(src, dst, port, payload, msg_id, faults, duplicate=False)
+        if faults.duplicate_rate > 0 and self._rng.random() < faults.duplicate_rate:
+            self.stats.duplicated += 1
+            self._dispatch(src, dst, port, payload, msg_id, faults, duplicate=True)
+        return msg_id
+
+    def _effective_faults(self, src: str, dst: str) -> _LinkFaults:
+        link = self._link_faults.get((src, dst))
+        if link is None:
+            return self._global_faults
+        return _LinkFaults(
+            drop_rate=max(link.drop_rate, self._global_faults.drop_rate),
+            duplicate_rate=max(link.duplicate_rate, self._global_faults.duplicate_rate),
+            extra_delay=link.extra_delay + self._global_faults.extra_delay,
+        )
+
+    def _dispatch(
+        self,
+        src: str,
+        dst: str,
+        port: str,
+        payload: Any,
+        msg_id: int,
+        faults: _LinkFaults,
+        duplicate: bool,
+    ) -> None:
+        sampler = self._link_latency.get((src, dst), self.default_latency)
+        delay = sampler(self._rng) + faults.extra_delay
+        if duplicate:
+            # A duplicate (retransmission) arrives strictly later.
+            delay += sampler(self._rng)
+        message = Message(
+            msg_id=msg_id,
+            src=src,
+            dst=dst,
+            port=port,
+            payload=payload,
+            sent_at=self.env.now,
+            duplicate=duplicate,
+        )
+        self.env.schedule(delay, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        # A partition raised after sending also cuts in-flight messages.
+        if self.is_partitioned(message.src, message.dst):
+            self.stats.dropped_partition += 1
+            return
+        node = self.nodes.get(message.dst)
+        if node is None or not node.deliver(message.port, message):
+            self.stats.dropped_dead += 1
+            return
+        self.stats.delivered += 1

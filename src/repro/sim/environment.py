@@ -1,0 +1,232 @@
+"""The simulation environment: virtual clock, event queue, and processes.
+
+The environment owns a priority queue of ``(time, sequence, callback)``
+entries.  Time only advances when the queue is drained up to the next entry,
+so latencies measured inside the simulation are exact, and two runs with the
+same seed produce byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import zlib
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import Future
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupted(Exception):
+    """Thrown into a process that was interrupted (e.g. its node crashed).
+
+    The ``cause`` attribute carries the interrupter's reason object.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Future):
+    """A running generator, resumable by the environment.
+
+    A process is itself a future: it resolves with the generator's return
+    value, or fails with the exception that escaped the generator.  Yield a
+    process to wait for it; call :meth:`interrupt` to throw
+    :class:`Interrupted` into it at its current suspension point.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "_resume_callback")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Any, Any, Any],
+        label: str = "",
+    ) -> None:
+        super().__init__(env, label=label or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Future] = None
+        self._resume_callback: Optional[Callable[[Future], None]] = None
+        env.schedule(0.0, self._step, None, None)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process has not finished yet."""
+        return not self.done
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at its next step.
+
+        Interrupting a finished process is a no-op.  The future the process
+        was waiting on is detached: its eventual resolution no longer resumes
+        the process.
+        """
+        if self.done:
+            return
+        self._detach()
+        self.env.schedule(0.0, self._step, None, Interrupted(cause))
+
+    def _detach(self) -> None:
+        if self._waiting_on is not None and self._resume_callback is not None:
+            self._waiting_on.remove_done_callback(self._resume_callback)
+        self._waiting_on = None
+        self._resume_callback = None
+
+    def _step(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        if self.done:
+            return
+        self._waiting_on = None
+        self._resume_callback = None
+        try:
+            if throw_exc is not None:
+                target = self._generator.throw(throw_exc)
+            else:
+                target = self._generator.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - process bodies may raise anything
+            self.fail(exc)
+            return
+        if not isinstance(target, Future):
+            self.env.schedule(
+                0.0,
+                self._step,
+                None,
+                SimulationError(
+                    f"process {self.label!r} yielded {target!r}; "
+                    "only Future/Timeout/Process may be yielded"
+                ),
+            )
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Future) -> None:
+        def resume(fut: Future) -> None:
+            if self.done:
+                return
+            if fut is not self._waiting_on:
+                return  # detached by an interrupt that raced this callback
+            if fut.failed:
+                self._step(None, fut.exception())
+            else:
+                self._step(fut.result(), None)
+
+        self._waiting_on = target
+        self._resume_callback = resume
+        target.add_done_callback(resume)
+
+
+class Environment:
+    """Deterministic event loop with a virtual clock.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Use :meth:`stream` to derive independent, stable
+        random streams for different subsystems so that adding randomness
+        in one place does not perturb another.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._sequence = 0
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._streams: dict[str, random.Random] = {}
+
+    # -- clock and scheduling -----------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (milliseconds by convention)."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, callback, args))
+
+    def timeout(self, delay: float, value: Any = None) -> Future:
+        """Return a future that succeeds with ``value`` after ``delay``."""
+        fut = Future(self, label=f"timeout({delay})")
+        self.schedule(delay, fut.try_succeed, value)
+        return fut
+
+    def future(self, label: str = "") -> Future:
+        """Create an unresolved future bound to this environment."""
+        return Future(self, label=label)
+
+    def process(self, generator: Generator[Any, Any, Any], label: str = "") -> Process:
+        """Start a new process from a generator and return its handle."""
+        return Process(self, generator, label=label)
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue, optionally stopping at virtual time ``until``.
+
+        Returns the virtual time at which the run stopped.
+        """
+        while self._heap:
+            when, _seq, callback, args = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = when
+            callback(*args)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until(self, future: Future, limit: float = 1e12) -> Any:
+        """Run until ``future`` resolves; return its result.
+
+        Raises :class:`SimulationError` if the queue drains (or ``limit`` is
+        reached) before the future resolves — i.e. the simulation deadlocked.
+        """
+        while not future.done:
+            if not self._heap or self._heap[0][0] > limit:
+                raise SimulationError(
+                    f"simulation ran dry at t={self._now} before "
+                    f"{future.label!r} resolved"
+                )
+            when, _seq, callback, args = heapq.heappop(self._heap)
+            self._now = when
+            callback(*args)
+        return future.result()
+
+    def step(self) -> bool:
+        """Execute a single event; return ``False`` when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _seq, callback, args = heapq.heappop(self._heap)
+        self._now = when
+        callback(*args)
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)
+
+    # -- randomness ---------------------------------------------------------
+
+    def stream(self, name: str) -> random.Random:
+        """Return a named random stream, stable across runs for a given seed."""
+        if name not in self._streams:
+            derived = zlib.crc32(name.encode("utf-8")) ^ (self.seed * 2654435761 % 2**32)
+            self._streams[name] = random.Random(derived)
+        return self._streams[name]
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now} pending={len(self._heap)} seed={self.seed}>"

@@ -1,0 +1,174 @@
+"""Futures and combinators for the simulation kernel.
+
+A :class:`Future` is the single synchronization primitive of the kernel:
+timeouts, process completions, RPC replies, lock grants, and queue reads are
+all futures.  Processes wait on a future by yielding it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+
+class FutureAlreadyResolved(RuntimeError):
+    """Raised when ``succeed``/``fail`` is called on a resolved future."""
+
+
+class Future:
+    """A one-shot container for a value or an exception.
+
+    Futures are created against an environment so that completion callbacks
+    are dispatched through the event queue (never recursively), keeping the
+    simulation deterministic and the Python stack bounded.
+    """
+
+    __slots__ = ("env", "_done", "_value", "_exc", "_callbacks", "label")
+
+    def __init__(self, env: "Environment", label: str = "") -> None:  # noqa: F821
+        self.env = env
+        self._done = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+        self.label = label
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether the future has been resolved (value or exception)."""
+        return self._done
+
+    @property
+    def failed(self) -> bool:
+        """Whether the future resolved with an exception."""
+        return self._done and self._exc is not None
+
+    def result(self) -> Any:
+        """Return the value, raising the stored exception if it failed."""
+        if not self._done:
+            raise RuntimeError(f"future {self.label!r} is not resolved yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def exception(self) -> Optional[BaseException]:
+        """Return the stored exception, or ``None``."""
+        return self._exc
+
+    # -- resolution ---------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Future":
+        """Resolve the future with ``value`` and fire callbacks."""
+        if self._done:
+            raise FutureAlreadyResolved(self.label or repr(self))
+        self._done = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exc: BaseException) -> "Future":
+        """Resolve the future with an exception and fire callbacks."""
+        if self._done:
+            raise FutureAlreadyResolved(self.label or repr(self))
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exc!r}")
+        self._done = True
+        self._exc = exc
+        self._dispatch()
+        return self
+
+    def try_succeed(self, value: Any = None) -> bool:
+        """Resolve with ``value`` unless already resolved; report success."""
+        if self._done:
+            return False
+        self.succeed(value)
+        return True
+
+    def try_fail(self, exc: BaseException) -> bool:
+        """Resolve with ``exc`` unless already resolved; report success."""
+        if self._done:
+            return False
+        self.fail(exc)
+        return True
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.env.schedule(0.0, callback, self)
+
+    # -- chaining -----------------------------------------------------------
+
+    def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Invoke ``callback(self)`` once resolved (via the event queue)."""
+        if self._done:
+            self.env.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def remove_done_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Remove a previously added callback if still pending."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self._done:
+            state = f"failed({self._exc!r})" if self._exc else f"done({self._value!r})"
+        return f"<Future {self.label!r} {state}>"
+
+
+def all_of(env: "Environment", futures: Iterable[Future]) -> Future:  # noqa: F821
+    """Return a future resolving with the list of all results.
+
+    Fails as soon as any input future fails (remaining results discarded).
+    """
+    futures = list(futures)
+    combined = Future(env, label="all_of")
+    if not futures:
+        combined.succeed([])
+        return combined
+    remaining = {"count": len(futures)}
+
+    def on_done(fut: Future) -> None:
+        if combined.done:
+            return
+        if fut.failed:
+            combined.fail(fut.exception())
+            return
+        remaining["count"] -= 1
+        if remaining["count"] == 0:
+            combined.succeed([f.result() for f in futures])
+
+    for fut in futures:
+        fut.add_done_callback(on_done)
+    return combined
+
+
+def any_of(env: "Environment", futures: Iterable[Future]) -> Future:  # noqa: F821
+    """Return a future resolving with ``(index, value)`` of the first winner.
+
+    If the first future to resolve failed, the combined future fails with
+    the same exception.
+    """
+    futures = list(futures)
+    if not futures:
+        raise ValueError("any_of() requires at least one future")
+    combined = Future(env, label="any_of")
+
+    def make_callback(index: int) -> Callable[[Future], None]:
+        def on_done(fut: Future) -> None:
+            if combined.done:
+                return
+            if fut.failed:
+                combined.fail(fut.exception())
+            else:
+                combined.succeed((index, fut.result()))
+
+        return on_done
+
+    for i, fut in enumerate(futures):
+        fut.add_done_callback(make_callback(i))
+    return combined

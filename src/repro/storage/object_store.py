@@ -1,0 +1,101 @@
+"""A cloud object store (S3-like): buckets, high latency, high durability.
+
+The *disaggregated* storage tier of the paper (§3.3, §5.2): dataflow
+checkpoints, actor persistence, and FaaS state all land here.  The pure
+:class:`ObjectStore` holds the bytes; :class:`ObjectStoreServer` runs it on
+a node and charges realistic request latency plus size-proportional
+transfer time, which is what makes embedded-vs-disaggregated trade-offs
+measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.net.latency import Latency, Sampler
+from repro.net.node import Node
+from repro.sim import Environment
+
+
+class NoSuchKey(KeyError):
+    """Requested object does not exist."""
+
+
+class ObjectStore:
+    """Durable flat namespace of ``(bucket, key) -> object``.
+
+    Objects survive any node crash: durability is the defining property of
+    the disaggregated tier.
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict[tuple[str, str], Any] = {}
+        self.put_count = 0
+        self.get_count = 0
+        self.bytes_written = 0
+
+    def put(self, bucket: str, key: str, obj: Any, size: int = 1) -> None:
+        """Store an object (last-writer-wins, like S3)."""
+        self._objects[(bucket, key)] = obj
+        self.put_count += 1
+        self.bytes_written += size
+
+    def get(self, bucket: str, key: str) -> Any:
+        """Fetch an object; raises :class:`NoSuchKey` if absent."""
+        self.get_count += 1
+        try:
+            return self._objects[(bucket, key)]
+        except KeyError:
+            raise NoSuchKey(f"{bucket}/{key}") from None
+
+    def exists(self, bucket: str, key: str) -> bool:
+        return (bucket, key) in self._objects
+
+    def delete(self, bucket: str, key: str) -> bool:
+        return self._objects.pop((bucket, key), None) is not None
+
+    def list(self, bucket: str, prefix: str = "") -> list[str]:
+        """Sorted keys in ``bucket`` starting with ``prefix``."""
+        return sorted(
+            k for (b, k) in self._objects if b == bucket and k.startswith(prefix)
+        )
+
+
+class ObjectStoreServer:
+    """Latency-charging facade over an :class:`ObjectStore`.
+
+    All methods are generators intended for ``yield from`` inside simulation
+    processes; each charges a sampled request latency plus a per-unit-size
+    transfer cost.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        store: Optional[ObjectStore] = None,
+        latency: Optional[Sampler] = None,
+        transfer_ms_per_unit: float = 0.01,
+    ) -> None:
+        self.env = env
+        self.store = store if store is not None else ObjectStore()
+        self._latency = latency or Latency.object_store()
+        self._transfer = transfer_ms_per_unit
+        self._rng = env.stream("object-store")
+
+    def put(self, bucket: str, key: str, obj: Any, size: int = 1) -> Generator:
+        """Store an object, charging request + transfer latency."""
+        yield self.env.timeout(self._latency(self._rng) + self._transfer * size)
+        self.store.put(bucket, key, obj, size=size)
+
+    def get(self, bucket: str, key: str, size: int = 1) -> Generator:
+        """Fetch an object, charging request + transfer latency."""
+        yield self.env.timeout(self._latency(self._rng) + self._transfer * size)
+        return self.store.get(bucket, key)
+
+    def exists(self, bucket: str, key: str) -> Generator:
+        yield self.env.timeout(self._latency(self._rng))
+        return self.store.exists(bucket, key)
+
+    def list(self, bucket: str, prefix: str = "") -> Generator:
+        yield self.env.timeout(self._latency(self._rng))
+        return self.store.list(bucket, prefix)

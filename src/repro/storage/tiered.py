@@ -1,0 +1,138 @@
+"""Tiered state: a bounded hot tier spilling to disaggregated storage.
+
+Paper §3.3: "whenever the operator's state exceeds the local storage
+capacity, the state must be checkpointed and the associated operator ...
+migrated"; "recently, there has been increasing interest in using tiered
+storage to battle scenarios where operators' states exceed local node
+storage" (Flink 2.0 disaggregated state, RisingWave).
+
+:class:`TieredStore` keeps the hottest ``hot_capacity`` entries in local
+memory (free to access) and spills the least-recently-used remainder to a
+cloud object store (a charged round trip per cold access, with promotion
+back to hot on read).  The working-set-vs-capacity ratio therefore decides
+the average access cost — measurable, and measured in its tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Generator, Hashable, Optional
+
+from repro.storage.object_store import NoSuchKey, ObjectStoreServer
+
+
+@dataclass
+class TieredStats:
+    hot_hits: int = 0
+    cold_hits: int = 0
+    misses: int = 0
+    spills: int = 0
+    promotions: int = 0
+
+    @property
+    def cold_fraction(self) -> float:
+        total = self.hot_hits + self.cold_hits
+        return self.cold_hits / total if total else 0.0
+
+
+class TieredStore:
+    """Hot in-memory tier over a cold object-store tier.
+
+    All accessors are generators: hot accesses resolve without advancing
+    virtual time, cold accesses charge the object store's latency.
+    Eviction is write-back (the spill itself pays one store write).
+    """
+
+    def __init__(
+        self,
+        object_store: ObjectStoreServer,
+        hot_capacity: int,
+        bucket: str = "tiered-state",
+        name: str = "tiered",
+    ) -> None:
+        if hot_capacity <= 0:
+            raise ValueError("hot_capacity must be positive")
+        self.cold = object_store
+        self.hot_capacity = hot_capacity
+        self.bucket = bucket
+        self.name = name
+        self._hot: OrderedDict[Hashable, Any] = OrderedDict()
+        self._cold_keys: set[Hashable] = set()
+        self.stats = TieredStats()
+
+    def __len__(self) -> int:
+        return len(self._hot) + len(self._cold_keys)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._hot or key in self._cold_keys
+
+    def _cold_key(self, key: Hashable) -> str:
+        return f"{self.name}/{key!r}"
+
+    # -- access ------------------------------------------------------------------
+
+    def put(self, key: Hashable, value: Any) -> Generator:
+        """Write into the hot tier, spilling LRU entries if over capacity."""
+        if key in self._hot:
+            self._hot.move_to_end(key)
+        self._hot[key] = value
+        self._cold_keys.discard(key)
+        while len(self._hot) > self.hot_capacity:
+            victim, victim_value = self._hot.popitem(last=False)
+            yield from self.cold.put(
+                self.bucket, self._cold_key(victim), victim_value
+            )
+            self._cold_keys.add(victim)
+            self.stats.spills += 1
+
+    def get(self, key: Hashable, default: Any = None) -> Generator:
+        """Read; cold entries pay a round trip and promote to hot."""
+        if key in self._hot:
+            self._hot.move_to_end(key)
+            self.stats.hot_hits += 1
+            return self._hot[key]
+        if key in self._cold_keys:
+            try:
+                value = yield from self.cold.get(self.bucket, self._cold_key(key))
+            except NoSuchKey:  # pragma: no cover - bookkeeping invariant
+                self._cold_keys.discard(key)
+                self.stats.misses += 1
+                return default
+            self.stats.cold_hits += 1
+            self.stats.promotions += 1
+            self._cold_keys.discard(key)
+            yield from self.put(key, value)  # may spill another entry
+            return value
+        self.stats.misses += 1
+        return default
+
+    def delete(self, key: Hashable) -> Generator:
+        """Remove from whichever tier holds the key."""
+        if key in self._hot:
+            del self._hot[key]
+            return True
+        if key in self._cold_keys:
+            yield from self.cold.put(self.bucket, self._cold_key(key), None)
+            self._cold_keys.discard(key)
+            self.cold.store.delete(self.bucket, self._cold_key(key))
+            return True
+        return False
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def hot_keys(self) -> list[Hashable]:
+        return list(self._hot.keys())
+
+    @property
+    def cold_count(self) -> int:
+        return len(self._cold_keys)
+
+    def snapshot(self) -> Generator:
+        """Materialize the full logical contents (checkpointing)."""
+        merged: dict[Hashable, Any] = {}
+        for key in list(self._cold_keys):
+            merged[key] = yield from self.cold.get(self.bucket, self._cold_key(key))
+        merged.update(self._hot)
+        return merged

@@ -1,0 +1,69 @@
+"""Cross-component consistency protocols and correctness metrology.
+
+The coordination mechanisms the paper surveys for multi-service consistency
+(§4.2, §5.2), plus the measurement machinery its benchmark critique calls
+for (§5.3: "most benchmarks are oblivious to key aspects of data
+management"):
+
+- :mod:`repro.transactions.sagas` — orchestrated sagas with compensations
+  (the BASE/eventual-consistency status quo of microservices);
+- :mod:`repro.transactions.twopc` — a two-phase-commit coordinator over
+  XA-style participants (the blocking alternative microservices avoid);
+- :mod:`repro.transactions.causal` — vector clocks and a causally
+  consistent replicated store (the Antipode direction);
+- :mod:`repro.transactions.anomalies` — invariant checkers and the effect
+  ledger that counts lost/duplicated/phantom effects after every run;
+- :mod:`repro.transactions.sequencer` — a deterministic transaction
+  sequencer (the Calvin-style substrate of the Styx-like dataflow).
+"""
+
+from repro.transactions.anomalies import (
+    AnomalyReport,
+    ConservationInvariant,
+    EffectLedger,
+    Invariant,
+    NonNegativeInvariant,
+    PredicateInvariant,
+    Violation,
+)
+from repro.transactions.causal import CausalStore, VectorClock
+from repro.transactions.choreography import ChoreographyMonitor, Reactor
+from repro.transactions.constraints import ConstraintMonitor, OnlineViolation
+from repro.transactions.cross_engine import KvTxnConflict, TransactionalKv
+from repro.transactions.sagas import (
+    Saga,
+    SagaAborted,
+    SagaOrchestrator,
+    SagaOutcome,
+    SagaStep,
+    SagaStuck,
+)
+from repro.transactions.sequencer import Sequencer
+from repro.transactions.twopc import TwoPhaseCommit, TwoPhaseOutcome
+
+__all__ = [
+    "AnomalyReport",
+    "CausalStore",
+    "ChoreographyMonitor",
+    "ConservationInvariant",
+    "ConstraintMonitor",
+    "KvTxnConflict",
+    "OnlineViolation",
+    "Reactor",
+    "TransactionalKv",
+    "EffectLedger",
+    "Invariant",
+    "NonNegativeInvariant",
+    "PredicateInvariant",
+    "Saga",
+    "SagaAborted",
+    "SagaOrchestrator",
+    "SagaOutcome",
+    "SagaStep",
+    "SagaStuck",
+    "Sequencer",
+    "TwoPhaseCommit",
+    "TwoPhaseOutcome",
+    "VectorClock",
+    "Violation",
+]

@@ -1,0 +1,157 @@
+"""Event-based constraints: online cross-component invariant checking.
+
+Paper §5.1 (ref [40], "Enforcing consistency in microservice architectures
+through event-based constraints"): instead of checking invariants only at
+the end of a run, a monitor consumes the application's event streams and
+evaluates declared constraints *as the system runs*, flagging the window
+in which an invariant was violated — the observability the paper says
+cloud applications lack.
+
+Usage::
+
+    monitor = ConstraintMonitor(env, broker)
+    monitor.watch("stock-events", reducer=apply_stock_event)
+    monitor.constraint(
+        "no-negative-stock",
+        lambda state: all(v >= 0 for v in state.get("stock", {}).values()),
+    )
+    monitor.start()
+    ...
+    monitor.violations  # [(virtual_time, name, detail), ...]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.messaging.broker import Broker
+from repro.sim import Environment
+
+#: A reducer folds one event into the monitor's state dict (mutating it).
+Reducer = Callable[[dict, Any], None]
+
+
+@dataclass(frozen=True)
+class OnlineViolation:
+    """One constraint breach, stamped with when it was observed."""
+
+    at: float
+    constraint: str
+    detail: str
+
+
+@dataclass
+class _Constraint:
+    name: str
+    predicate: Callable[[dict], bool]
+    detail_fn: Optional[Callable[[dict], str]] = None
+
+
+class ConstraintMonitor:
+    """Consumes event topics and evaluates constraints after each event.
+
+    The monitor is an independent observer (own consumer groups); it sees
+    the system the way any downstream consumer would — including, crucially,
+    any intermediate states the coordination scheme exposes.
+    """
+
+    def __init__(self, env: Environment, broker: Broker, poll_batch: int = 32) -> None:
+        self.env = env
+        self.broker = broker
+        self.poll_batch = poll_batch
+        self.state: dict[str, Any] = {}
+        self._watches: list[tuple[str, Reducer]] = []
+        self._constraints: list[_Constraint] = []
+        self.violations: list[OnlineViolation] = []
+        self.events_seen = 0
+        self._running = False
+
+    # -- declaration ---------------------------------------------------------------
+
+    def watch(self, topic: str, reducer: Reducer) -> None:
+        """Fold every event of ``topic`` into the monitor state."""
+        if self._running:
+            raise RuntimeError("declare watches before start()")
+        self._watches.append((topic, reducer))
+
+    def constraint(
+        self,
+        name: str,
+        predicate: Callable[[dict], bool],
+        detail_fn: Optional[Callable[[dict], str]] = None,
+    ) -> None:
+        """Declare an invariant over the monitor state."""
+        if self._running:
+            raise RuntimeError("declare constraints before start()")
+        self._constraints.append(_Constraint(name, predicate, detail_fn))
+
+    # -- execution --------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("monitor already running")
+        if not self._watches:
+            raise RuntimeError("nothing to watch")
+        self._running = True
+        for topic, reducer in self._watches:
+            self.env.process(
+                self._pump(topic, reducer), label=f"constraint-monitor:{topic}"
+            )
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _pump(self, topic: str, reducer: Reducer) -> Generator:
+        consumer = self.broker.consumer(f"constraint-monitor:{topic}", topic)
+        while self._running:
+            batch = yield from consumer.poll(max_records=self.poll_batch)
+            if not self._running:
+                return
+            for record in batch:
+                reducer(self.state, record.value)
+                self.events_seen += 1
+                self._evaluate()
+            yield from consumer.commit()
+
+    def _evaluate(self) -> None:
+        for constraint in self._constraints:
+            try:
+                satisfied = constraint.predicate(self.state)
+            except Exception as exc:  # noqa: BLE001 - a broken predicate is a finding
+                self.violations.append(
+                    OnlineViolation(self.env.now, constraint.name,
+                                    f"predicate error: {exc!r}")
+                )
+                continue
+            if not satisfied:
+                detail = (
+                    constraint.detail_fn(self.state)
+                    if constraint.detail_fn is not None
+                    else "constraint violated"
+                )
+                self.violations.append(
+                    OnlineViolation(self.env.now, constraint.name, detail)
+                )
+
+    # -- reporting ----------------------------------------------------------------------
+
+    def violation_windows(self, name: str, gap: float = 50.0) -> list[tuple[float, float]]:
+        """Contiguous violation intervals for one constraint.
+
+        Violating observations less than ``gap`` ms apart collapse into
+        one ``(first, last)`` window — "when was the system inconsistent,
+        and for how long".
+        """
+        times = sorted(v.at for v in self.violations if v.constraint == name)
+        if not times:
+            return []
+        windows = []
+        start = prev = times[0]
+        for t in times[1:]:
+            if t - prev > gap:
+                windows.append((start, prev))
+                start = t
+            prev = t
+        windows.append((start, prev))
+        return windows

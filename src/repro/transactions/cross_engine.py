@@ -1,0 +1,134 @@
+"""Cross-engine transactions: ACID across heterogeneous stores.
+
+Paper §5.2: "Cross-engine transactions is a promising approach since it
+operates at a lower level than the application" (Epoxy [36], [70]) —
+coordinating, say, a relational database and a key-value cache without
+pushing protocol details into application code.
+
+The piece that makes it work here: :class:`TransactionalKv`, a key-value
+store speaking the same XA participant protocol as
+:class:`repro.db.Database` (``prepare`` / ``commit_prepared`` /
+``abort_prepared``), so one :class:`repro.transactions.twopc.
+TwoPhaseCommit` coordinator can atomically commit across both engines.
+Validation is optimistic (version check at prepare), and prepared keys are
+locked against concurrent preparers until the decision.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, Hashable, Optional
+
+from repro.sim import Environment
+from repro.storage.kv import KeyValueStore
+
+
+class KvTxnConflict(Exception):
+    """Prepare-time validation failed (stale read or key locked)."""
+
+
+@dataclass
+class KvTransaction:
+    """A client-side transaction over a :class:`TransactionalKv`."""
+
+    tid: int
+    reads: dict[Hashable, int] = field(default_factory=dict)
+    writes: dict[Hashable, Any] = field(default_factory=dict)
+    status: str = "active"
+
+
+class TransactionalKv:
+    """A versioned KV store that can be a 2PC participant.
+
+    Reads record the observed version; ``prepare`` validates that every
+    read version is still current and takes a prepare-lock on the write
+    set; the decision installs or discards.  Between prepare and decision,
+    conflicting preparers abort immediately (no blocking — this is the
+    cache-tier behaviour Epoxy layers on Redis-likes).
+    """
+
+    _tids = itertools.count(1)
+
+    def __init__(self, env: Environment, name: str = "txn-kv", op_latency: float = 0.5) -> None:
+        self.env = env
+        self.name = name
+        self.op_latency = op_latency
+        self.store = KeyValueStore()
+        self._prepared_keys: dict[Hashable, int] = {}  # key -> tid holding it
+        self._in_doubt: dict[int, KvTransaction] = {}
+
+    # -- transaction API ----------------------------------------------------------
+
+    def begin(self) -> KvTransaction:
+        return KvTransaction(tid=next(TransactionalKv._tids))
+
+    def get(self, txn: KvTransaction, key: Hashable, default: Any = None) -> Generator:
+        yield self.env.timeout(self.op_latency)
+        if key in txn.writes:
+            return txn.writes[key]
+        versioned = self.store.get_versioned(key)
+        txn.reads[key] = self.store.version(key)
+        return versioned.value if versioned is not None else default
+
+    def put(self, txn: KvTransaction, key: Hashable, value: Any) -> Generator:
+        yield self.env.timeout(self.op_latency)
+        txn.writes[key] = value
+
+    # -- XA participant protocol -----------------------------------------------------
+
+    def prepare(self, txn: KvTransaction) -> Generator:
+        """Validate reads, lock the write set, go in-doubt."""
+        yield self.env.timeout(self.op_latency)
+        if txn.status != "active":
+            raise KvTxnConflict(f"txn {txn.tid} is {txn.status}")
+        for key in set(txn.reads) | set(txn.writes):
+            holder = self._prepared_keys.get(key)
+            if holder is not None and holder != txn.tid:
+                txn.status = "aborted"
+                raise KvTxnConflict(f"{key!r} is prepare-locked by txn {holder}")
+        for key, seen_version in txn.reads.items():
+            if self.store.version(key) != seen_version:
+                txn.status = "aborted"
+                raise KvTxnConflict(f"stale read of {key!r}")
+        for key in txn.writes:
+            self._prepared_keys[key] = txn.tid
+        txn.status = "prepared"
+        self._in_doubt[txn.tid] = txn
+
+    def commit_prepared(self, txn: KvTransaction) -> Generator:
+        yield self.env.timeout(self.op_latency)
+        if txn.status != "prepared":
+            raise KvTxnConflict(f"txn {txn.tid} is {txn.status}, not prepared")
+        for key, value in txn.writes.items():
+            self.store.put(key, value)
+        self._release(txn)
+        txn.status = "committed"
+
+    def abort_prepared(self, txn: KvTransaction) -> Generator:
+        yield self.env.timeout(self.op_latency)
+        self._release(txn)
+        txn.status = "aborted"
+
+    def abort(self, txn: KvTransaction) -> Generator:
+        """Abort a not-yet-prepared transaction (coordinator's phase-1 path)."""
+        yield self.env.timeout(self.op_latency)
+        if txn.status == "prepared":
+            self._release(txn)
+        txn.status = "aborted"
+
+    def _release(self, txn: KvTransaction) -> None:
+        self._in_doubt.pop(txn.tid, None)
+        for key in txn.writes:
+            if self._prepared_keys.get(key) == txn.tid:
+                del self._prepared_keys[key]
+
+    # -- one-phase convenience ------------------------------------------------------
+
+    def commit(self, txn: KvTransaction) -> Generator:
+        """Local (single-engine) commit: prepare + decide in one step."""
+        yield from self.prepare(txn)
+        yield from self.commit_prepared(txn)
+
+    def in_doubt(self) -> list[int]:
+        return list(self._in_doubt)

@@ -1,0 +1,129 @@
+"""A two-phase-commit coordinator over XA-style participants.
+
+The "traditional approach" to cross-service consistency the paper says
+microservices avoid (§4.2): atomic, isolated — and blocking.  Participants
+hold locks from prepare until the decision arrives; a coordinator crash in
+that window leaves them *in doubt*, and everything their locks cover stays
+unavailable until the coordinator recovers (measured by benchmark C2).
+
+Participants are anything exposing the generator methods ``prepare(txn)``,
+``commit_prepared(txn)``/``abort_prepared(txn)`` and ``abort(txn)`` —
+:class:`repro.db.Database` and :class:`repro.db.DatabaseServer` both do.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.sim import Environment
+
+
+@dataclass
+class TwoPhaseOutcome:
+    """Result of one coordinated commit."""
+
+    xid: int
+    decision: str  # "committed" | "aborted" | "in_doubt"
+    prepare_duration: float = 0.0
+    total_duration: float = 0.0
+    failed_participant: Optional[int] = None
+
+
+@dataclass
+class TwoPcStats:
+    committed: int = 0
+    aborted: int = 0
+    in_doubt: int = 0
+
+
+def _call(obj: Any, name: str, *args: Any) -> Generator:
+    """Invoke a participant method that may be a generator or plain."""
+    method = getattr(obj, name)
+    result = method(*args)
+    if hasattr(result, "__next__"):
+        result = yield from result
+    return result
+
+
+class TwoPhaseCommit:
+    """The coordinator.  One instance can coordinate many transactions."""
+
+    _xids = itertools.count(1)
+
+    def __init__(self, env: Environment, decision_delay: float = 0.0) -> None:
+        self.env = env
+        self.decision_delay = decision_delay
+        self.stats = TwoPcStats()
+        self._in_doubt: dict[int, list[tuple[Any, Any]]] = {}
+
+    def run(
+        self,
+        branches: list[tuple[Any, Any]],
+        crash_before_decision: bool = False,
+    ) -> Generator:
+        """Coordinate ``branches`` — pairs of ``(participant, txn)``.
+
+        Returns a :class:`TwoPhaseOutcome`.  With ``crash_before_decision``
+        the coordinator "dies" after all prepares succeed: participants
+        stay prepared (locks held!) until :meth:`recover` is called.
+        """
+        xid = next(TwoPhaseCommit._xids)
+        started = self.env.now
+        prepared: list[tuple[Any, Any]] = []
+        outcome = TwoPhaseOutcome(xid=xid, decision="committed")
+
+        # Phase 1: prepare everyone.
+        for index, (participant, txn) in enumerate(branches):
+            try:
+                yield from _call(participant, "prepare", txn)
+                prepared.append((participant, txn))
+            except Exception:  # noqa: BLE001 - any prepare failure aborts all
+                outcome.decision = "aborted"
+                outcome.failed_participant = index
+                break
+        outcome.prepare_duration = self.env.now - started
+
+        if outcome.decision == "aborted":
+            for participant, txn in prepared:
+                yield from _call(participant, "abort_prepared", txn)
+            for participant, txn in branches[len(prepared):]:
+                yield from _call(participant, "abort", txn)
+            self.stats.aborted += 1
+            outcome.total_duration = self.env.now - started
+            return outcome
+
+        if crash_before_decision:
+            outcome.decision = "in_doubt"
+            self._in_doubt[xid] = prepared
+            self.stats.in_doubt += 1
+            outcome.total_duration = self.env.now - started
+            return outcome
+
+        # Phase 2: deliver the commit decision.
+        if self.decision_delay:
+            yield self.env.timeout(self.decision_delay)
+        for participant, txn in prepared:
+            yield from _call(participant, "commit_prepared", txn)
+        self.stats.committed += 1
+        outcome.total_duration = self.env.now - started
+        return outcome
+
+    def recover(self, xid: int, commit: bool = True) -> Generator:
+        """Resolve an in-doubt transaction after coordinator recovery."""
+        branches = self._in_doubt.pop(xid, None)
+        if branches is None:
+            return False
+        for participant, txn in branches:
+            name = "commit_prepared" if commit else "abort_prepared"
+            yield from _call(participant, name, txn)
+        if commit:
+            self.stats.committed += 1
+        else:
+            self.stats.aborted += 1
+        self.stats.in_doubt -= 1
+        return True
+
+    def in_doubt_xids(self) -> list[int]:
+        return list(self._in_doubt)

@@ -1,0 +1,148 @@
+"""An Online-Marketplace-style checkout workload.
+
+Modeled on the paper's own benchmark line of work (ref [38], "Online
+Marketplace: A Benchmark for Data Management in Microservices"): a
+checkout spans cart, stock, payment, and order services, and correctness
+is defined by *cross-service* data invariants:
+
+- **no oversell** — units reserved never exceed units stocked;
+- **charge exactly once** — one payment per confirmed order;
+- **no orphan reservations** — a failed checkout leaves no stock reserved.
+
+The operation stream mixes checkouts with a configurable fraction of
+payment failures, so compensation paths (sagas) get exercised, not just
+happy paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.transactions.anomalies import Invariant, Violation
+from repro.workloads.ycsb import ZipfianGenerator
+
+
+@dataclass(frozen=True)
+class CheckoutOp:
+    """One customer checkout: a cart of (product, quantity) pairs."""
+
+    op_id: str
+    customer: str
+    cart: tuple[tuple[str, int], ...]
+    payment_fails: bool  # injected business failure (card declined)
+
+
+@dataclass
+class MarketplaceWorkload:
+    """Checkout generator + invariants."""
+
+    num_products: int = 50
+    num_customers: int = 100
+    initial_stock: int = 100
+    payment_failure_rate: float = 0.1
+    max_cart_size: int = 3
+    theta: float = 0.5  # product popularity skew
+
+    def __post_init__(self) -> None:
+        if self.num_products <= 0 or self.num_customers <= 0:
+            raise ValueError("need products and customers")
+        self._zipf = ZipfianGenerator(self.num_products, self.theta)
+
+    @staticmethod
+    def product(index: int) -> str:
+        return f"prod-{index:04d}"
+
+    def initial_products(self) -> list[dict]:
+        return [
+            {"id": self.product(i), "stock": self.initial_stock, "reserved": 0}
+            for i in range(self.num_products)
+        ]
+
+    def operations(self, rng: random.Random, count: int) -> Iterator[CheckoutOp]:
+        for index in range(count):
+            size = rng.randint(1, self.max_cart_size)
+            products = {self.product(p) for p in self._zipf.sample_distinct(rng, size)}
+            cart = tuple((p, rng.randint(1, 3)) for p in sorted(products))
+            yield CheckoutOp(
+                op_id=f"order-{index:06d}",
+                customer=f"cust-{rng.randrange(self.num_customers):04d}",
+                cart=cart,
+                payment_fails=rng.random() < self.payment_failure_rate,
+            )
+
+    def invariants(self) -> list[Invariant]:
+        return [
+            _NoOversellInvariant(self.initial_stock),
+            _ChargeExactlyOnceInvariant(),
+            _NoOrphanReservationInvariant(),
+        ]
+
+
+class _NoOversellInvariant(Invariant):
+    """Units sold + remaining stock per product must equal the initial stock."""
+
+    name = "marketplace.no_oversell"
+
+    def __init__(self, initial_stock: int) -> None:
+        self.initial_stock = initial_stock
+
+    def check(self, state: dict) -> list[Violation]:
+        violations = []
+        sold: dict[str, int] = {}
+        for order in state["orders"]:
+            for product, quantity in order["items"]:
+                sold[product] = sold.get(product, 0) + quantity
+        for product_row in state["products"]:
+            total = product_row["stock"] + sold.get(product_row["id"], 0)
+            if product_row["stock"] < 0 or total > self.initial_stock:
+                violations.append(
+                    Violation(
+                        self.name,
+                        f"{product_row['id']}: stock={product_row['stock']}, "
+                        f"sold={sold.get(product_row['id'], 0)}, "
+                        f"initial={self.initial_stock}",
+                    )
+                )
+        return violations
+
+
+class _ChargeExactlyOnceInvariant(Invariant):
+    """Every confirmed order has exactly one payment; no payment is orphan."""
+
+    name = "marketplace.charge_exactly_once"
+
+    def check(self, state: dict) -> list[Violation]:
+        violations = []
+        payments_by_order: dict[str, int] = {}
+        for payment in state["payments"]:
+            payments_by_order[payment["order_id"]] = (
+                payments_by_order.get(payment["order_id"], 0) + 1
+            )
+        order_ids = {order["id"] for order in state["orders"]}
+        for order_id in order_ids:
+            count = payments_by_order.get(order_id, 0)
+            if count != 1:
+                violations.append(
+                    Violation(self.name, f"order {order_id}: {count} payments")
+                )
+        for order_id, count in payments_by_order.items():
+            if order_id not in order_ids:
+                violations.append(
+                    Violation(self.name, f"payment without order: {order_id} x{count}")
+                )
+        return violations
+
+
+class _NoOrphanReservationInvariant(Invariant):
+    """After quiescence, no stock remains flagged as reserved."""
+
+    name = "marketplace.no_orphan_reservation"
+
+    def check(self, state: dict) -> list[Violation]:
+        return [
+            Violation(self.name, f"{row['id']}: reserved={row['reserved']}")
+            for row in state["products"]
+            if row.get("reserved", 0) != 0
+        ]

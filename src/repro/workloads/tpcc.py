@@ -1,0 +1,235 @@
+"""TPC-C-lite: the complex-transaction stress test for cloud runtimes.
+
+A faithful subset of TPC-C at laptop scale (paper §4.2/§5.3: "recent work
+has found challenges in supporting large-scale, complex transactional
+applications like TPC-C in existing state-of-the-art SFaaS systems").
+Implemented transactions:
+
+- **NewOrder** — read customer/warehouse, update 5–15 stock rows (1% of
+  line items from a *remote* warehouse — the cross-partition trigger),
+  insert order + order lines;
+- **Payment** — update warehouse/district YTD, update customer balance
+  (15% pay through a remote warehouse);
+- **OrderStatus** — read a customer's latest order (read-only).
+
+Consistency conditions (from the TPC-C spec §3.3.2, adapted):
+
+- warehouse YTD equals the sum of its districts' YTD;
+- every order has exactly as many lines as recorded in ``ol_cnt``;
+- stock never goes negative (we *reject* under-stock orders, so a negative
+  value is a runtime isolation bug, not business as usual).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.transactions.anomalies import Invariant, Violation
+
+DISTRICTS_PER_WAREHOUSE = 4
+CUSTOMERS_PER_DISTRICT = 30
+ITEMS = 100
+INITIAL_STOCK = 1000
+
+
+@dataclass(frozen=True)
+class NewOrderOp:
+    op_id: str
+    warehouse: int
+    district: int
+    customer: int
+    # (item_id, supply_warehouse, quantity)
+    lines: tuple[tuple[int, int, int], ...]
+
+
+@dataclass(frozen=True)
+class PaymentOp:
+    op_id: str
+    warehouse: int
+    district: int
+    customer: int
+    customer_warehouse: int  # may differ: remote payment
+    amount: int
+
+
+@dataclass(frozen=True)
+class OrderStatusOp:
+    op_id: str
+    warehouse: int
+    district: int
+    customer: int
+
+
+@dataclass
+class TpccLite:
+    """Scaled-down TPC-C: generator + schema + consistency checks."""
+
+    warehouses: int = 2
+    new_order_fraction: float = 0.45
+    payment_fraction: float = 0.43
+    # remainder: order-status
+    remote_line_fraction: float = 0.01
+    remote_payment_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.warehouses <= 0:
+            raise ValueError("need at least one warehouse")
+
+    # -- initial data -----------------------------------------------------------
+
+    def initial_warehouses(self) -> list[dict]:
+        return [{"id": w, "ytd": 0} for w in range(self.warehouses)]
+
+    def initial_districts(self) -> list[dict]:
+        return [
+            {"id": f"{w}:{d}", "warehouse": w, "ytd": 0, "next_o_id": 1}
+            for w in range(self.warehouses)
+            for d in range(DISTRICTS_PER_WAREHOUSE)
+        ]
+
+    def initial_customers(self) -> list[dict]:
+        return [
+            {
+                "id": f"{w}:{d}:{c}",
+                "warehouse": w,
+                "district": d,
+                "balance": 0,
+                "payment_cnt": 0,
+            }
+            for w in range(self.warehouses)
+            for d in range(DISTRICTS_PER_WAREHOUSE)
+            for c in range(CUSTOMERS_PER_DISTRICT)
+        ]
+
+    def initial_items(self) -> list[dict]:
+        return [{"id": i, "price": 1 + (i % 50)} for i in range(ITEMS)]
+
+    def initial_stock(self) -> list[dict]:
+        return [
+            {"id": f"{w}:{i}", "warehouse": w, "item": i, "quantity": INITIAL_STOCK}
+            for w in range(self.warehouses)
+            for i in range(ITEMS)
+        ]
+
+    # -- operation stream -----------------------------------------------------------
+
+    def operations(self, rng: random.Random, count: int) -> Iterator[Any]:
+        for index in range(count):
+            roll = rng.random()
+            warehouse = rng.randrange(self.warehouses)
+            district = rng.randrange(DISTRICTS_PER_WAREHOUSE)
+            customer = rng.randrange(CUSTOMERS_PER_DISTRICT)
+            op_id = f"tpcc-{index:06d}"
+            if roll < self.new_order_fraction:
+                yield self._new_order(rng, op_id, warehouse, district, customer)
+            elif roll < self.new_order_fraction + self.payment_fraction:
+                customer_warehouse = warehouse
+                if (
+                    self.warehouses > 1
+                    and rng.random() < self.remote_payment_fraction
+                ):
+                    customer_warehouse = rng.randrange(self.warehouses)
+                yield PaymentOp(
+                    op_id=op_id,
+                    warehouse=warehouse,
+                    district=district,
+                    customer=customer,
+                    customer_warehouse=customer_warehouse,
+                    amount=1 + rng.randrange(50),
+                )
+            else:
+                yield OrderStatusOp(
+                    op_id=op_id,
+                    warehouse=warehouse,
+                    district=district,
+                    customer=customer,
+                )
+
+    def _new_order(
+        self, rng: random.Random, op_id: str, warehouse: int, district: int, customer: int
+    ) -> NewOrderOp:
+        num_lines = rng.randint(5, 15)
+        items = rng.sample(range(ITEMS), num_lines)
+        lines = []
+        for item in items:
+            supply = warehouse
+            if self.warehouses > 1 and rng.random() < self.remote_line_fraction:
+                supply = rng.randrange(self.warehouses)
+            lines.append((item, supply, rng.randint(1, 10)))
+        return NewOrderOp(
+            op_id=op_id,
+            warehouse=warehouse,
+            district=district,
+            customer=customer,
+            lines=tuple(lines),
+        )
+
+    # -- consistency conditions --------------------------------------------------------
+
+    def invariants(self) -> list[Invariant]:
+        return [
+            _WarehouseYtdInvariant(),
+            _OrderLineCountInvariant(),
+            _StockNonNegativeInvariant(),
+        ]
+
+
+class _WarehouseYtdInvariant(Invariant):
+    """TPC-C condition 1: W_YTD = sum(D_YTD) per warehouse."""
+
+    name = "tpcc.warehouse_ytd"
+
+    def check(self, state: dict) -> list[Violation]:
+        violations = []
+        district_totals: dict[int, int] = {}
+        for district in state["districts"]:
+            warehouse = district["warehouse"]
+            district_totals[warehouse] = district_totals.get(warehouse, 0) + district["ytd"]
+        for warehouse in state["warehouses"]:
+            expected = district_totals.get(warehouse["id"], 0)
+            if warehouse["ytd"] != expected:
+                violations.append(
+                    Violation(
+                        self.name,
+                        f"warehouse {warehouse['id']}: W_YTD={warehouse['ytd']} "
+                        f"!= sum(D_YTD)={expected}",
+                    )
+                )
+        return violations
+
+
+class _OrderLineCountInvariant(Invariant):
+    """TPC-C condition 3-ish: each order has ol_cnt order lines."""
+
+    name = "tpcc.order_line_count"
+
+    def check(self, state: dict) -> list[Violation]:
+        violations = []
+        lines_per_order: dict[str, int] = {}
+        for line in state["order_lines"]:
+            lines_per_order[line["order_id"]] = lines_per_order.get(line["order_id"], 0) + 1
+        for order in state["orders"]:
+            actual = lines_per_order.get(order["id"], 0)
+            if actual != order["ol_cnt"]:
+                violations.append(
+                    Violation(
+                        self.name,
+                        f"order {order['id']}: {actual} lines, expected {order['ol_cnt']}",
+                    )
+                )
+        return violations
+
+
+class _StockNonNegativeInvariant(Invariant):
+    """Stock must never be driven below zero (orders are rejected instead)."""
+
+    name = "tpcc.stock_non_negative"
+
+    def check(self, state: dict) -> list[Violation]:
+        return [
+            Violation(self.name, f"stock {row['id']}: quantity={row['quantity']}")
+            for row in state["stock"]
+            if row["quantity"] < 0
+        ]

@@ -1,0 +1,302 @@
+"""Tests for the virtual actor runtime and actor transactions."""
+
+import pytest
+
+from repro.actors import (
+    Actor,
+    ActorError,
+    ActorRuntime,
+    ActorTransactionCoordinator,
+    TransactionFailed,
+    transactional,
+)
+from repro.messaging import RpcTimeout
+from repro.sim import Environment
+
+
+@transactional
+class BankAccount(Actor):
+    """The canonical actor: a bank account with explicit persistence."""
+
+    initial_state = {"balance": 0}
+
+    def deposit(self, amount):
+        self.state["balance"] += amount
+        yield from self.save_state()
+        return self.state["balance"]
+
+    def deposit_volatile(self, amount):
+        """Mutates memory only — durability is the actor's problem (§3.3)."""
+        self.state["balance"] += amount
+        return self.state["balance"]
+        yield  # pragma: no cover
+
+    def balance(self):
+        return self.state["balance"]
+        yield  # pragma: no cover
+
+    def txn_deposit(self, amount):
+        """Used inside actor transactions (no explicit save: 2PC persists)."""
+        self.state["balance"] += amount
+        return self.state["balance"]
+        yield  # pragma: no cover
+
+    def txn_withdraw(self, amount):
+        if self.state["balance"] < amount:
+            raise ValueError("insufficient funds")
+        self.state["balance"] -= amount
+        return self.state["balance"]
+        yield  # pragma: no cover
+
+
+class Greeter(Actor):
+    initial_state = {"greetings": 0}
+
+    def greet(self, name):
+        self.state["greetings"] += 1
+        other = yield from self.call_actor("BankAccount", "shared", "balance")
+        return f"hello {name} (bank says {other})"
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=31)
+
+
+@pytest.fixture
+def runtime(env):
+    rt = ActorRuntime(env, num_silos=3)
+    rt.register(BankAccount)
+    rt.register(Greeter)
+    return rt
+
+
+def run(env, gen):
+    return env.run_until(env.process(gen))
+
+
+class TestActivation:
+    def test_call_activates_on_demand(self, env, runtime):
+        ref = runtime.ref("BankAccount", "alice")
+
+        def flow():
+            return (yield from ref.call("deposit", 100))
+
+        assert run(env, flow()) == 100
+        assert runtime.stats.activations == 1
+
+    def test_second_call_reuses_activation(self, env, runtime):
+        ref = runtime.ref("BankAccount", "alice")
+
+        def flow():
+            yield from ref.call("deposit", 100)
+            yield from ref.call("deposit", 50)
+            return (yield from ref.call("balance"))
+
+        assert run(env, flow()) == 150
+        assert runtime.stats.activations == 1
+
+    def test_unregistered_type_rejected(self, runtime):
+        with pytest.raises(ActorError):
+            runtime.ref("Unknown", "x")
+
+    def test_placement_is_deterministic(self, runtime):
+        assert runtime.place("BankAccount", "k").name == runtime.place("BankAccount", "k").name
+
+    def test_placement_spreads_actors(self, runtime):
+        silos = {runtime.place("BankAccount", f"k{i}").name for i in range(50)}
+        assert len(silos) == 3
+
+    def test_actor_to_actor_call(self, env, runtime):
+        def flow():
+            yield from runtime.ref("BankAccount", "shared").call("deposit", 7)
+            return (yield from runtime.ref("Greeter", "g1").call("greet", "ada"))
+
+        assert run(env, flow()) == "hello ada (bank says 7)"
+
+
+class TestTurnConcurrency:
+    def test_turns_serialize_per_actor(self, env, runtime):
+        """Two concurrent calls to the same actor never interleave."""
+        ref = runtime.ref("BankAccount", "alice")
+        results = []
+
+        def caller(amount):
+            value = yield from ref.call("deposit", amount)
+            results.append(value)
+
+        env.process(caller(10))
+        env.process(caller(10))
+        env.run()
+        # Both turns applied sequentially: balances are 10 then 20.
+        assert sorted(results) == [10, 20]
+
+    def test_different_actors_run_concurrently(self, env, runtime):
+        done_times = {}
+
+        def caller(key):
+            yield from runtime.ref("BankAccount", key).call("deposit", 1)
+            done_times[key] = env.now
+
+        env.process(caller("a"))
+        env.process(caller("b"))
+        env.run()
+        # Concurrent (no mutual blocking): both finish in single-call time.
+        assert abs(done_times["a"] - done_times["b"]) < 15
+
+
+class TestFailureTransparency:
+    def test_state_survives_silo_crash_if_saved(self, env, runtime):
+        ref = runtime.ref("BankAccount", "alice")
+
+        def flow():
+            yield from ref.call("deposit", 100)
+            host = runtime.host_of("BankAccount", "alice")
+            index = int(host.split("-")[1])
+            runtime.crash_silo(index)
+            balance = yield from ref.call("balance", retries=2)
+            return host, balance
+
+        old_host, balance = run(env, flow())
+        assert balance == 100  # state reloaded from the provider
+        assert runtime.host_of("BankAccount", "alice") != old_host
+        assert runtime.stats.migrations >= 1
+
+    def test_unsaved_state_lost_on_crash(self, env, runtime):
+        """§4.1: weak guarantees leave actor state inconsistent on failure."""
+        ref = runtime.ref("BankAccount", "alice")
+
+        def flow():
+            yield from ref.call("deposit", 100)          # saved
+            yield from ref.call("deposit_volatile", 50)  # memory only
+            host = runtime.host_of("BankAccount", "alice")
+            runtime.crash_silo(int(host.split("-")[1]))
+            return (yield from ref.call("balance", retries=2))
+
+        assert run(env, flow()) == 100  # the volatile 50 vanished
+
+    def test_at_most_once_call_times_out_when_all_silos_down(self, env, runtime):
+        for index in range(3):
+            runtime.crash_silo(index)
+        ref = runtime.ref("BankAccount", "x")
+
+        def flow():
+            yield from ref.call("balance", timeout=5)
+
+        with pytest.raises(ActorError):
+            run(env, flow())
+
+    def test_call_retries_after_crash_mid_call(self, env, runtime):
+        ref = runtime.ref("BankAccount", "alice")
+
+        def flow():
+            yield from ref.call("deposit", 100)
+            host = runtime.host_of("BankAccount", "alice")
+            env.schedule(1.0, runtime.crash_silo, int(host.split("-")[1]))
+            value = yield from ref.call("balance", timeout=10, retries=3)
+            return value
+
+        assert run(env, flow()) == 100
+
+
+class TestActorTransactions:
+    def test_atomic_transfer(self, env, runtime):
+        coordinator = ActorTransactionCoordinator(runtime)
+
+        def flow():
+            yield from runtime.ref("BankAccount", "a").call("deposit", 100)
+            yield from runtime.ref("BankAccount", "b").call("deposit", 100)
+            results = yield from coordinator.execute([
+                ("BankAccount", "a", "txn_withdraw", (30,)),
+                ("BankAccount", "b", "txn_deposit", (30,)),
+            ])
+            a = yield from runtime.ref("BankAccount", "a").call("balance")
+            b = yield from runtime.ref("BankAccount", "b").call("balance")
+            return results, a, b
+
+        results, a, b = run(env, flow())
+        assert results == [70, 130]
+        assert (a, b) == (70, 130)
+        assert coordinator.stats.committed == 1
+
+    def test_failed_op_aborts_whole_transaction(self, env, runtime):
+        coordinator = ActorTransactionCoordinator(runtime)
+
+        def flow():
+            yield from runtime.ref("BankAccount", "a").call("deposit", 10)
+            try:
+                yield from coordinator.execute([
+                    ("BankAccount", "a", "txn_withdraw", (5,)),
+                    ("BankAccount", "b", "txn_withdraw", (999,)),  # fails
+                ])
+            except TransactionFailed:
+                pass
+            a = yield from runtime.ref("BankAccount", "a").call("balance")
+            return a
+
+        assert run(env, flow()) == 10  # a's tentative -5 never committed
+        assert coordinator.stats.aborted == 1
+
+    def test_transaction_durably_persists(self, env, runtime):
+        coordinator = ActorTransactionCoordinator(runtime)
+
+        def flow():
+            yield from coordinator.execute([
+                ("BankAccount", "a", "txn_deposit", (42,)),
+            ])
+            host = runtime.host_of("BankAccount", "a")
+            runtime.crash_silo(int(host.split("-")[1]))
+            return (yield from runtime.ref("BankAccount", "a").call("balance", retries=2))
+
+        assert run(env, flow()) == 42
+
+    def test_conflicting_transactions_serialize(self, env, runtime):
+        coordinator = ActorTransactionCoordinator(runtime)
+        outcomes = []
+
+        def transfer(src, dst):
+            try:
+                yield from coordinator.execute([
+                    ("BankAccount", src, "txn_withdraw", (50,)),
+                    ("BankAccount", dst, "txn_deposit", (50,)),
+                ])
+                outcomes.append("ok")
+            except TransactionFailed:
+                outcomes.append("aborted")
+
+        def flow():
+            yield from runtime.ref("BankAccount", "a").call("deposit", 100)
+            yield from runtime.ref("BankAccount", "b").call("deposit", 100)
+
+        run(env, flow())
+        env.process(transfer("a", "b"))
+        env.process(transfer("b", "a"))
+        env.run()
+        assert outcomes == ["ok", "ok"]  # ordered locking: no deadlock
+
+        def check():
+            a = yield from runtime.ref("BankAccount", "a").call("balance")
+            b = yield from runtime.ref("BankAccount", "b").call("balance")
+            return a + b
+
+        assert run(env, check()) == 200  # conservation
+
+    def test_transaction_slower_than_plain_call(self, env, runtime):
+        """The §4.2 penalty: a transactional op costs a multiple of a call."""
+        coordinator = ActorTransactionCoordinator(runtime)
+
+        def plain():
+            start = env.now
+            yield from runtime.ref("BankAccount", "p").call("deposit_volatile", 1)
+            return env.now - start
+
+        def txn():
+            start = env.now
+            yield from coordinator.execute([
+                ("BankAccount", "p", "txn_deposit", (1,)),
+            ])
+            return env.now - start
+
+        plain_cost = run(env, plain())
+        txn_cost = run(env, txn())
+        assert txn_cost > 2 * plain_cost

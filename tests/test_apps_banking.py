@@ -1,0 +1,290 @@
+"""Integration tests: the banking app on every runtime."""
+
+import pytest
+
+from repro.apps import (
+    ActorBank,
+    DataflowBank,
+    DbBank,
+    FaasBank,
+    StatefunBank,
+    TxnDataflowBank,
+)
+from repro.db import IsolationLevel
+from repro.sim import Environment
+from repro.workloads import TransferWorkload
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=91)
+
+
+@pytest.fixture
+def workload():
+    return TransferWorkload(num_accounts=10, initial_balance=100, amount=5, theta=0.3)
+
+
+def run(env, gen):
+    return env.run_until(env.process(gen))
+
+
+def total_of(bank):
+    return sum(row["balance"] for row in bank.balances())
+
+
+class TestDbBank:
+    def test_sequential_transfers_conserve(self, env, workload):
+        bank = DbBank(env, workload)
+        ops = list(workload.operations(env.stream("ops"), 20))
+
+        def flow():
+            for op in ops:
+                yield from bank.execute(op)
+
+        run(env, flow())
+        assert total_of(bank) == workload.expected_total
+        assert len(bank.ledger.duplicates()) == 0
+
+    def test_concurrent_transfers_conserve(self, env, workload):
+        bank = DbBank(env, workload)
+        ops = list(workload.operations(env.stream("ops"), 30))
+        for op in ops:
+            env.process(bank.execute(op))
+        env.run()
+        assert total_of(bank) == workload.expected_total
+
+    def test_audit_sees_consistent_total(self, env, workload):
+        bank = DbBank(env, workload)
+        ops = list(workload.operations(env.stream("ops"), 20))
+        audits = []
+
+        def auditor():
+            for _ in range(5):
+                yield env.timeout(7.0)
+                total = yield from bank.audit()
+                audits.append(total)
+
+        for op in ops:
+            env.process(bank.execute(op))
+        env.process(auditor())
+        env.run()
+        assert all(total == workload.expected_total for total in audits)
+
+    def test_read_committed_loses_updates_under_contention(self, env):
+        """The same app at a weaker isolation level breaks conservation."""
+        from repro.workloads.transfers import TransferOp
+
+        workload = TransferWorkload(num_accounts=40, initial_balance=1000, amount=5)
+        bank = DbBank(env, workload, isolation=IsolationLevel.READ_COMMITTED)
+        # Unique sources, one hot destination: racing credits get lost.
+        ops = [
+            TransferOp(f"op-{i}", workload.account(i + 1), workload.account(0), 5)
+            for i in range(30)
+        ]
+        for op in ops:
+            env.process(bank.execute(op))
+        env.run()
+        assert total_of(bank) < workload.expected_total
+
+
+class TestActorBank:
+    def test_plain_mode_transfers(self, env, workload):
+        bank = ActorBank(env, workload, mode="plain")
+        run(env, bank.setup())
+        ops = list(workload.operations(env.stream("ops"), 15))
+
+        def flow():
+            for op in ops:
+                yield from bank.execute(op)
+
+        run(env, flow())
+        assert total_of(bank) == workload.expected_total
+
+    def test_transaction_mode_transfers(self, env, workload):
+        bank = ActorBank(env, workload, mode="transaction")
+        run(env, bank.setup())
+        ops = list(workload.operations(env.stream("ops"), 10))
+
+        def flow():
+            for op in ops:
+                yield from bank.execute(op)
+
+        run(env, flow())
+        assert total_of(bank) == workload.expected_total
+
+    def test_transaction_mode_slower_than_plain(self, env, workload):
+        plain = ActorBank(env, workload, mode="plain")
+        run(env, plain.setup())
+        txn = ActorBank(env, workload, mode="transaction")
+        run(env, txn.setup())
+        ops = list(workload.operations(env.stream("ops"), 10))
+
+        def timed(bank):
+            start = env.now
+            for op in ops:
+                yield from bank.execute(op)
+            return env.now - start
+
+        plain_time = run(env, timed(plain))
+        txn_time = run(env, timed(txn))
+        assert txn_time > 1.5 * plain_time
+
+    def test_plain_mode_partial_transfer_on_crash_window(self, env, workload):
+        """Crash between withdraw and deposit: money vanishes (§4.2)."""
+        bank = ActorBank(env, workload, mode="plain")
+        run(env, bank.setup())
+        op = next(iter(workload.operations(env.stream("ops"), 1)))
+
+        def interrupted_transfer():
+            yield from bank.runtime.ref("_AccountActor", op.src).call(
+                "withdraw", op.amount, retries=2
+            )
+            # the caller dies here; deposit is never issued
+
+        run(env, interrupted_transfer())
+        assert total_of(bank) == workload.expected_total - op.amount
+
+    def test_invalid_mode(self, env, workload):
+        with pytest.raises(ValueError):
+            ActorBank(env, workload, mode="quantum")
+
+
+class TestFaasBank:
+    @pytest.mark.parametrize("mode", ["entities", "workflow"])
+    def test_strong_modes_conserve_under_concurrency(self, env, workload, mode):
+        bank = FaasBank(env, workload, mode=mode)
+        run(env, bank.setup())
+        ops = list(workload.operations(env.stream("ops"), 30))
+        for op in ops:
+            env.process(bank.execute(op))
+        env.run()
+        assert total_of(bank) == workload.expected_total
+
+    def test_kv_mode_loses_updates_under_concurrency(self, env):
+        from repro.workloads.transfers import TransferOp
+
+        workload = TransferWorkload(num_accounts=40, initial_balance=1000, amount=5)
+        bank = FaasBank(env, workload, mode="kv")
+        run(env, bank.setup())
+        # Unique sources, one hot destination: racing credits get lost.
+        ops = [
+            TransferOp(f"op-{i}", workload.account(i + 1), workload.account(0), 5)
+            for i in range(30)
+        ]
+        for op in ops:
+            env.process(bank.execute(op))
+        env.run()
+        assert total_of(bank) < workload.expected_total
+
+    def test_workflow_mode_dedups_by_op_id(self, env, workload):
+        bank = FaasBank(env, workload, mode="workflow")
+        run(env, bank.setup())
+        op = next(iter(workload.operations(env.stream("ops"), 1)))
+
+        def flow():
+            yield from bank.execute(op)
+            yield from bank.execute(op)  # client retry of the same op
+
+        run(env, flow())
+        assert total_of(bank) == workload.expected_total
+        src_balance = next(
+            row["balance"] for row in bank.balances() if row["id"] == op.src
+        )
+        assert src_balance == workload.initial_balance - op.amount  # once!
+
+
+class TestDataflowBank:
+    def test_transfers_conserve_at_quiescence(self, env, workload):
+        bank = DataflowBank(env, workload)
+        bank.start()
+        ops = list(workload.operations(env.stream("ops"), 20))
+        for op in ops:
+            bank.submit(op)
+        env.run(until=500)
+        assert total_of(bank) == workload.expected_total
+        assert len(bank.completed_ops()) == 20
+
+    def test_no_isolation_mid_flight(self, env, workload):
+        """Audits during the run observe inconsistent totals."""
+        bank = DataflowBank(env, workload)
+        bank.start()
+        ops = list(workload.operations(env.stream("ops"), 50))
+        drifts = []
+
+        def auditor():
+            for _ in range(40):
+                yield env.timeout(1.0)
+                drifts.append(bank.audit_total() - workload.expected_total)
+
+        for op in ops:
+            bank.submit(op)
+        env.process(auditor())
+        env.run(until=600)
+        assert any(drift != 0 for drift in drifts)  # in-flight money seen
+        assert total_of(bank) == workload.expected_total  # but converges
+
+
+class TestStatefunBank:
+    def test_transfers_conserve_at_quiescence(self, env, workload):
+        bank = StatefunBank(env, workload)
+        bank.start()
+        ops = list(workload.operations(env.stream("ops"), 20))
+        for op in ops:
+            bank.submit(op)
+        env.run(until=1000)
+        assert total_of(bank) == workload.expected_total
+        assert len(bank.completed_ops()) == 20
+
+    def test_exactly_once_across_crash(self, env, workload):
+        bank = StatefunBank(env, workload, checkpoint_interval=30.0)
+        bank.start()
+        ops = list(workload.operations(env.stream("ops"), 15))
+
+        def feeder():
+            for op in ops:
+                yield env.timeout(8.0)
+                bank.submit(op)
+
+        env.process(feeder())
+        env.run(until=70)
+        bank.runtime.crash()
+        run(env, bank.runtime.recover())
+        env.run(until=2000)
+        assert total_of(bank) == workload.expected_total
+        completed = bank.completed_ops()
+        assert len(completed) == len(set(completed))  # no duplicates
+        assert sorted(completed) == sorted(op.op_id for op in ops)
+
+
+class TestTxnDataflowBank:
+    def test_transfers_conserve(self, env, workload):
+        bank = TxnDataflowBank(env, workload)
+        bank.start()
+        run(env, bank.setup())
+        ops = list(workload.operations(env.stream("ops"), 25))
+        for op in ops:
+            env.process(bank.execute(op))
+        env.run(until=2000)
+        assert total_of(bank) == workload.expected_total
+
+    def test_audit_is_serializable(self, env, workload):
+        """Unlike the plain dataflow, audits always see the exact total."""
+        bank = TxnDataflowBank(env, workload)
+        bank.start()
+        run(env, bank.setup())
+        ops = list(workload.operations(env.stream("ops"), 30))
+        audits = []
+
+        def auditor():
+            for _ in range(6):
+                yield env.timeout(15.0)
+                total = yield from bank.audit()
+                audits.append(total)
+
+        for op in ops:
+            env.process(bank.execute(op))
+        env.process(auditor())
+        env.run(until=2000)
+        assert audits
+        assert all(total == workload.expected_total for total in audits)

@@ -1,0 +1,138 @@
+"""Integration tests for the hotel reservation app (DeathStar-style)."""
+
+import pytest
+
+from repro.apps import HotelApp
+from repro.sim import Environment
+from repro.workloads.hotel import HotelWorkload, ReserveOp, SearchOp
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=171)
+
+
+@pytest.fixture
+def workload():
+    return HotelWorkload(num_hotels=8, num_cities=2, capacity_per_hotel=3)
+
+
+@pytest.fixture
+def app(env, workload):
+    return HotelApp(env, workload)
+
+
+def run(env, gen):
+    return env.run_until(env.process(gen))
+
+
+def check(workload, state):
+    violations = []
+    for invariant in workload.invariants():
+        violations.extend(invariant.check(state))
+    return violations
+
+
+class TestSearch:
+    def test_search_returns_city_hotels(self, env, workload, app):
+        op = SearchOp(op_id="s1", city="city-0")
+
+        def flow():
+            yield from app.execute(op)
+            result = yield from app.app.request(
+                "frontend", "search", {"city": "city-0"}, idempotency_key="s2"
+            )
+            return result
+
+        hotels = run(env, flow())
+        assert hotels
+        assert all(workload.city_of(int(h.split("-")[1])) == "city-0"
+                   for h in hotels)
+
+
+class TestReservations:
+    def test_reserve_decrements_capacity(self, env, workload, app):
+        op = ReserveOp(op_id="r1", hotel="hotel-000", customer="c1", nights=2)
+        run(env, app.execute(op))
+        state = app.final_state()
+        hotel = next(h for h in state["hotels"] if h["id"] == "hotel-000")
+        assert hotel["available"] == 2
+        assert len(state["reservations"]) == 1
+        assert check(workload, state) == []
+
+    def test_overbooking_rejected(self, env, workload, app):
+        outcomes = []
+
+        def one(i):
+            op = ReserveOp(op_id=f"r{i}", hotel="hotel-000",
+                           customer=f"c{i}", nights=1)
+            try:
+                yield from app.execute(op)
+                outcomes.append("ok")
+            except Exception:
+                outcomes.append("rejected")
+
+        for i in range(6):  # capacity is 3
+            env.process(one(i))
+        env.run()
+        assert outcomes.count("ok") == 3
+        assert outcomes.count("rejected") == 3
+        state = app.final_state()
+        assert check(workload, state) == []
+        hotel = next(h for h in state["hotels"] if h["id"] == "hotel-000")
+        assert hotel["available"] == 0
+
+    def test_cancel_restores_capacity(self, env, workload, app):
+        op = ReserveOp(op_id="r1", hotel="hotel-001", customer="c1", nights=1)
+        run(env, app.execute(op))
+
+        def do_cancel():
+            result = yield from app.app.context("frontend").call(
+                "reservation", "cancel", {"reservation_id": "r1"},
+                idempotency_key="cancel-r1",
+            )
+            return result
+
+        assert run(env, do_cancel()) is True
+        state = app.final_state()
+        hotel = next(h for h in state["hotels"] if h["id"] == "hotel-001")
+        assert hotel["available"] == workload.capacity_per_hotel
+        assert check(workload, state) == []
+
+    def test_duplicate_booking_request_is_idempotent(self, env, workload, app):
+        op = ReserveOp(op_id="r1", hotel="hotel-002", customer="c1", nights=1)
+
+        def flow():
+            yield from app.execute(op)
+            yield from app.execute(op)  # client retry
+
+        run(env, flow())
+        state = app.final_state()
+        assert len(state["reservations"]) == 1
+        assert check(workload, state) == []
+
+    def test_mixed_workload_keeps_invariants(self, env, workload, app):
+        ops = list(workload.operations(env.stream("ops"), 60))
+
+        def one(op):
+            try:
+                yield from app.execute(op)
+            except Exception:
+                pass
+
+        for op in ops:
+            env.process(one(op))
+        env.run()
+        assert check(workload, app.final_state()) == []
+
+    def test_reservation_service_crash_recovers(self, env, workload, app):
+        op1 = ReserveOp(op_id="r1", hotel="hotel-003", customer="c1", nights=1)
+        run(env, app.execute(op1))
+        app.app.crash_service("reservation")
+        app.app.restart_service("reservation")
+        op2 = ReserveOp(op_id="r2", hotel="hotel-003", customer="c2", nights=1)
+        run(env, app.execute(op2))
+        state = app.final_state()
+        hotel = next(h for h in state["hotels"] if h["id"] == "hotel-003")
+        assert hotel["available"] == workload.capacity_per_hotel - 2
+        assert check(workload, state) == []

@@ -1,0 +1,155 @@
+"""Tests for choreographed sagas over the broker."""
+
+import pytest
+
+from repro.messaging import Broker
+from repro.sim import Environment
+from repro.transactions.choreography import ChoreographyMonitor, Reactor
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=131)
+
+
+@pytest.fixture
+def broker(env):
+    b = Broker(env)
+    for topic in ("orders", "stock-reserved", "payments", "completed",
+                  "compensations", "compensated"):
+        b.create_topic(topic)
+    return b
+
+
+def build_checkout_choreography(env, broker, state, fail_payment_for=()):
+    """orders -> stock -> payment -> completed, with compensation events."""
+
+    def stock_reaction(event):
+        yield env.timeout(1.0)
+        state["stock"] -= event["qty"]
+        return [("stock-reserved", event["saga_id"],
+                 {"qty": event["qty"]})]
+
+    def payment_reaction(event):
+        yield env.timeout(1.0)
+        if event["saga_id"] in fail_payment_for:
+            # Emit a compensation event instead of failing silently.
+            return [("compensations", event["saga_id"], {"qty": event["qty"]})]
+        state["charged"] += 1
+        return [("completed", event["saga_id"], {})]
+
+    def compensation_reaction(event):
+        yield env.timeout(1.0)
+        state["stock"] += event["qty"]
+        return [("compensated", event["saga_id"], {})]
+
+    reactors = [
+        Reactor(env, broker, "stock-svc", "orders", stock_reaction),
+        Reactor(env, broker, "payment-svc", "stock-reserved", payment_reaction),
+        Reactor(env, broker, "stock-compensator", "compensations",
+                compensation_reaction),
+    ]
+    for reactor in reactors:
+        reactor.start()
+    return reactors
+
+
+def place_order(env, broker, saga_id, qty=1):
+    def publish():
+        yield from broker.publish(
+            "orders", saga_id,
+            {"saga_id": saga_id, "event_id": f"{saga_id}/order", "qty": qty},
+        )
+
+    env.process(publish())
+
+
+class TestChoreography:
+    def test_happy_path_flows_through_services(self, env, broker):
+        state = {"stock": 10, "charged": 0}
+        build_checkout_choreography(env, broker, state)
+        monitor = ChoreographyMonitor(env, broker, "completed", "compensated")
+        place_order(env, broker, "order-1", qty=2)
+        env.run(until=100)
+        assert state["stock"] == 8
+        assert state["charged"] == 1
+        assert monitor.outcome_of("order-1") == "completed"
+
+    def test_failure_triggers_compensation_event(self, env, broker):
+        state = {"stock": 10, "charged": 0}
+        build_checkout_choreography(env, broker, state,
+                                    fail_payment_for={"order-2"})
+        monitor = ChoreographyMonitor(env, broker, "completed", "compensated")
+        place_order(env, broker, "order-2", qty=3)
+        env.run(until=100)
+        assert state["stock"] == 10  # reserved then released
+        assert state["charged"] == 0
+        assert monitor.outcome_of("order-2") == "compensated"
+
+    def test_many_orders_interleave(self, env, broker):
+        state = {"stock": 100, "charged": 0}
+        build_checkout_choreography(env, broker, state,
+                                    fail_payment_for={"o-3", "o-7"})
+        monitor = ChoreographyMonitor(env, broker, "completed", "compensated")
+        for i in range(10):
+            place_order(env, broker, f"o-{i}", qty=1)
+        env.run(until=500)
+        assert state["charged"] == 8
+        assert state["stock"] == 100 - 8
+        assert sum(1 for i in range(10)
+                   if monitor.outcome_of(f"o-{i}") == "completed") == 8
+
+    def test_reactor_restart_redelivers_but_dedups(self, env, broker):
+        """Crash a reactor before commit: the replacement dedups redelivery."""
+        state = {"stock": 10, "charged": 0}
+
+        def stock_reaction(event):
+            yield env.timeout(1.0)
+            state["stock"] -= event["qty"]
+            return []
+
+        reactor = Reactor(env, broker, "stock-svc", "orders", stock_reaction)
+        # Manually drive one poll WITHOUT committing (simulates crash).
+        consumer = broker.consumer("stock-svc", "orders")
+        place_order(env, broker, "order-x", qty=2)
+
+        def first_incarnation():
+            batch = yield from consumer.poll()
+            for record in batch:
+                yield from reactor._handle(record)
+            # crash here: no commit
+
+        env.run_until(env.process(first_incarnation()))
+        assert state["stock"] == 8
+        # Replacement incarnation shares the reactor's (durable) dedup.
+        reactor.start()
+        env.run(until=200)
+        assert state["stock"] == 8  # redelivered event deduplicated
+
+    def test_poisoned_event_does_not_kill_reactor(self, env, broker):
+        state = {"stock": 10, "charged": 0}
+
+        def reaction(event):
+            yield env.timeout(1.0)
+            if event.get("poison"):
+                raise RuntimeError("bad event")
+            state["charged"] += 1
+            return []
+
+        reactor = Reactor(env, broker, "svc", "orders", reaction)
+        reactor.start()
+
+        def publish():
+            yield from broker.publish("orders", "a", {"event_id": "e1", "poison": True})
+            yield from broker.publish("orders", "b", {"event_id": "e2"})
+
+        env.process(publish())
+        env.run(until=100)
+        assert reactor.stats.failed == 1
+        assert state["charged"] == 1
+
+    def test_double_start_rejected(self, env, broker):
+        reactor = Reactor(env, broker, "svc", "orders", lambda e: iter(()))
+        reactor.start()
+        with pytest.raises(RuntimeError):
+            reactor.start()

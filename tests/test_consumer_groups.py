@@ -1,0 +1,130 @@
+"""Tests for cooperative consumer groups with partition rebalancing."""
+
+import pytest
+
+from repro.messaging import Broker
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=281)
+
+
+@pytest.fixture
+def broker(env):
+    b = Broker(env)
+    b.create_topic("events", partitions=4)
+    return b
+
+
+def run(env, gen):
+    return env.run_until(env.process(gen))
+
+
+class TestAssignment:
+    def test_single_member_owns_all_partitions(self, env, broker):
+        member = broker.join_group("g", "events", "m1")
+        assert member.assigned_partitions == [0, 1, 2, 3]
+
+    def test_two_members_split_partitions(self, env, broker):
+        m1 = broker.join_group("g", "events", "m1")
+        m2 = broker.join_group("g", "events", "m2")
+        assert sorted(m1.assigned_partitions + m2.assigned_partitions) == [0, 1, 2, 3]
+        assert not (set(m1.assigned_partitions) & set(m2.assigned_partitions))
+
+    def test_duplicate_member_id_rejected(self, env, broker):
+        broker.join_group("g", "events", "m1")
+        with pytest.raises(ValueError):
+            broker.join_group("g", "events", "m1")
+
+    def test_more_members_than_partitions(self, env, broker):
+        members = [broker.join_group("g", "events", f"m{i}") for i in range(6)]
+        owned = [p for m in members for p in m.assigned_partitions]
+        assert sorted(owned) == [0, 1, 2, 3]
+        idle = [m for m in members if not m.assigned_partitions]
+        assert len(idle) == 2
+
+
+class TestGroupConsumption:
+    def test_records_split_across_members_no_overlap(self, env, broker):
+        m1 = broker.join_group("g", "events", "m1")
+        m2 = broker.join_group("g", "events", "m2")
+        for i in range(40):
+            broker.publish_now("events", f"key-{i}", i)
+        seen = {"m1": [], "m2": []}
+
+        def pump(member, name):
+            while sum(len(v) for v in seen.values()) < 40:
+                batch = yield from member.poll(max_records=8, wait=False)
+                seen[name].extend(r.value for r in batch)
+                yield from member.commit()
+                if not batch:
+                    yield env.timeout(1.0)
+
+        env.process(pump(m1, "m1"))
+        env.process(pump(m2, "m2"))
+        env.run(until=5000)
+        assert sorted(seen["m1"] + seen["m2"]) == list(range(40))
+        assert seen["m1"] and seen["m2"]  # both actually worked
+
+    def test_member_leave_hands_partitions_to_survivor(self, env, broker):
+        m1 = broker.join_group("g", "events", "m1")
+        m2 = broker.join_group("g", "events", "m2")
+        for i in range(20):
+            broker.publish_now("events", f"key-{i}", i)
+        collected = []
+
+        def phase_one():
+            batch = yield from m2.poll(max_records=100, wait=False)
+            collected.extend(r.value for r in batch)
+            yield from m2.commit()
+
+        run(env, phase_one())
+        m2.leave()  # m1 must take over m2's partitions
+
+        def phase_two():
+            while len(collected) < 20:
+                batch = yield from m1.poll(max_records=100, wait=False)
+                collected.extend(r.value for r in batch)
+                yield from m1.commit()
+                if not batch:
+                    yield env.timeout(1.0)
+
+        env.process(phase_two())
+        env.run(until=5000)
+        assert sorted(collected) == list(range(20))
+
+    def test_uncommitted_records_redelivered_after_leave(self, env, broker):
+        m1 = broker.join_group("g", "events", "m1")
+        m2 = broker.join_group("g", "events", "m2")
+        for i in range(12):
+            broker.publish_now("events", f"key-{i}", i)
+
+        def crash_without_commit():
+            batch = yield from m2.poll(max_records=100, wait=False)
+            return [r.value for r in batch]  # crashed: no commit
+
+        lost_batch = run(env, crash_without_commit())
+        assert lost_batch
+        m2.leave()
+        survivor_sees = []
+
+        def survivor():
+            while len(survivor_sees) < 12:
+                batch = yield from m1.poll(max_records=100, wait=False)
+                survivor_sees.extend(r.value for r in batch)
+                yield from m1.commit()
+                if not batch:
+                    yield env.timeout(1.0)
+
+        env.process(survivor())
+        env.run(until=5000)
+        assert sorted(survivor_sees) == list(range(12))  # nothing lost
+        assert broker.stats.redelivered >= len(lost_batch)
+
+    def test_new_member_joining_rebalances_live(self, env, broker):
+        m1 = broker.join_group("g", "events", "m1")
+        assert m1.assigned_partitions == [0, 1, 2, 3]
+        broker.join_group("g", "events", "m2")
+        assert m1.assigned_partitions == [0, 2]  # shrunk at next refresh

@@ -1,0 +1,191 @@
+"""Tests for cross-engine transactions (Epoxy-style, §5.2)."""
+
+import pytest
+
+from repro.db import Database, IsolationLevel
+from repro.sim import Environment
+from repro.transactions import TwoPhaseCommit
+from repro.transactions.cross_engine import KvTxnConflict, TransactionalKv
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=191)
+
+
+def run(env, gen):
+    return env.run_until(env.process(gen))
+
+
+class TestTransactionalKv:
+    def test_read_write_commit(self, env):
+        kv = TransactionalKv(env)
+
+        def flow():
+            txn = kv.begin()
+            yield from kv.put(txn, "k", "v")
+            yield from kv.commit(txn)
+            txn2 = kv.begin()
+            return (yield from kv.get(txn2, "k"))
+
+        assert run(env, flow()) == "v"
+
+    def test_uncommitted_writes_invisible(self, env):
+        kv = TransactionalKv(env)
+
+        def flow():
+            txn = kv.begin()
+            yield from kv.put(txn, "k", "dirty")
+            other = kv.begin()
+            return (yield from kv.get(other, "k", "absent"))
+
+        assert run(env, flow()) == "absent"
+
+    def test_stale_read_aborts_at_prepare(self, env):
+        kv = TransactionalKv(env)
+        kv.store.put("k", 1)
+
+        def flow():
+            txn = kv.begin()
+            value = yield from kv.get(txn, "k")
+            kv.store.put("k", value + 100)  # out-of-band interference
+            yield from kv.put(txn, "k", value + 1)
+            yield from kv.prepare(txn)
+
+        with pytest.raises(KvTxnConflict, match="stale read"):
+            run(env, flow())
+
+    def test_prepare_locks_conflicting_preparer(self, env):
+        kv = TransactionalKv(env)
+
+        def flow():
+            txn_a = kv.begin()
+            yield from kv.put(txn_a, "k", 1)
+            yield from kv.prepare(txn_a)
+            txn_b = kv.begin()
+            yield from kv.put(txn_b, "k", 2)
+            try:
+                yield from kv.prepare(txn_b)
+            except KvTxnConflict:
+                yield from kv.commit_prepared(txn_a)
+                return "b-conflicted"
+
+        assert run(env, flow()) == "b-conflicted"
+        assert kv.store.get("k") == 1
+
+    def test_abort_prepared_releases_locks(self, env):
+        kv = TransactionalKv(env)
+
+        def flow():
+            txn_a = kv.begin()
+            yield from kv.put(txn_a, "k", 1)
+            yield from kv.prepare(txn_a)
+            yield from kv.abort_prepared(txn_a)
+            txn_b = kv.begin()
+            yield from kv.put(txn_b, "k", 2)
+            yield from kv.commit(txn_b)
+
+        run(env, flow())
+        assert kv.store.get("k") == 2
+        assert kv.in_doubt() == []
+
+
+class TestCrossEngine2pc:
+    """One atomic commit spanning the SQL-ish engine and the KV engine."""
+
+    def _setup(self, env):
+        db = Database(env, name="relational")
+        db.create_table("orders", primary_key="id")
+        kv = TransactionalKv(env, name="cache")
+        kv.store.put("order-count", 0)
+        coordinator = TwoPhaseCommit(env)
+        return db, kv, coordinator
+
+    def test_atomic_commit_across_engines(self, env):
+        db, kv, coordinator = self._setup(env)
+
+        def flow():
+            db_txn = db.begin(SER)
+            kv_txn = kv.begin()
+            yield from db.insert(db_txn, "orders", {"id": "o1", "total": 10})
+            count = yield from kv.get(kv_txn, "order-count")
+            yield from kv.put(kv_txn, "order-count", count + 1)
+            outcome = yield from coordinator.run([(db, db_txn), (kv, kv_txn)])
+            return outcome
+
+        outcome = run(env, flow())
+        assert outcome.decision == "committed"
+        assert db.read_latest("orders", "o1")["total"] == 10
+        assert kv.store.get("order-count") == 1
+
+    def test_kv_conflict_rolls_back_the_database_too(self, env):
+        db, kv, coordinator = self._setup(env)
+
+        def flow():
+            db_txn = db.begin(SER)
+            kv_txn = kv.begin()
+            yield from db.insert(db_txn, "orders", {"id": "o1", "total": 10})
+            count = yield from kv.get(kv_txn, "order-count")
+            yield from kv.put(kv_txn, "order-count", count + 1)
+            kv.store.put("order-count", 99)  # interference before prepare
+            outcome = yield from coordinator.run([(kv, kv_txn), (db, db_txn)])
+            return outcome
+
+        outcome = run(env, flow())
+        assert outcome.decision == "aborted"
+        assert db.read_latest("orders", "o1") is None  # atomicity held
+        assert kv.store.get("order-count") == 99
+
+    def test_db_failure_rolls_back_the_kv_too(self, env):
+        db, kv, coordinator = self._setup(env)
+
+        def flow():
+            # Set up a DB write-write conflict under snapshot isolation.
+            db.load("orders", [{"id": "hot", "total": 0}])
+            txn_a = db.begin(IsolationLevel.SNAPSHOT)
+            txn_b = db.begin(IsolationLevel.SNAPSHOT)
+            yield from db.put(txn_a, "orders", "hot", {"id": "hot", "total": 1})
+            yield from db.commit(txn_a)
+            yield from db.put(txn_b, "orders", "hot", {"id": "hot", "total": 2})
+            kv_txn = kv.begin()
+            yield from kv.put(kv_txn, "order-count", 42)
+            outcome = yield from coordinator.run([(db, txn_b), (kv, kv_txn)])
+            return outcome
+
+        outcome = run(env, flow())
+        assert outcome.decision == "aborted"
+        assert kv.store.get("order-count") == 0  # kv write rolled back
+        assert db.read_latest("orders", "hot")["total"] == 1
+
+    def test_concurrent_cross_engine_counters_are_exact(self, env):
+        db, kv, coordinator = self._setup(env)
+        committed = []
+
+        def one(i):
+            from repro.db.errors import TransactionAborted
+
+            for attempt in range(12):
+                db_txn = db.begin(SER)
+                kv_txn = kv.begin()
+                try:
+                    yield from db.insert(db_txn, "orders", {"id": f"o{i}"})
+                    count = yield from kv.get(kv_txn, "order-count")
+                    yield from kv.put(kv_txn, "order-count", count + 1)
+                    outcome = yield from coordinator.run(
+                        [(db, db_txn), (kv, kv_txn)]
+                    )
+                    if outcome.decision == "committed":
+                        committed.append(i)
+                        return
+                except (TransactionAborted, KvTxnConflict):
+                    db.abort(db_txn)
+                yield env.timeout(1.0 + attempt)
+
+        for i in range(10):
+            env.process(one(i))
+        env.run()
+        assert kv.store.get("order-count") == len(committed)
+        assert len(db.all_rows("orders")) == len(committed)
+        assert len(committed) == 10

@@ -1,0 +1,272 @@
+"""Tests for the dataflow engine: topology, processing, checkpoints, recovery."""
+
+import pytest
+
+from repro.dataflow import DataflowRuntime, JobGraph
+from repro.net.latency import Latency
+from repro.sim import Environment
+from repro.storage.object_store import ObjectStore, ObjectStoreServer
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=51)
+
+
+def counting_op(state, key, value, emit):
+    """Stateful word-count-style operator."""
+    total = state.get(key, 0) + value
+    state.put(key, total)
+    emit(key, total)
+
+
+def passthrough(state, key, value, emit):
+    emit(key, value)
+
+
+def make_job(sink_mode="exactly_once", parallelism=2):
+    graph = JobGraph("counts")
+    graph.source("events", emit_interval=0.5)
+    graph.operator("count", counting_op, parallelism=parallelism, work_ms=0.2)
+    graph.sink("out", mode=sink_mode)
+    graph.connect("events", "count")
+    graph.connect("count", "out")
+    return graph
+
+
+def make_runtime(env, graph=None, **kwargs):
+    kwargs.setdefault("checkpoint_interval", 50.0)
+    kwargs.setdefault(
+        "checkpoint_store",
+        ObjectStoreServer(env, ObjectStore(), latency=Latency.constant(2.0)),
+    )
+    return DataflowRuntime(env, graph or make_job(), **kwargs)
+
+
+class TestGraphValidation:
+    def test_duplicate_stage_rejected(self):
+        graph = JobGraph("g")
+        graph.source("s")
+        with pytest.raises(ValueError):
+            graph.operator("s", passthrough)
+
+    def test_unknown_endpoint_rejected(self):
+        graph = JobGraph("g")
+        graph.source("s")
+        with pytest.raises(ValueError):
+            graph.connect("s", "nope")
+
+    def test_operator_without_input_rejected(self, env):
+        graph = JobGraph("g")
+        graph.source("s")
+        graph.operator("lonely", passthrough)
+        graph.sink("out")
+        graph.connect("s", "out")
+        with pytest.raises(ValueError, match="no input"):
+            DataflowRuntime(env, graph)
+
+    def test_invalid_sink_mode(self):
+        graph = JobGraph("g")
+        with pytest.raises(ValueError):
+            graph.sink("out", mode="maybe_once")
+
+    def test_invalid_parallelism(self):
+        graph = JobGraph("g")
+        with pytest.raises(ValueError):
+            graph.operator("op", passthrough, parallelism=0)
+
+
+class TestProcessing:
+    def test_records_flow_through(self, env):
+        runtime = make_runtime(env)
+        runtime.start()
+        for i in range(5):
+            runtime.send("events", f"user-{i % 2}", 1)
+        env.run(until=100)
+        outputs = runtime.sink_outputs("out")
+        assert len(outputs) == 5
+        # Running totals per key: user-0 saw 1,2,3; user-1 saw 1,2.
+        totals = {}
+        for key, value, _t in outputs:
+            totals[key] = value
+        assert totals == {"user-0": 3, "user-1": 2}
+
+    def test_keyed_state_is_per_key(self, env):
+        runtime = make_runtime(env)
+        runtime.start()
+        runtime.send("events", "a", 10)
+        runtime.send("events", "b", 1)
+        env.run(until=100)
+        values = {k: v for k, v, _ in runtime.sink_outputs("out")}
+        assert values == {"a": 10, "b": 1}
+
+    def test_order_preserved_per_key(self, env):
+        runtime = make_runtime(env)
+        runtime.start()
+        for i in range(10):
+            runtime.send("events", "k", 1)
+        env.run(until=200)
+        values = [v for _k, v, _t in runtime.sink_outputs("out")]
+        assert values == list(range(1, 11))
+
+    def test_parallelism_spreads_keys(self, env):
+        runtime = make_runtime(env, make_job(parallelism=4))
+        runtime.start()
+        for i in range(40):
+            runtime.send("events", f"k{i}", 1)
+        env.run(until=200)
+        assert len(runtime.sink_outputs("out")) == 40
+        assert runtime.stats.records_processed == 40
+
+
+class TestCheckpointing:
+    def test_checkpoints_complete_periodically(self, env):
+        runtime = make_runtime(env)
+        runtime.start()
+        for i in range(10):
+            runtime.send("events", "k", 1)
+        env.run(until=500)
+        assert runtime.stats.checkpoints_completed >= 5
+
+    def test_exactly_once_sink_buffers_until_checkpoint(self, env):
+        runtime = make_runtime(env, checkpoint_interval=100.0)
+        runtime.start()
+        runtime.send("events", "k", 1)
+        env.run(until=50)  # record processed, but checkpoint 1 not yet done
+        assert runtime.sink_outputs("out") == []
+        env.run(until=250)
+        assert len(runtime.sink_outputs("out")) == 1
+
+    def test_at_least_once_sink_emits_immediately(self, env):
+        runtime = make_runtime(env, make_job(sink_mode="at_least_once"),
+                               checkpoint_interval=100.0)
+        runtime.start()
+        runtime.send("events", "k", 1)
+        env.run(until=20)
+        assert len(runtime.sink_outputs("out")) == 1
+
+    def test_snapshots_land_in_checkpoint_store(self, env):
+        store = ObjectStoreServer(env, ObjectStore(), latency=Latency.constant(2.0))
+        runtime = make_runtime(env, checkpoint_store=store)
+        runtime.start()
+        runtime.send("events", "k", 1)
+        env.run(until=200)
+        keys = store.store.list("checkpoints")
+        assert any("count#0" in k for k in keys)
+
+
+class TestRecovery:
+    def _run_with_crash(self, env, sink_mode):
+        graph = JobGraph("counts")
+        graph.source("events", emit_interval=10.0)  # 20 records ~ 200ms
+        graph.operator("count", counting_op, parallelism=2, work_ms=0.2)
+        graph.sink("out", mode=sink_mode)
+        graph.connect("events", "count")
+        graph.connect("count", "out")
+        runtime = make_runtime(env, graph, checkpoint_interval=50.0)
+        runtime.start()
+        for i in range(20):
+            runtime.send("events", "k", 1)
+        env.run(until=120)  # some checkpoints done, stream still flowing
+        runtime.crash_worker(0)
+        env.run(until=140)
+        env.run_until(env.process(runtime.recover()))
+        env.run(until=800)
+        return runtime
+
+    def test_state_restored_exactly_once(self, env):
+        """After crash + replay the final count is exactly 20."""
+        runtime = self._run_with_crash(env, "exactly_once")
+        values = [v for k, v, _t in runtime.sink_outputs("out")]
+        assert values, "no outputs after recovery"
+        assert max(values) == 20  # no lost and no double-counted increments
+        assert runtime.stats.recoveries == 1
+        assert runtime.stats.replayed_records > 0
+
+    def test_exactly_once_sink_has_no_duplicates(self, env):
+        runtime = self._run_with_crash(env, "exactly_once")
+        values = [v for k, v, _t in runtime.sink_outputs("out")]
+        assert sorted(values) == sorted(set(values))
+        assert sorted(values) == list(range(1, 21))
+
+    def test_at_least_once_sink_duplicates_on_replay(self, env):
+        runtime = self._run_with_crash(env, "at_least_once")
+        values = [v for k, v, _t in runtime.sink_outputs("out")]
+        assert max(values) == 20
+        assert len(values) > 20  # replayed outputs re-emitted
+
+    def test_recovery_without_any_checkpoint_replays_all(self, env):
+        runtime = make_runtime(env, checkpoint_interval=10_000.0)
+        runtime.start()
+        for i in range(5):
+            runtime.send("events", "k", 1)
+        env.run(until=60)
+        runtime.crash_worker(0)
+        runtime.crash_worker(1)
+        env.run_until(env.process(runtime.recover()))
+        env.run(until=20_500)
+        values = [v for k, v, _t in runtime.sink_outputs("out")]
+        assert max(values) == 5  # replayed from offset 0, state rebuilt
+
+    def test_double_start_rejected(self, env):
+        runtime = make_runtime(env)
+        runtime.start()
+        with pytest.raises(RuntimeError):
+            runtime.start()
+
+    def test_stop_halts_processing(self, env):
+        runtime = make_runtime(env)
+        runtime.start()
+        runtime.send("events", "k", 1)
+        env.run(until=50)
+        runtime.stop()
+        before = len(runtime.sink_outputs("out"))
+        runtime.send("events", "k", 1)
+        env.run(until=200)
+        assert len(runtime.sink_outputs("out")) == before
+
+
+class TestMultiStagePipelines:
+    def test_two_operator_chain(self, env):
+        graph = JobGraph("chain")
+        graph.source("src", emit_interval=0.5)
+
+        def enrich(state, key, value, emit):
+            emit(key, {"amount": value, "enriched": True})
+
+        def total(state, key, value, emit):
+            current = state.get("total", 0) + value["amount"]
+            state.put("total", current)
+            emit(key, current)
+
+        graph.operator("enrich", enrich, parallelism=2)
+        graph.operator("total", total, parallelism=1)
+        graph.sink("out", mode="at_least_once")
+        graph.connect("src", "enrich")
+        graph.connect("enrich", "total")
+        graph.connect("total", "out")
+        runtime = make_runtime(env, graph)
+        runtime.start()
+        for i in range(4):
+            runtime.send("src", f"k{i}", 5)
+        env.run(until=200)
+        values = [v for _k, v, _t in runtime.sink_outputs("out")]
+        assert max(values) == 20
+
+    def test_barrier_alignment_across_parallel_upstreams(self, env):
+        """Downstream of a parallelism-4 stage must align 4 barriers."""
+        graph = JobGraph("align")
+        graph.source("src", emit_interval=0.2)
+        graph.operator("spread", passthrough, parallelism=4)
+        graph.operator("merge", counting_op, parallelism=1)
+        graph.sink("out")
+        graph.connect("src", "spread")
+        graph.connect("spread", "merge")
+        graph.connect("merge", "out")
+        runtime = make_runtime(env, graph, checkpoint_interval=30.0)
+        runtime.start()
+        for i in range(30):
+            runtime.send("src", f"k{i % 8}", 1)
+        env.run(until=500)
+        assert runtime.stats.checkpoints_completed >= 3
+        assert len(runtime.sink_outputs("out")) == 30

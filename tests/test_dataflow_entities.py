@@ -1,0 +1,162 @@
+"""Tests for stateful entities compiled onto the transactional dataflow."""
+
+import pytest
+
+from repro.dataflow import TransactionalDataflow
+from repro.dataflow.entities import Entity, EntityError, compile_entities
+from repro.net.latency import Latency
+from repro.sim import Environment
+from repro.storage.object_store import ObjectStore, ObjectStoreServer
+
+
+class Account(Entity):
+    initial_state = {"balance": 0}
+
+    def deposit(self, amount):
+        self.balance += amount
+        return self.balance
+
+    def withdraw(self, amount):
+        if self.balance < amount:
+            raise ValueError("insufficient funds")
+        self.balance -= amount
+        return self.balance
+
+    def get_balance(self):
+        return self.balance
+
+    def transfer_to(self, dst, amount):
+        """Cross-entity call: atomic debit+credit without explicit txns."""
+        self.balance -= amount
+        result = yield self.call_entity("Account", dst, "deposit", amount)
+        return result
+
+
+class Counter(Entity):
+    initial_state = {"n": 0}
+
+    def bump(self):
+        self.n += 1
+        return self.n
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=231)
+
+
+@pytest.fixture
+def setup(env):
+    engine = TransactionalDataflow(
+        env, epoch_interval=5.0, checkpoint_every=5,
+        checkpoint_store=ObjectStoreServer(env, ObjectStore(),
+                                           latency=Latency.constant(2.0)),
+    )
+    handle = compile_entities(engine, [Account, Counter])
+    engine.start()
+    return engine, handle
+
+
+def run(env, fut):
+    return env.run_until(fut)
+
+
+class TestEntities:
+    def test_method_call_is_a_transaction(self, env, setup):
+        _engine, handle = setup
+        result = run(env, handle.invoke(
+            "Account", "alice", "deposit", 100,
+            touches=[("Account", "alice")],
+        ))
+        assert result == 100
+        assert handle.state_of("Account", "alice") == {"balance": 100}
+
+    def test_initial_state_used_for_fresh_entities(self, env, setup):
+        _engine, handle = setup
+        assert handle.state_of("Account", "nobody") == {"balance": 0}
+        result = run(env, handle.invoke(
+            "Account", "x", "get_balance", touches=[("Account", "x")]
+        ))
+        assert result == 0
+
+    def test_business_exception_aborts_cleanly(self, env, setup):
+        _engine, handle = setup
+        fut = handle.invoke("Account", "alice", "withdraw", 50,
+                            touches=[("Account", "alice")])
+        env.run(until=50)
+        assert fut.failed
+        assert handle.state_of("Account", "alice") == {"balance": 0}
+
+    def test_cross_entity_transfer_is_atomic(self, env, setup):
+        _engine, handle = setup
+        run(env, handle.invoke("Account", "a", "deposit", 100,
+                               touches=[("Account", "a")]))
+        result = run(env, handle.invoke(
+            "Account", "a", "transfer_to", "b", 30,
+            touches=[("Account", "a"), ("Account", "b")],
+        ))
+        assert result == 30
+        assert handle.state_of("Account", "a")["balance"] == 70
+        assert handle.state_of("Account", "b")["balance"] == 30
+
+    def test_entity_types_are_namespaced(self, env, setup):
+        _engine, handle = setup
+        run(env, handle.invoke("Counter", "alice", "bump",
+                               touches=[("Counter", "alice")]))
+        # Same key, different type: no state bleed.
+        assert handle.state_of("Counter", "alice") == {"n": 1}
+        assert handle.state_of("Account", "alice") == {"balance": 0}
+
+    def test_serializable_under_concurrency(self, env, setup):
+        _engine, handle = setup
+        accounts = [f"acct-{i}" for i in range(6)]
+        for account in accounts:
+            env.process(iter(()))  # noop spacing
+            handle.invoke("Account", account, "deposit", 100,
+                          touches=[("Account", account)])
+        env.run(until=30)
+        rng = env.stream("t")
+        for _ in range(30):
+            src, dst = rng.sample(accounts, 2)
+            handle.invoke("Account", src, "transfer_to", dst, 5,
+                          touches=[("Account", src), ("Account", dst)])
+        env.run(until=3000)
+        total = sum(handle.state_of("Account", a)["balance"] for a in accounts)
+        assert total == 600
+
+    def test_exactly_once_across_crash(self, env, setup):
+        engine, handle = setup
+        futures = [
+            handle.invoke("Counter", "c", "bump", touches=[("Counter", "c")])
+            for _ in range(4)
+        ]
+        env.run(until=60)
+        assert handle.state_of("Counter", "c")["n"] == 4
+        engine.crash()
+        env.run_until(env.process(engine.recover()))
+        env.run(until=200)
+        assert handle.state_of("Counter", "c")["n"] == 4  # not 8
+
+    def test_invalid_invocations_rejected(self, env, setup):
+        _engine, handle = setup
+        with pytest.raises(EntityError):
+            handle.invoke("Ghost", "k", "method")
+        with pytest.raises(EntityError):
+            handle.invoke("Account", "k", "_private")
+        with pytest.raises(EntityError):
+            handle.invoke("Account", "k", "no_such_method")
+
+    def test_non_entity_class_rejected(self, env):
+        engine = TransactionalDataflow(env)
+
+        class Plain:
+            pass
+
+        with pytest.raises(EntityError):
+            compile_entities(engine, [Plain])
+
+    def test_call_entity_outside_txn_rejected(self):
+        account = Account.__new__(Account)
+        account._ctx = None
+        with pytest.raises(EntityError):
+            account.call_entity("Account", "x", "deposit", 1)

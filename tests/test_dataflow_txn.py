@@ -1,0 +1,250 @@
+"""Tests for the Styx-like deterministic transactional dataflow."""
+
+import pytest
+
+from repro.dataflow import TransactionalDataflow, TxnAbort
+from repro.net.latency import Latency
+from repro.sim import Environment
+from repro.storage.object_store import ObjectStore, ObjectStoreServer
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=61)
+
+
+def make_engine(env, **kwargs):
+    kwargs.setdefault("epoch_interval", 5.0)
+    kwargs.setdefault("checkpoint_every", 3)
+    kwargs.setdefault(
+        "checkpoint_store",
+        ObjectStoreServer(env, ObjectStore(), latency=Latency.constant(2.0)),
+    )
+    engine = TransactionalDataflow(env, **kwargs)
+
+    @engine.function("deposit")
+    def deposit(ctx, key, amount):
+        balance = ctx.get(key, 0)
+        ctx.put(key, balance + amount)
+        return balance + amount
+        yield  # pragma: no cover
+
+    @engine.function("transfer")
+    def transfer(ctx, key, payload):
+        # key = source account; payload names the destination.
+        src_balance = ctx.get(key, 0)
+        if src_balance < payload["amount"]:
+            raise TxnAbort("insufficient funds")
+        ctx.put(key, src_balance - payload["amount"])
+        result = yield from ctx.call("deposit", payload["dst"], payload["amount"])
+        return result
+
+    @engine.function("read")
+    def read(ctx, key, _payload):
+        return ctx.get(key, 0)
+        yield  # pragma: no cover
+
+    return engine
+
+
+def run(env, gen):
+    return env.run_until(env.process(gen))
+
+
+class TestBasics:
+    def test_submit_and_commit(self, env):
+        engine = make_engine(env)
+        engine.start()
+        fut = engine.submit("deposit", "a", 100, keys=["a"])
+        env.run(until=50)
+        assert fut.result() == 100
+        assert engine.state_of("a") == 100
+
+    def test_results_released_at_epoch_commit_not_before(self, env):
+        engine = make_engine(env, epoch_interval=20.0)
+        engine.start()
+        fut = engine.submit("deposit", "a", 1, keys=["a"])
+        env.run(until=10)
+        assert not fut.done  # executed-or-not, nothing visible pre-epoch
+        env.run(until=50)
+        assert fut.done
+
+    def test_unknown_function_rejected(self, env):
+        engine = make_engine(env)
+        with pytest.raises(KeyError):
+            engine.submit("nope", "k")
+
+    def test_duplicate_registration_rejected(self, env):
+        engine = make_engine(env)
+        with pytest.raises(ValueError):
+            engine.register("deposit", lambda ctx, k, p: iter(()))
+
+    def test_double_start_rejected(self, env):
+        engine = make_engine(env)
+        engine.start()
+        with pytest.raises(RuntimeError):
+            engine.start()
+
+
+class TestTransactions:
+    def test_cross_key_transfer_atomic(self, env):
+        engine = make_engine(env)
+        engine.start()
+        engine.submit("deposit", "a", 100, keys=["a"])
+        env.run(until=20)
+        fut = engine.submit("transfer", "a", {"dst": "b", "amount": 30}, keys=["a", "b"])
+        env.run(until=50)
+        assert fut.result() == 30
+        assert engine.state_of("a") == 70
+        assert engine.state_of("b") == 30
+
+    def test_abort_rolls_back_everything(self, env):
+        engine = make_engine(env)
+        engine.start()
+        engine.submit("deposit", "a", 10, keys=["a"])
+        env.run(until=20)
+        fut = engine.submit(
+            "transfer", "a", {"dst": "b", "amount": 999}, keys=["a", "b"]
+        )
+        env.run(until=50)
+        assert fut.failed
+        assert isinstance(fut.exception(), TxnAbort)
+        assert engine.state_of("a") == 10
+        assert engine.state_of("b") is None
+        assert engine.stats.aborted == 1
+
+    def test_conservation_under_many_concurrent_transfers(self, env):
+        engine = make_engine(env, num_partitions=4)
+        engine.start()
+        accounts = [f"acct-{i}" for i in range(10)]
+        for account in accounts:
+            engine.submit("deposit", account, 100, keys=[account])
+        env.run(until=20)
+        rng = env.stream("test")
+        futures = []
+        for _ in range(50):
+            src, dst = rng.sample(accounts, 2)
+            futures.append(
+                engine.submit(
+                    "transfer", src, {"dst": dst, "amount": 10}, keys=[src, dst]
+                )
+            )
+        env.run(until=400)
+        assert all(f.done for f in futures)
+        total = sum(engine.state_of(a) or 0 for a in accounts)
+        assert total == 1000  # serializable: money conserved exactly
+
+    def test_deterministic_order_equals_tid_order(self, env):
+        """Conflicting txns apply in submission (TID) order."""
+        engine = make_engine(env, epoch_interval=5.0)
+
+        @engine.function("append")
+        def append(ctx, key, value):
+            log = ctx.get(key, [])
+            ctx.put(key, log + [value])
+            return None
+            yield  # pragma: no cover
+
+        engine.start()
+        for i in range(5):
+            engine.submit("append", "log", i, keys=["log"])
+        env.run(until=100)
+        assert engine.state_of("log") == [0, 1, 2, 3, 4]
+
+    def test_non_conflicting_txns_share_waves(self, env):
+        engine = make_engine(env)
+        engine.start()
+        for i in range(8):
+            engine.submit("deposit", f"k{i}", 1, keys=[f"k{i}"])
+        env.run(until=50)
+        # 8 disjoint txns in one epoch -> one wave, not eight.
+        assert engine.stats.waves <= 2
+        assert engine.stats.committed == 8
+
+    def test_undeclared_keys_serialize(self, env):
+        engine = make_engine(env)
+        engine.start()
+        engine.submit("deposit", "a", 1, keys=["a"])
+        engine.submit("deposit", "b", 1)  # undeclared: solo group
+        engine.submit("deposit", "c", 1, keys=["c"])
+        env.run(until=50)
+        assert engine.stats.committed == 3
+        assert engine.stats.waves >= 3
+
+
+class TestExactlyOnceRecovery:
+    def test_crash_recover_replays_to_identical_state(self, env):
+        engine = make_engine(env, epoch_interval=5.0, checkpoint_every=2)
+        engine.start()
+        for i in range(10):
+            env.schedule(
+                8.0 * i, engine.submit, "deposit", f"k{i % 3}", 10, [f"k{i % 3}"]
+            )
+        env.run(until=150)
+        state_before = engine.all_state()
+        assert engine.stats.checkpoints >= 1
+        engine.crash()
+        run(env, engine.recover())
+        env.run(until=200)
+        assert engine.all_state() == state_before
+        assert engine.stats.recoveries == 1
+
+    def test_unreleased_futures_resolve_after_recovery(self, env):
+        engine = make_engine(env, epoch_interval=50.0)
+        engine.start()
+        fut = engine.submit("deposit", "a", 5, keys=["a"])
+        env.run(until=10)  # crash before the first epoch commit
+        engine.crash()
+        assert not fut.done
+        run(env, engine.recover())
+        env.run(until=20)
+        assert fut.done
+        assert fut.result() == 5
+        assert engine.state_of("a") == 5
+
+    def test_replay_does_not_double_apply(self, env):
+        engine = make_engine(env, epoch_interval=5.0, checkpoint_every=100)
+        engine.start()
+        engine.submit("deposit", "a", 10, keys=["a"])
+        env.run(until=50)  # committed, but never checkpointed
+        assert engine.state_of("a") == 10
+        engine.crash()
+        run(env, engine.recover())
+        env.run(until=100)
+        assert engine.state_of("a") == 10  # exactly once, not 20
+
+    def test_recovery_without_checkpoint_replays_full_log(self, env):
+        engine = make_engine(env, epoch_interval=5.0, checkpoint_every=1000)
+        engine.start()
+        for i in range(5):
+            engine.submit("deposit", "k", 1, keys=["k"])
+        env.run(until=50)
+        engine.crash()
+        run(env, engine.recover())
+        assert engine.state_of("k") == 5
+        assert engine.stats.replayed == 5
+
+
+class TestCosts:
+    def test_cross_partition_calls_counted_and_charged(self, env):
+        engine = make_engine(env, num_partitions=4)
+        engine.start()
+        # Find two keys on different partitions.
+        keys = [f"k{i}" for i in range(20)]
+        src = keys[0]
+        dst = next(k for k in keys if engine._partition(k) != engine._partition(src))
+        engine.submit("deposit", src, 100, keys=[src])
+        env.run(until=20)
+        engine.submit("transfer", src, {"dst": dst, "amount": 5}, keys=[src, dst])
+        env.run(until=60)
+        assert engine.stats.cross_partition_calls == 1
+
+    def test_epoch_batching_amortizes_commit(self, env):
+        """Many txns per epoch: commits (epochs) far fewer than txns."""
+        engine = make_engine(env, epoch_interval=20.0)
+        engine.start()
+        for i in range(40):
+            engine.submit("deposit", f"k{i}", 1, keys=[f"k{i}"])
+        env.run(until=100)
+        assert engine.stats.committed == 40
+        assert engine.stats.epochs <= 3

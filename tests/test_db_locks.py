@@ -1,0 +1,184 @@
+"""Unit tests for the hierarchical lock manager and deadlock detection."""
+
+import pytest
+
+from repro.db.errors import DeadlockAbort
+from repro.db.locks import LockManager, LockMode, combine, compatible
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=1)
+
+
+@pytest.fixture
+def lm(env):
+    return LockManager(env)
+
+
+class TestCompatibility:
+    def test_shared_locks_coexist(self):
+        assert compatible(LockMode.S, LockMode.S)
+
+    def test_exclusive_conflicts_with_everything(self):
+        for mode in LockMode:
+            assert not compatible(LockMode.X, mode)
+
+    def test_intention_locks_coexist(self):
+        assert compatible(LockMode.IS, LockMode.IX)
+        assert compatible(LockMode.IX, LockMode.IX)
+
+    def test_table_scan_conflicts_with_writer_intent(self):
+        assert not compatible(LockMode.S, LockMode.IX)
+
+    def test_combine_upgrades(self):
+        assert combine(LockMode.S, LockMode.X) is LockMode.X
+        assert combine(LockMode.IS, LockMode.S) is LockMode.S
+        assert combine(LockMode.IX, LockMode.S) is LockMode.X
+        assert combine(LockMode.S, LockMode.S) is LockMode.S
+
+
+class TestGrants:
+    def test_immediate_grant_when_free(self, env, lm):
+        fut = lm.acquire(1, "r", LockMode.X)
+        assert fut.done
+
+    def test_shared_granted_concurrently(self, env, lm):
+        assert lm.acquire(1, "r", LockMode.S).done
+        assert lm.acquire(2, "r", LockMode.S).done
+        assert lm.holders("r") == {1: LockMode.S, 2: LockMode.S}
+
+    def test_exclusive_blocks_second(self, env, lm):
+        assert lm.acquire(1, "r", LockMode.X).done
+        fut = lm.acquire(2, "r", LockMode.X)
+        assert not fut.done
+        lm.release_all(1)
+        env.run()
+        assert fut.done
+
+    def test_reacquire_same_mode_is_noop(self, env, lm):
+        lm.acquire(1, "r", LockMode.S)
+        assert lm.acquire(1, "r", LockMode.S).done
+
+    def test_fifo_no_overtaking(self, env, lm):
+        lm.acquire(1, "r", LockMode.X)
+        waiter_x = lm.acquire(2, "r", LockMode.X)
+        waiter_s = lm.acquire(3, "r", LockMode.S)
+        lm.release_all(1)
+        env.run()
+        assert waiter_x.done
+        assert not waiter_s.done  # S must wait behind the earlier X
+        lm.release_all(2)
+        env.run()
+        assert waiter_s.done
+
+    def test_upgrade_succeeds_when_sole_holder(self, env, lm):
+        lm.acquire(1, "r", LockMode.S)
+        assert lm.acquire(1, "r", LockMode.X).done
+        assert lm.holders("r")[1] is LockMode.X
+
+    def test_upgrade_waits_for_other_sharers(self, env, lm):
+        lm.acquire(1, "r", LockMode.S)
+        lm.acquire(2, "r", LockMode.S)
+        upgrade = lm.acquire(1, "r", LockMode.X)
+        assert not upgrade.done
+        lm.release_all(2)
+        env.run()
+        assert upgrade.done
+
+    def test_upgrade_jumps_queue(self, env, lm):
+        lm.acquire(1, "r", LockMode.S)
+        newcomer = lm.acquire(2, "r", LockMode.X)  # queued
+        upgrade = lm.acquire(1, "r", LockMode.X)  # should go in front
+        lm.release_all(1)
+        env.run()
+        assert newcomer.done  # after 1 fully released, 2 gets the lock
+        # The key property: upgrade did not deadlock behind the newcomer.
+        assert upgrade.done or upgrade.failed
+
+
+class TestRelease:
+    def test_release_wakes_waiters(self, env, lm):
+        lm.acquire(1, "r", LockMode.X)
+        fut_a = lm.acquire(2, "r", LockMode.S)
+        fut_b = lm.acquire(3, "r", LockMode.S)
+        lm.release_all(1)
+        env.run()
+        assert fut_a.done and fut_b.done  # both sharers granted together
+
+    def test_release_removes_queued_requests(self, env, lm):
+        lm.acquire(1, "r", LockMode.X)
+        lm.acquire(2, "r", LockMode.X)
+        lm.release_all(2)  # 2 gives up while still queued
+        lm.release_all(1)
+        env.run()
+        assert lm.holders("r") == {}
+
+    def test_release_unknown_txn_is_noop(self, lm):
+        lm.release_all(999)
+
+
+class TestDeadlocks:
+    def test_two_txn_cycle_detected(self, env, lm):
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(2, "b", LockMode.X)
+        fut1 = lm.acquire(1, "b", LockMode.X)  # 1 waits on 2
+        fut2 = lm.acquire(2, "a", LockMode.X)  # closes the cycle
+        env.run()
+        assert fut2.failed
+        assert isinstance(fut2.exception(), DeadlockAbort)
+        assert not fut1.done  # 1 still waiting (until 2 releases)
+        lm.release_all(2)
+        env.run()
+        assert fut1.done
+
+    def test_three_txn_cycle_detected(self, env, lm):
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(2, "b", LockMode.X)
+        lm.acquire(3, "c", LockMode.X)
+        assert not lm.acquire(1, "b", LockMode.X).done
+        assert not lm.acquire(2, "c", LockMode.X).done
+        victim = lm.acquire(3, "a", LockMode.X)
+        env.run()
+        assert victim.failed
+        assert lm.stats.deadlocks == 1
+
+    def test_upgrade_deadlock_detected(self, env, lm):
+        lm.acquire(1, "r", LockMode.S)
+        lm.acquire(2, "r", LockMode.S)
+        up1 = lm.acquire(1, "r", LockMode.X)
+        up2 = lm.acquire(2, "r", LockMode.X)
+        env.run()
+        assert up2.failed or up1.failed
+        assert lm.stats.deadlocks >= 1
+
+    def test_no_false_deadlock_on_plain_contention(self, env, lm):
+        lm.acquire(1, "r", LockMode.X)
+        futs = [lm.acquire(tid, "r", LockMode.X) for tid in (2, 3, 4)]
+        env.run()
+        assert not any(f.failed for f in futs)
+        assert lm.stats.deadlocks == 0
+
+    def test_cycle_through_queue_order_detected(self, env, lm):
+        # T2 queued behind T3's incompatible request; T3 waits on T2's lock.
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(2, "b", LockMode.X)
+        fut3 = lm.acquire(3, "a", LockMode.X)  # 3 waits on 1
+        fut2 = lm.acquire(2, "a", LockMode.X)  # 2 waits on 1 and (queue) 3
+        fut3b = lm.acquire(3, "b", LockMode.X)  # 3 waits on 2 -> cycle 2->3->2
+        env.run()
+        assert fut3b.failed or fut2.failed
+
+
+class TestIntrospection:
+    def test_held_by(self, lm):
+        lm.acquire(1, "a", LockMode.S)
+        lm.acquire(1, "b", LockMode.X)
+        assert lm.held_by(1) == {"a", "b"}
+
+    def test_queue_length(self, env, lm):
+        lm.acquire(1, "r", LockMode.X)
+        lm.acquire(2, "r", LockMode.X)
+        lm.acquire(3, "r", LockMode.X)
+        assert lm.queue_length("r") == 2

@@ -1,0 +1,162 @@
+"""Tests for ordered secondary indexes and range lookups."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, IsolationLevel
+from repro.sim import Environment
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=251)
+
+
+@pytest.fixture
+def db(env):
+    database = Database(env)
+    database.create_table("items", primary_key="id")
+    database.create_index("items", "price", ordered=True)
+    database.load("items", [
+        {"id": f"i{i}", "price": price}
+        for i, price in enumerate([5, 10, 10, 25, 40, 55])
+    ])
+    return database
+
+
+def run(env, gen):
+    return env.run_until(env.process(gen))
+
+
+class TestRangeLookup:
+    def test_half_open_interval(self, env, db):
+        def flow():
+            txn = db.begin(SER)
+            rows = yield from db.range_lookup(txn, "items", "price", 10, 40)
+            yield from db.commit(txn)
+            return sorted(r["price"] for r in rows)
+
+        assert run(env, flow()) == [10, 10, 25]
+
+    def test_empty_range(self, env, db):
+        def flow():
+            txn = db.begin(SER)
+            rows = yield from db.range_lookup(txn, "items", "price", 60, 99)
+            yield from db.commit(txn)
+            return rows
+
+        assert run(env, flow()) == []
+
+    def test_requires_ordered_index(self, env, db):
+        db.create_index("items", "id")  # hash-only
+
+        def flow():
+            txn = db.begin(SER)
+            yield from db.range_lookup(txn, "items", "id", "a", "z")
+
+        with pytest.raises(ValueError, match="no ordered index"):
+            run(env, flow())
+
+    def test_index_maintained_on_update(self, env, db):
+        def flow():
+            txn = db.begin(SER)
+            yield from db.update(txn, "items", "i0", {"price": 100})
+            yield from db.commit(txn)
+            txn2 = db.begin(SER)
+            cheap = yield from db.range_lookup(txn2, "items", "price", 0, 9)
+            dear = yield from db.range_lookup(txn2, "items", "price", 99, 101)
+            yield from db.commit(txn2)
+            return cheap, dear
+
+        cheap, dear = run(env, flow())
+        assert cheap == []
+        assert [r["id"] for r in dear] == ["i0"]
+
+    def test_index_maintained_on_delete(self, env, db):
+        def flow():
+            txn = db.begin(SER)
+            yield from db.delete(txn, "items", "i5")  # price 55
+            yield from db.commit(txn)
+            txn2 = db.begin(SER)
+            rows = yield from db.range_lookup(txn2, "items", "price", 50, 60)
+            yield from db.commit(txn2)
+            return rows
+
+        assert run(env, flow()) == []
+
+    def test_sees_own_buffered_writes(self, env, db):
+        def flow():
+            txn = db.begin(SER)
+            yield from db.insert(txn, "items", {"id": "new", "price": 30})
+            rows = yield from db.range_lookup(txn, "items", "price", 26, 39)
+            yield from db.commit(txn)
+            return [r["id"] for r in rows]
+
+        assert run(env, flow()) == ["new"]
+
+    def test_survives_recovery(self, env, db):
+        db.crash()
+        db.recover()
+
+        def flow():
+            txn = db.begin(SER)
+            rows = yield from db.range_lookup(txn, "items", "price", 10, 40)
+            yield from db.commit(txn)
+            return sorted(r["price"] for r in rows)
+
+        assert run(env, flow()) == [10, 10, 25]
+
+    def test_duplicate_values_keep_directory_consistent(self, env, db):
+        """Removing one of two rows at price 10 keeps 10 in the index."""
+
+        def flow():
+            txn = db.begin(SER)
+            yield from db.delete(txn, "items", "i1")  # one of the two 10s
+            yield from db.commit(txn)
+            txn2 = db.begin(SER)
+            rows = yield from db.range_lookup(txn2, "items", "price", 10, 11)
+            yield from db.commit(txn2)
+            return [r["id"] for r in rows]
+
+        assert run(env, flow()) == ["i2"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    prices=st.lists(st.integers(0, 50), min_size=1, max_size=25),
+    updates=st.lists(st.tuples(st.integers(0, 24), st.integers(0, 50)),
+                     max_size=10),
+    low=st.integers(0, 50),
+    span=st.integers(0, 50),
+)
+def test_range_lookup_matches_scan_model(prices, updates, low, span):
+    """Property: range_lookup agrees with a predicate scan."""
+    env = Environment(seed=7)
+    db = Database(env)
+    db.create_table("t", primary_key="id")
+    db.create_index("t", "v", ordered=True)
+    db.load("t", [{"id": i, "v": p} for i, p in enumerate(prices)])
+    high = low + span
+
+    def apply_updates():
+        for index, new_value in updates:
+            if index < len(prices):
+                txn = db.begin(SER)
+                yield from db.update(txn, "t", index, {"v": new_value})
+                yield from db.commit(txn)
+
+    env.run_until(env.process(apply_updates()))
+
+    def query():
+        txn = db.begin(SER)
+        via_index = yield from db.range_lookup(txn, "t", "v", low, high)
+        via_scan = yield from db.scan(txn, "t", lambda r: low <= r["v"] < high)
+        yield from db.commit(txn)
+        return via_index, via_scan
+
+    via_index, via_scan = env.run_until(env.process(query()))
+    key = lambda r: (r["v"], r["id"])  # noqa: E731
+    assert sorted(via_index, key=key) == sorted(via_scan, key=key)

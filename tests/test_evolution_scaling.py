@@ -1,0 +1,256 @@
+"""Tests for schema evolution (§4.3) and autoscaling (§4.3)."""
+
+import pytest
+
+from repro.messaging.rpc import RpcClient
+from repro.microservices.evolution import (
+    IncompatibleEvent,
+    SchemaError,
+    SchemaRegistry,
+)
+from repro.microservices.scaling import Autoscaler, ReplicaSet
+from repro.net import Latency, Network
+from repro.sim import Environment
+
+
+@pytest.fixture
+def registry():
+    reg = SchemaRegistry()
+    reg.define("OrderPlaced", 1, required=["order_id", "total"])
+    reg.define("OrderPlaced", 2, required=["order_id", "total", "currency"])
+
+    @reg.upcaster("OrderPlaced", 1)
+    def add_currency(payload):
+        payload["currency"] = "EUR"  # historical default
+        return payload
+
+    return reg
+
+
+class TestSchemaRegistry:
+    def test_write_validates(self, registry):
+        event = registry.write("OrderPlaced", {"order_id": "o1", "total": 10},
+                               version=1)
+        assert event["_version"] == 1
+
+    def test_write_rejects_missing_fields(self, registry):
+        with pytest.raises(SchemaError, match="missing"):
+            registry.write("OrderPlaced", {"order_id": "o1"}, version=1)
+
+    def test_write_rejects_unknown_fields(self, registry):
+        with pytest.raises(SchemaError, match="unknown"):
+            registry.write("OrderPlaced",
+                           {"order_id": "o1", "total": 1, "zzz": 2}, version=1)
+
+    def test_write_defaults_to_latest(self, registry):
+        event = registry.write(
+            "OrderPlaced", {"order_id": "o1", "total": 1, "currency": "DKK"}
+        )
+        assert event["_version"] == 2
+
+    def test_read_upcasts_old_events(self, registry):
+        old = registry.write("OrderPlaced", {"order_id": "o1", "total": 10},
+                             version=1)
+        payload = registry.read(old)  # consumer wants latest (v2)
+        assert payload == {"order_id": "o1", "total": 10, "currency": "EUR"}
+        assert registry.upcasts_performed == 1
+
+    def test_read_current_version_is_passthrough(self, registry):
+        event = registry.write(
+            "OrderPlaced", {"order_id": "o1", "total": 1, "currency": "USD"}
+        )
+        assert registry.read(event)["currency"] == "USD"
+
+    def test_newer_event_than_consumer_rejected(self, registry):
+        event = registry.write(
+            "OrderPlaced", {"order_id": "o1", "total": 1, "currency": "USD"}
+        )
+        with pytest.raises(IncompatibleEvent, match="upgrade consumers"):
+            registry.read(event, want_version=1)
+
+    def test_missing_upcaster_detected(self):
+        reg = SchemaRegistry()
+        reg.define("E", 1, required=["a"])
+        reg.define("E", 2, required=["a", "b"])
+        event = reg.write("E", {"a": 1}, version=1)
+        with pytest.raises(IncompatibleEvent, match="no upcaster"):
+            reg.read(event)
+
+    def test_rollout_check(self, registry):
+        assert registry.check_rollout("OrderPlaced") == []
+        registry.define("OrderPlaced", 3,
+                        required=["order_id", "total", "currency", "channel"])
+        problems = registry.check_rollout("OrderPlaced")
+        assert problems == ["missing upcaster OrderPlaced v2 -> v3"]
+
+    def test_chained_upcasting(self, registry):
+        registry.define("OrderPlaced", 3,
+                        required=["order_id", "total", "currency", "channel"])
+
+        @registry.upcaster("OrderPlaced", 2)
+        def add_channel(payload):
+            payload["channel"] = "web"
+            return payload
+
+        old = registry.write("OrderPlaced", {"order_id": "o1", "total": 10},
+                             version=1)
+        payload = registry.read(old)
+        assert payload["currency"] == "EUR" and payload["channel"] == "web"
+        assert registry.upcasts_performed == 2
+
+    def test_versions_must_be_sequential(self):
+        reg = SchemaRegistry()
+        with pytest.raises(SchemaError):
+            reg.define("E", 2, required=["a"])
+
+    def test_unstamped_event_rejected(self, registry):
+        with pytest.raises(SchemaError, match="no schema stamp"):
+            registry.read({"order_id": "o1"})
+
+
+def make_replica_set(env, replicas=2, provision_delay=50.0, work_ms=5.0):
+    net = Network(env, default_latency=Latency.constant(1.0))
+    hits = {"by_replica": {}}
+
+    def handler(payload):
+        yield env.timeout(work_ms)
+        return payload
+
+    handlers = {"work": handler}
+    replica_set = ReplicaSet(env, net, "svc", handlers,
+                             initial_replicas=replicas,
+                             provision_delay=provision_delay)
+    client_node = net.add_node("client")
+    client = RpcClient(net, client_node)
+    return net, replica_set, client, hits
+
+
+class TestReplicaSet:
+    def test_call_roundtrip(self):
+        env = Environment(seed=141)
+        _net, replica_set, client, _ = make_replica_set(env)
+
+        def flow():
+            return (yield from replica_set.call(client, "work", 42))
+
+        assert env.run_until(env.process(flow())) == 42
+
+    def test_load_spreads_over_replicas(self):
+        env = Environment(seed=142)
+        _net, replica_set, client, _ = make_replica_set(env, replicas=3)
+        used = set()
+        original_pick = replica_set.pick
+
+        def spy_pick():
+            choice = original_pick()
+            used.add(choice)
+            return choice
+
+        replica_set.pick = spy_pick
+        for _ in range(9):
+            env.process(replica_set.call(client, "work", 1))
+        env.run()
+        assert len(used) == 3
+
+    def test_failover_to_surviving_replica(self):
+        env = Environment(seed=143)
+        _net, replica_set, client, _ = make_replica_set(env, replicas=2)
+        replica_set.crash_replica(0)
+
+        def flow():
+            return (yield from replica_set.call(client, "work", "x", timeout=10))
+
+        assert env.run_until(env.process(flow())) == "x"
+
+    def test_scale_up_takes_provision_delay(self):
+        env = Environment(seed=144)
+        _net, replica_set, client, _ = make_replica_set(env, provision_delay=80.0)
+
+        def flow():
+            yield from replica_set.scale_up()
+            return env.now
+
+        assert env.run_until(env.process(flow())) == pytest.approx(80.0)
+        assert replica_set.replica_count == 3
+
+    def test_scale_down_keeps_at_least_one(self):
+        env = Environment(seed=145)
+        _net, replica_set, _client, _ = make_replica_set(env, replicas=2)
+        assert replica_set.scale_down() is not None
+        assert replica_set.scale_down() is None
+        assert replica_set.replica_count == 1
+
+    def test_all_replicas_down_raises(self):
+        env = Environment(seed=146)
+        _net, replica_set, client, _ = make_replica_set(env, replicas=1)
+        replica_set.crash_replica(0)
+
+        def flow():
+            yield from replica_set.call(client, "work", 1, timeout=5)
+
+        with pytest.raises(RuntimeError, match="no alive replica"):
+            env.run_until(env.process(flow()))
+
+
+class TestAutoscaler:
+    def _drive_load(self, env, replica_set, client, rate_per_ms, duration):
+        def load():
+            rng = env.stream("load")
+            while env.now < duration:
+                yield env.timeout(rng.expovariate(rate_per_ms))
+                env.process(self._one(replica_set, client))
+
+        env.process(load())
+
+    @staticmethod
+    def _one(replica_set, client):
+        try:
+            yield from replica_set.call(client, "work", 1, timeout=200)
+        except Exception:
+            pass
+
+    def test_scales_up_under_load(self):
+        env = Environment(seed=147)
+        _net, replica_set, client, _ = make_replica_set(
+            env, replicas=1, provision_delay=30.0, work_ms=20.0
+        )
+        scaler = Autoscaler(env, replica_set, target_outstanding=2.0,
+                            max_replicas=6, interval=20.0, cooldown=50.0)
+        scaler.start()
+        self._drive_load(env, replica_set, client, rate_per_ms=0.5, duration=1500)
+        env.run(until=2000)
+        scaler.stop()
+        peak = max(replicas for _t, _load, replicas in scaler.samples)
+        assert peak > 1  # scaled up under load
+        assert any(e.action == "up" for e in replica_set.scale_events)
+        # ...and back down after the load subsided (elasticity, §4.3).
+        assert replica_set.replica_count < peak
+
+    def test_scales_down_when_idle(self):
+        env = Environment(seed=148)
+        _net, replica_set, client, _ = make_replica_set(
+            env, replicas=4, provision_delay=30.0
+        )
+        scaler = Autoscaler(env, replica_set, target_outstanding=2.0,
+                            min_replicas=1, interval=20.0, cooldown=40.0)
+        scaler.start()
+        env.run(until=1000)  # no load at all
+        scaler.stop()
+        assert replica_set.replica_count < 4
+        assert any(e.action == "down" for e in replica_set.scale_events)
+
+    def test_bounds_respected(self):
+        env = Environment(seed=149)
+        _net, replica_set, client, _ = make_replica_set(env, replicas=2)
+        scaler = Autoscaler(env, replica_set, min_replicas=2, max_replicas=3,
+                            interval=10.0, cooldown=10.0)
+        scaler.start()
+        env.run(until=500)
+        scaler.stop()
+        assert 2 <= replica_set.replica_count <= 3
+
+    def test_invalid_bounds(self):
+        env = Environment(seed=150)
+        _net, replica_set, _client, _ = make_replica_set(env)
+        with pytest.raises(ValueError):
+            Autoscaler(env, replica_set, min_replicas=5, max_replicas=2)

@@ -1,0 +1,224 @@
+"""Tests for RPC: calls, timeouts, retries, duplicates, idempotency."""
+
+import pytest
+
+from repro.messaging import (
+    IdempotencyStore,
+    RpcClient,
+    RpcRemoteError,
+    RpcServer,
+    RpcTimeout,
+)
+from repro.net import Latency, Network
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=6)
+
+
+@pytest.fixture
+def net(env):
+    network = Network(env, default_latency=Latency.constant(1.0))
+    network.add_node("client")
+    network.add_node("server")
+    return network
+
+
+def make_counter_server(net, dedup=None):
+    """A server whose 'incr' handler counts executions."""
+    state = {"count": 0}
+    server = RpcServer(net, net.node("server"), dedup_store=dedup)
+
+    def incr(payload):
+        state["count"] += payload.get("by", 1)
+        yield net.env.timeout(0.5)  # some processing time
+        return state["count"]
+
+    server.register("incr", incr)
+
+    def boom(payload):
+        yield net.env.timeout(0.1)
+        raise ValueError("handler exploded")
+
+    server.register("boom", boom)
+    return server, state
+
+
+def run(env, gen):
+    return env.run_until(env.process(gen))
+
+
+class TestBasicCalls:
+    def test_call_returns_handler_result(self, env, net):
+        make_counter_server(net)
+        client = RpcClient(net, net.node("client"))
+
+        def flow():
+            result = yield from client.call("server", "incr", {"by": 5})
+            return result
+
+        assert run(env, flow()) == 5
+
+    def test_sequential_calls_accumulate(self, env, net):
+        _, state = make_counter_server(net)
+        client = RpcClient(net, net.node("client"))
+
+        def flow():
+            yield from client.call("server", "incr", {"by": 1})
+            yield from client.call("server", "incr", {"by": 2})
+            return state["count"]
+
+        assert run(env, flow()) == 3
+
+    def test_unknown_method_is_remote_error(self, env, net):
+        make_counter_server(net)
+        client = RpcClient(net, net.node("client"))
+
+        def flow():
+            yield from client.call("server", "nope")
+
+        with pytest.raises(RpcRemoteError):
+            run(env, flow())
+
+    def test_handler_exception_propagates(self, env, net):
+        make_counter_server(net)
+        client = RpcClient(net, net.node("client"))
+
+        def flow():
+            yield from client.call("server", "boom")
+
+        with pytest.raises(RpcRemoteError, match="handler exploded"):
+            run(env, flow())
+
+    def test_concurrent_calls_match_replies(self, env, net):
+        """Reply correlation: interleaved calls get their own results."""
+        server = RpcServer(net, net.node("server"))
+
+        def echo_slow(payload):
+            yield net.env.timeout(payload["delay"])
+            return payload["tag"]
+
+        server.register("echo", echo_slow)
+        client = RpcClient(net, net.node("client"))
+        results = {}
+
+        def caller(tag, delay):
+            value = yield from client.call(
+                "server", "echo", {"tag": tag, "delay": delay}, timeout=100
+            )
+            results[tag] = value
+
+        env.process(caller("slow", 20))
+        env.process(caller("fast", 1))
+        env.run()
+        assert results == {"slow": "slow", "fast": "fast"}
+
+
+class TestTimeoutsAndRetries:
+    def test_timeout_when_server_dead(self, env, net):
+        make_counter_server(net)
+        net.node("server").crash()
+        client = RpcClient(net, net.node("client"))
+
+        def flow():
+            yield from client.call("server", "incr", timeout=5, retries=2)
+
+        with pytest.raises(RpcTimeout) as excinfo:
+            run(env, flow())
+        assert excinfo.value.attempts == 3
+        assert client.stats.retries == 2
+        assert client.stats.timeouts == 1
+
+    def test_retry_succeeds_after_loss(self, env, net):
+        _, state = make_counter_server(net)
+        client = RpcClient(net, net.node("client"))
+        net.set_loss(1.0, src="client", dst="server")
+        env.schedule(6.0, net.set_loss, 0.0, "client", "server")
+
+        def flow():
+            result = yield from client.call("server", "incr", {"by": 1}, timeout=5, retries=3)
+            return result
+
+        assert run(env, flow()) == 1
+        assert client.stats.retries >= 1
+
+    def test_lost_reply_causes_duplicate_execution(self, env, net):
+        """The §3.2 anomaly: execution happened, reply lost, retry re-executes."""
+        _, state = make_counter_server(net)
+        client = RpcClient(net, net.node("client"))
+        net.set_loss(1.0, src="server", dst="client")  # replies vanish
+        env.schedule(6.0, net.set_loss, 0.0, "server", "client")
+
+        def flow():
+            result = yield from client.call(
+                "server", "incr", {"by": 1}, timeout=5, retries=3,
+                idempotency_key="op-1",
+            )
+            return result
+
+        run(env, flow())
+        assert state["count"] == 2  # executed twice!
+
+    def test_idempotency_key_prevents_duplicate_execution(self, env, net):
+        dedup = IdempotencyStore()
+        _, state = make_counter_server(net, dedup=dedup)
+        client = RpcClient(net, net.node("client"))
+        net.set_loss(1.0, src="server", dst="client")
+        env.schedule(6.0, net.set_loss, 0.0, "server", "client")
+
+        def flow():
+            result = yield from client.call(
+                "server", "incr", {"by": 1}, timeout=5, retries=3,
+                idempotency_key="op-1",
+            )
+            return result
+
+        result = run(env, flow())
+        assert state["count"] == 1  # executed once
+        assert result == 1  # recorded response returned to the retry
+
+    def test_dedup_returns_first_response_to_later_duplicates(self, env, net):
+        dedup = IdempotencyStore()
+        _, state = make_counter_server(net, dedup=dedup)
+        client = RpcClient(net, net.node("client"))
+
+        def flow():
+            first = yield from client.call(
+                "server", "incr", {"by": 1}, idempotency_key="k"
+            )
+            second = yield from client.call(
+                "server", "incr", {"by": 1}, idempotency_key="k"
+            )
+            return first, second
+
+        assert run(env, flow()) == (1, 1)
+        assert state["count"] == 1
+
+
+class TestCrashRecovery:
+    def test_server_restart_reregisters_listener(self, env, net):
+        server, state = make_counter_server(net)
+        client = RpcClient(net, net.node("client"))
+
+        def flow():
+            yield from client.call("server", "incr", {"by": 1})
+            net.node("server").crash()
+            net.node("server").restart()
+            result = yield from client.call("server", "incr", {"by": 1}, timeout=5, retries=2)
+            return result
+
+        assert run(env, flow()) == 2
+
+    def test_crash_mid_handler_drops_request(self, env, net):
+        """Partial failure: request executing when the node dies -> timeout."""
+        server, state = make_counter_server(net)
+        client = RpcClient(net, net.node("client"))
+        env.schedule(1.2, net.node("server").crash)  # mid-handler
+
+        def flow():
+            yield from client.call("server", "incr", {"by": 1}, timeout=5, retries=0)
+
+        with pytest.raises(RpcTimeout):
+            run(env, flow())

@@ -1,0 +1,99 @@
+"""Integration tests for the choreographed marketplace checkout."""
+
+import pytest
+
+from repro.apps.shop_choreography import ChoreographedShop
+from repro.sim import Environment
+from repro.workloads.marketplace import CheckoutOp, MarketplaceWorkload
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=241)
+
+
+@pytest.fixture
+def workload():
+    return MarketplaceWorkload(num_products=6, initial_stock=50,
+                               payment_failure_rate=0.25)
+
+
+@pytest.fixture
+def shop(env, workload):
+    return ChoreographedShop(env, workload)
+
+
+def run(env, gen):
+    return env.run_until(env.process(gen))
+
+
+def check(workload, state):
+    violations = []
+    for invariant in workload.invariants():
+        violations.extend(invariant.check(state))
+    return violations
+
+
+class TestChoreographedCheckout:
+    def test_happy_path_completes(self, env, workload, shop):
+        op = CheckoutOp(op_id="o1", customer="c",
+                        cart=(("prod-0000", 2),), payment_fails=False)
+        run(env, shop.execute(op))
+        state = shop.final_state()
+        assert [o["id"] for o in state["orders"]] == ["o1"]
+        assert [p["order_id"] for p in state["payments"]] == ["o1"]
+        product = next(p for p in state["products"] if p["id"] == "prod-0000")
+        assert product["stock"] == 48 and product["reserved"] == 0
+        assert check(workload, state) == []
+
+    def test_payment_failure_compensates(self, env, workload, shop):
+        op = CheckoutOp(op_id="o2", customer="c",
+                        cart=(("prod-0001", 3),), payment_fails=True)
+
+        def flow():
+            try:
+                yield from shop.execute(op)
+                return "completed"
+            except RuntimeError:
+                return "compensated"
+
+        assert run(env, flow()) == "compensated"
+        state = shop.final_state()
+        assert state["orders"] == [] and state["payments"] == []
+        assert check(workload, state) == []
+
+    def test_out_of_stock_rejected_without_damage(self, env, workload, shop):
+        op = CheckoutOp(op_id="o3", customer="c",
+                        cart=(("prod-0002", 999),), payment_fails=False)
+
+        def flow():
+            try:
+                yield from shop.execute(op)
+            except RuntimeError:
+                return "compensated"
+
+        assert run(env, flow()) == "compensated"
+        assert check(workload, shop.final_state()) == []
+
+    def test_concurrent_checkouts_keep_invariants(self, env, workload, shop):
+        ops = list(workload.operations(env.stream("ops"), 25))
+        outcomes = []
+
+        def one(op):
+            try:
+                yield from shop.execute(op)
+                outcomes.append("ok")
+            except RuntimeError:
+                outcomes.append("comp")
+
+        for op in ops:
+            env.process(one(op))
+        env.run(until=50_000)
+        assert len(outcomes) == 25
+        state = shop.final_state()
+        assert check(workload, state) == []
+        assert len(state["orders"]) == outcomes.count("ok")
+
+    def test_no_orchestrator_exists(self, shop):
+        """Outcome knowledge lives only in the event stream."""
+        assert shop.monitor.outcome_of("never-run") is None

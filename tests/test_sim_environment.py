@@ -1,0 +1,209 @@
+"""Unit tests for the environment, processes, and interrupts."""
+
+import pytest
+
+from repro.sim import Environment, Interrupted, SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=7)
+
+
+class TestClock:
+    def test_time_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_timeout_advances_clock(self, env):
+        fired = []
+        env.schedule(5.0, lambda: fired.append(env.now))
+        env.run()
+        assert fired == [5.0]
+        assert env.now == 5.0
+
+    def test_run_until_limit(self, env):
+        env.schedule(10.0, lambda: None)
+        stopped = env.run(until=4.0)
+        assert stopped == 4.0
+        assert env.pending_events == 1
+
+    def test_events_fire_in_time_then_fifo_order(self, env):
+        order = []
+        env.schedule(2.0, lambda: order.append("b"))
+        env.schedule(1.0, lambda: order.append("a"))
+        env.schedule(2.0, lambda: order.append("c"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.schedule(-1.0, lambda: None)
+
+    def test_step_executes_one_event(self, env):
+        hits = []
+        env.schedule(1.0, lambda: hits.append(1))
+        env.schedule(2.0, lambda: hits.append(2))
+        assert env.step()
+        assert hits == [1]
+        assert env.step()
+        assert not env.step()
+
+
+class TestProcesses:
+    def test_process_returns_value(self, env):
+        def worker(env):
+            yield env.timeout(3)
+            return "ok"
+
+        proc = env.process(worker(env))
+        env.run()
+        assert proc.result() == "ok"
+        assert env.now == 3
+
+    def test_process_waits_on_future(self, env):
+        fut = env.future()
+
+        def worker(env):
+            value = yield fut
+            return value * 2
+
+        proc = env.process(worker(env))
+        env.schedule(4.0, fut.succeed, 21)
+        env.run()
+        assert proc.result() == 42
+
+    def test_process_waits_on_process(self, env):
+        def inner(env):
+            yield env.timeout(2)
+            return 5
+
+        def outer(env):
+            value = yield env.process(inner(env))
+            return value + 1
+
+        proc = env.process(outer(env))
+        env.run()
+        assert proc.result() == 6
+
+    def test_failed_future_raises_inside_process(self, env):
+        fut = env.future()
+
+        def worker(env):
+            try:
+                yield fut
+            except ValueError:
+                return "caught"
+            return "not caught"
+
+        proc = env.process(worker(env))
+        env.schedule(1.0, fut.fail, ValueError("x"))
+        env.run()
+        assert proc.result() == "caught"
+
+    def test_uncaught_exception_fails_the_process(self, env):
+        def worker(env):
+            yield env.timeout(1)
+            raise KeyError("oops")
+
+        proc = env.process(worker(env))
+        env.run()
+        assert proc.failed
+        assert isinstance(proc.exception(), KeyError)
+
+    def test_yielding_garbage_fails_the_process(self, env):
+        def worker(env):
+            yield 42
+
+        proc = env.process(worker(env))
+        env.run()
+        assert proc.failed
+        assert isinstance(proc.exception(), SimulationError)
+
+    def test_run_until_returns_process_result(self, env):
+        def worker(env):
+            yield env.timeout(1)
+            return "r"
+
+        proc = env.process(worker(env))
+        assert env.run_until(proc) == "r"
+
+    def test_run_until_detects_deadlock(self, env):
+        fut = env.future()  # nobody ever resolves this
+
+        def worker(env):
+            yield fut
+
+        proc = env.process(worker(env))
+        with pytest.raises(SimulationError, match="ran dry"):
+            env.run_until(proc)
+
+
+class TestInterrupts:
+    def test_interrupt_raises_inside_process(self, env):
+        def worker(env):
+            try:
+                yield env.timeout(100)
+            except Interrupted as exc:
+                return (env.now, f"interrupted:{exc.cause}")
+
+        proc = env.process(worker(env))
+        env.schedule(5.0, proc.interrupt, "node-down")
+        env.run()
+        assert proc.result() == (5.0, "interrupted:node-down")
+
+    def test_interrupt_finished_process_is_noop(self, env):
+        def worker(env):
+            yield env.timeout(1)
+            return 1
+
+        proc = env.process(worker(env))
+        env.run()
+        proc.interrupt("late")
+        env.run()
+        assert proc.result() == 1
+
+    def test_detached_future_does_not_resume(self, env):
+        fut = env.future()
+
+        def worker(env):
+            try:
+                yield fut
+            except Interrupted:
+                yield env.timeout(50)
+                return "recovered"
+
+        proc = env.process(worker(env))
+        env.schedule(1.0, proc.interrupt, None)
+        env.schedule(2.0, fut.succeed, "stale")  # must not resume the process
+        env.run()
+        assert proc.result() == "recovered"
+        assert env.now == 51
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def worker(env):
+            yield env.timeout(100)
+
+        proc = env.process(worker(env))
+        env.schedule(1.0, proc.interrupt, None)
+        env.run()
+        assert proc.failed
+        assert isinstance(proc.exception(), Interrupted)
+
+
+class TestRandomStreams:
+    def test_streams_are_stable_across_runs(self):
+        a = Environment(seed=3).stream("db").random()
+        b = Environment(seed=3).stream("db").random()
+        assert a == b
+
+    def test_streams_are_independent(self):
+        env = Environment(seed=3)
+        first = env.stream("net").random()
+        env.stream("db").random()  # consuming another stream...
+        env2 = Environment(seed=3)
+        assert env2.stream("net").random() == first  # ...does not disturb it
+
+    def test_different_seeds_differ(self):
+        a = Environment(seed=1).stream("x").random()
+        b = Environment(seed=2).stream("x").random()
+        assert a != b

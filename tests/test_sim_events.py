@@ -1,0 +1,130 @@
+"""Unit tests for the future primitive and combinators."""
+
+import pytest
+
+from repro.sim import Environment, Future, all_of, any_of
+from repro.sim.events import FutureAlreadyResolved
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=1)
+
+
+class TestFuture:
+    def test_starts_pending(self, env):
+        fut = env.future("f")
+        assert not fut.done
+        assert not fut.failed
+
+    def test_succeed_sets_result(self, env):
+        fut = env.future()
+        fut.succeed(42)
+        assert fut.done
+        assert fut.result() == 42
+
+    def test_fail_sets_exception(self, env):
+        fut = env.future()
+        fut.fail(ValueError("boom"))
+        assert fut.done
+        assert fut.failed
+        with pytest.raises(ValueError, match="boom"):
+            fut.result()
+
+    def test_result_before_done_raises(self, env):
+        fut = env.future()
+        with pytest.raises(RuntimeError):
+            fut.result()
+
+    def test_double_resolve_raises(self, env):
+        fut = env.future()
+        fut.succeed(1)
+        with pytest.raises(FutureAlreadyResolved):
+            fut.succeed(2)
+        with pytest.raises(FutureAlreadyResolved):
+            fut.fail(ValueError())
+
+    def test_try_succeed_is_idempotent(self, env):
+        fut = env.future()
+        assert fut.try_succeed(1)
+        assert not fut.try_succeed(2)
+        assert fut.result() == 1
+
+    def test_try_fail_is_idempotent(self, env):
+        fut = env.future()
+        assert fut.try_fail(ValueError())
+        assert not fut.try_fail(KeyError())
+        assert isinstance(fut.exception(), ValueError)
+
+    def test_fail_requires_exception(self, env):
+        fut = env.future()
+        with pytest.raises(TypeError):
+            fut.fail("not an exception")
+
+    def test_callback_fires_through_event_queue(self, env):
+        fut = env.future()
+        seen = []
+        fut.add_done_callback(lambda f: seen.append(f.result()))
+        fut.succeed("x")
+        assert seen == []  # not synchronous
+        env.run()
+        assert seen == ["x"]
+
+    def test_callback_on_already_done_future(self, env):
+        fut = env.future()
+        fut.succeed(7)
+        seen = []
+        fut.add_done_callback(lambda f: seen.append(f.result()))
+        env.run()
+        assert seen == [7]
+
+    def test_remove_done_callback(self, env):
+        fut = env.future()
+        seen = []
+        cb = lambda f: seen.append(1)  # noqa: E731
+        fut.add_done_callback(cb)
+        fut.remove_done_callback(cb)
+        fut.succeed(None)
+        env.run()
+        assert seen == []
+
+
+class TestCombinators:
+    def test_all_of_collects_in_order(self, env):
+        futs = [env.timeout(3, "c"), env.timeout(1, "a"), env.timeout(2, "b")]
+        combined = all_of(env, futs)
+        env.run()
+        assert combined.result() == ["c", "a", "b"]
+
+    def test_all_of_empty(self, env):
+        combined = all_of(env, [])
+        env.run()
+        assert combined.result() == []
+
+    def test_all_of_fails_fast(self, env):
+        good = env.timeout(10, "late")
+        bad = env.future()
+        combined = all_of(env, [good, bad])
+        bad.fail(RuntimeError("dead"))
+        env.run(until=5)
+        assert combined.failed
+        assert isinstance(combined.exception(), RuntimeError)
+
+    def test_any_of_returns_winner_index(self, env):
+        slow = env.timeout(10, "slow")
+        fast = env.timeout(2, "fast")
+        combined = any_of(env, [slow, fast])
+        env.run()
+        assert combined.result() == (1, "fast")
+
+    def test_any_of_empty_raises(self, env):
+        with pytest.raises(ValueError):
+            any_of(env, [])
+
+    def test_any_of_propagates_first_failure(self, env):
+        bad = env.future()
+        slow = env.timeout(10)
+        combined = any_of(env, [bad, slow])
+        bad.fail(KeyError("k"))
+        env.run(until=1)
+        assert combined.failed

@@ -1,0 +1,262 @@
+"""Tests for tiered state (§3.3) and online event-based constraints (§5.1)."""
+
+import pytest
+
+from repro.messaging import Broker
+from repro.net.latency import Latency
+from repro.sim import Environment
+from repro.storage.object_store import ObjectStore, ObjectStoreServer
+from repro.storage.tiered import TieredStore
+from repro.transactions.constraints import ConstraintMonitor
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=211)
+
+
+def run(env, gen):
+    return env.run_until(env.process(gen))
+
+
+def make_tiered(env, hot_capacity=3, cold_latency=10.0):
+    server = ObjectStoreServer(env, ObjectStore(),
+                               latency=Latency.constant(cold_latency),
+                               transfer_ms_per_unit=0.0)
+    return TieredStore(server, hot_capacity=hot_capacity), server
+
+
+class TestTieredStore:
+    def test_put_get_within_hot_tier(self, env):
+        store, _server = make_tiered(env)
+
+        def flow():
+            yield from store.put("a", 1)
+            value = yield from store.get("a")
+            return value, env.now
+
+        value, elapsed = run(env, flow())
+        assert value == 1
+        assert elapsed == 0.0  # hot access is free
+        assert store.stats.hot_hits == 1
+
+    def test_overflow_spills_lru_to_cold(self, env):
+        store, server = make_tiered(env, hot_capacity=2)
+
+        def flow():
+            yield from store.put("a", 1)
+            yield from store.put("b", 2)
+            yield from store.put("c", 3)  # evicts a
+
+        run(env, flow())
+        assert store.stats.spills == 1
+        assert store.hot_keys == ["b", "c"]
+        assert store.cold_count == 1
+        assert "a" in store
+
+    def test_cold_read_charges_latency_and_promotes(self, env):
+        store, _server = make_tiered(env, hot_capacity=2, cold_latency=10.0)
+
+        def flow():
+            yield from store.put("a", 1)
+            yield from store.put("b", 2)
+            yield from store.put("c", 3)  # a spilled
+            start = env.now
+            value = yield from store.get("a")
+            return value, env.now - start
+
+        value, cost = run(env, flow())
+        assert value == 1
+        assert cost >= 10.0
+        assert store.stats.cold_hits == 1
+        assert store.stats.promotions == 1
+        assert "a" in store.hot_keys  # promoted (and something else spilled)
+
+    def test_missing_key_returns_default(self, env):
+        store, _server = make_tiered(env)
+
+        def flow():
+            return (yield from store.get("ghost", "fallback"))
+
+        assert run(env, flow()) == "fallback"
+        assert store.stats.misses == 1
+
+    def test_len_spans_both_tiers(self, env):
+        store, _server = make_tiered(env, hot_capacity=2)
+
+        def flow():
+            for i in range(5):
+                yield from store.put(f"k{i}", i)
+
+        run(env, flow())
+        assert len(store) == 5
+        assert store.cold_count == 3
+
+    def test_delete_from_either_tier(self, env):
+        store, _server = make_tiered(env, hot_capacity=1)
+
+        def flow():
+            yield from store.put("a", 1)
+            yield from store.put("b", 2)  # a spilled
+            removed_cold = yield from store.delete("a")
+            removed_hot = yield from store.delete("b")
+            removed_none = yield from store.delete("zzz")
+            return removed_cold, removed_hot, removed_none
+
+        assert run(env, flow()) == (True, True, False)
+        assert len(store) == 0
+
+    def test_snapshot_merges_tiers(self, env):
+        store, _server = make_tiered(env, hot_capacity=2)
+
+        def flow():
+            for i in range(4):
+                yield from store.put(f"k{i}", i)
+            snapshot = yield from store.snapshot()
+            return snapshot
+
+        assert run(env, flow()) == {"k0": 0, "k1": 1, "k2": 2, "k3": 3}
+
+    def test_working_set_size_drives_cold_fraction(self, env):
+        """The §3.3 trade: a working set larger than hot capacity thrashes."""
+        small, _ = make_tiered(env, hot_capacity=10)
+        large, _ = make_tiered(env, hot_capacity=10)
+
+        def drive(store, keys):
+            rng = env.stream(f"tiered-{keys}")
+            for i in range(keys):
+                yield from store.put(f"k{i}", i)
+            for _ in range(200):
+                yield from store.get(f"k{rng.randrange(keys)}")
+
+        run(env, drive(small, 8))    # fits in hot tier
+        run(env, drive(large, 40))   # 4x over capacity
+        assert small.stats.cold_fraction == 0.0
+        assert large.stats.cold_fraction > 0.4
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            make_tiered(env, hot_capacity=0)
+
+
+class TestConstraintMonitor:
+    def _setup(self, env):
+        broker = Broker(env)
+        broker.create_topic("stock-events")
+        monitor = ConstraintMonitor(env, broker)
+
+        def apply_event(state, event):
+            stock = state.setdefault("stock", {})
+            stock[event["product"]] = stock.get(event["product"], 0) + event["delta"]
+
+        monitor.watch("stock-events", apply_event)
+        monitor.constraint(
+            "no-negative-stock",
+            lambda state: all(v >= 0 for v in state.get("stock", {}).values()),
+            detail_fn=lambda state: f"stock={state.get('stock')}",
+        )
+        return broker, monitor
+
+    def test_no_violation_on_valid_stream(self, env):
+        broker, monitor = self._setup(env)
+        monitor.start()
+
+        def produce():
+            yield from broker.publish("stock-events", "p", {"product": "p", "delta": 5})
+            yield from broker.publish("stock-events", "p", {"product": "p", "delta": -3})
+
+        run(env, produce())
+        env.run(until=50)
+        monitor.stop()
+        assert monitor.violations == []
+        assert monitor.events_seen == 2
+
+    def test_violation_detected_with_timestamp(self, env):
+        broker, monitor = self._setup(env)
+        monitor.start()
+
+        def produce():
+            yield from broker.publish("stock-events", "p", {"product": "p", "delta": 2})
+            yield env.timeout(20)
+            yield from broker.publish("stock-events", "p", {"product": "p", "delta": -5})
+
+        run(env, produce())
+        env.run(until=100)
+        monitor.stop()
+        assert len(monitor.violations) == 1
+        violation = monitor.violations[0]
+        assert violation.constraint == "no-negative-stock"
+        assert violation.at >= 20
+        assert "stock" in violation.detail
+
+    def test_violation_windows_collapse(self, env):
+        broker, monitor = self._setup(env)
+        monitor.start()
+
+        def produce():
+            # Go negative, stay negative for a while, then recover, then
+            # go negative again much later: two windows.
+            yield from broker.publish("stock-events", "p", {"product": "p", "delta": -1})
+            yield env.timeout(5)
+            yield from broker.publish("stock-events", "p", {"product": "p", "delta": -1})
+            yield env.timeout(5)
+            yield from broker.publish("stock-events", "p", {"product": "p", "delta": 10})
+            yield env.timeout(300)
+            yield from broker.publish("stock-events", "p", {"product": "p", "delta": -20})
+
+        run(env, produce())
+        env.run(until=1000)
+        monitor.stop()
+        windows = monitor.violation_windows("no-negative-stock", gap=50.0)
+        assert len(windows) == 2
+
+    def test_broken_predicate_is_reported_not_fatal(self, env):
+        broker, monitor = self._setup(env)
+        monitor.constraint("broken", lambda state: state["missing-key"] > 0)
+        monitor.start()
+
+        def produce():
+            yield from broker.publish("stock-events", "p", {"product": "p", "delta": 1})
+
+        run(env, produce())
+        env.run(until=50)
+        monitor.stop()
+        broken = [v for v in monitor.violations if v.constraint == "broken"]
+        assert len(broken) == 1
+        assert "predicate error" in broken[0].detail
+
+    def test_declarations_locked_after_start(self, env):
+        broker, monitor = self._setup(env)
+        monitor.start()
+        with pytest.raises(RuntimeError):
+            monitor.watch("stock-events", lambda s, e: None)
+        with pytest.raises(RuntimeError):
+            monitor.constraint("late", lambda s: True)
+        monitor.stop()
+
+    def test_start_requires_watches(self, env):
+        broker = Broker(env)
+        monitor = ConstraintMonitor(env, broker)
+        with pytest.raises(RuntimeError, match="nothing to watch"):
+            monitor.start()
+
+    def test_monitor_observes_saga_inconsistency_window(self, env):
+        """End to end: the monitor sees a saga's intermediate state."""
+        broker, monitor = self._setup(env)
+        monitor.start()
+
+        def saga_like():
+            # Step 1 commits a decrement below zero (oversold), business
+            # failure detected later, compensation restores it.
+            yield from broker.publish("stock-events", "p",
+                                      {"product": "p", "delta": -2})
+            yield env.timeout(30)  # the inconsistency window
+            yield from broker.publish("stock-events", "p",
+                                      {"product": "p", "delta": 2})
+
+        run(env, saga_like())
+        env.run(until=200)
+        monitor.stop()
+        assert monitor.violations  # the window was observed online
+        final_stock = monitor.state["stock"]["p"]
+        assert final_stock == 0  # and the end state is consistent

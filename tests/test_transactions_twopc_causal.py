@@ -1,0 +1,260 @@
+"""Tests for the 2PC coordinator, vector clocks, and the causal store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, IsolationLevel
+from repro.sim import Environment
+from repro.transactions import CausalStore, TwoPhaseCommit, VectorClock
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=13)
+
+
+def run(env, gen):
+    return env.run_until(env.process(gen))
+
+
+def make_bank(env, name):
+    db = Database(env, name=name)
+    db.create_table("accounts", primary_key="id")
+    db.load("accounts", [{"id": "acct", "balance": 100}])
+    return db
+
+
+class TestTwoPhaseCommit:
+    def test_commit_applies_on_all_participants(self, env):
+        db_a, db_b = make_bank(env, "a"), make_bank(env, "b")
+        coordinator = TwoPhaseCommit(env)
+
+        def flow():
+            txn_a = db_a.begin(SER)
+            txn_b = db_b.begin(SER)
+            yield from db_a.update(txn_a, "accounts", "acct", {"balance": 50})
+            yield from db_b.update(txn_b, "accounts", "acct", {"balance": 150})
+            outcome = yield from coordinator.run([(db_a, txn_a), (db_b, txn_b)])
+            return outcome
+
+        outcome = run(env, flow())
+        assert outcome.decision == "committed"
+        assert db_a.read_latest("accounts", "acct")["balance"] == 50
+        assert db_b.read_latest("accounts", "acct")["balance"] == 150
+
+    def test_prepare_failure_aborts_everyone(self, env):
+        db_a, db_b = make_bank(env, "a"), make_bank(env, "b")
+        coordinator = TwoPhaseCommit(env)
+
+        class FailingParticipant:
+            def prepare(self, txn):
+                yield env.timeout(1)
+                raise RuntimeError("disk full")
+
+            def abort(self, txn):
+                yield env.timeout(1)
+
+        def flow():
+            txn_a = db_a.begin(SER)
+            yield from db_a.update(txn_a, "accounts", "acct", {"balance": 0})
+            outcome = yield from coordinator.run(
+                [(db_a, txn_a), (FailingParticipant(), None)]
+            )
+            return outcome
+
+        outcome = run(env, flow())
+        assert outcome.decision == "aborted"
+        assert outcome.failed_participant == 1
+        assert db_a.read_latest("accounts", "acct")["balance"] == 100
+        assert db_a.in_doubt() == []
+
+    def test_coordinator_crash_leaves_in_doubt_and_blocks(self, env):
+        """The blocking problem: in-doubt participants hold their locks."""
+        db_a = make_bank(env, "a")
+        coordinator = TwoPhaseCommit(env)
+        blocked_reader_progress = []
+
+        def flow():
+            txn = db_a.begin(SER)
+            yield from db_a.update(txn, "accounts", "acct", {"balance": 0})
+            outcome = yield from coordinator.run([(db_a, txn)], crash_before_decision=True)
+            return outcome
+
+        def reader():
+            yield env.timeout(2)
+            txn = db_a.begin(SER)
+            row = yield from db_a.get(txn, "accounts", "acct")
+            yield from db_a.commit(txn)
+            blocked_reader_progress.append((env.now, row["balance"]))
+
+        outcome_proc = env.process(flow())
+        env.process(reader())
+        env.run(until=100)
+        outcome = outcome_proc.result()
+        assert outcome.decision == "in_doubt"
+        assert blocked_reader_progress == []  # reader still blocked at t=100
+
+        run(env, coordinator.recover(outcome.xid, commit=True))
+        env.run()
+        assert blocked_reader_progress[0][1] == 0  # unblocked, sees commit
+
+    def test_recover_abort(self, env):
+        db_a = make_bank(env, "a")
+        coordinator = TwoPhaseCommit(env)
+
+        def flow():
+            txn = db_a.begin(SER)
+            yield from db_a.update(txn, "accounts", "acct", {"balance": 0})
+            return (yield from coordinator.run([(db_a, txn)], crash_before_decision=True))
+
+        outcome = run(env, flow())
+        assert run(env, coordinator.recover(outcome.xid, commit=False))
+        assert db_a.read_latest("accounts", "acct")["balance"] == 100
+
+    def test_recover_unknown_xid(self, env):
+        coordinator = TwoPhaseCommit(env)
+        assert not run(env, coordinator.recover(999))
+
+    def test_decision_delay_charged(self, env):
+        db_a = make_bank(env, "a")
+        coordinator = TwoPhaseCommit(env, decision_delay=25.0)
+
+        def flow():
+            txn = db_a.begin(SER)
+            yield from db_a.update(txn, "accounts", "acct", {"balance": 0})
+            outcome = yield from coordinator.run([(db_a, txn)])
+            return outcome
+
+        outcome = run(env, flow())
+        assert outcome.total_duration >= 25.0
+
+
+class TestVectorClock:
+    def test_increment_and_get(self):
+        vc = VectorClock().increment("a").increment("a").increment("b")
+        assert vc.get("a") == 2
+        assert vc.get("b") == 1
+        assert vc.get("zzz") == 0
+
+    def test_happens_before(self):
+        earlier = VectorClock().increment("a")
+        later = earlier.increment("b")
+        assert earlier.happens_before(later)
+        assert not later.happens_before(earlier)
+
+    def test_concurrency(self):
+        base = VectorClock()
+        left = base.increment("a")
+        right = base.increment("b")
+        assert left.concurrent_with(right)
+        assert not left.concurrent_with(left)
+
+    def test_merge_is_pointwise_max(self):
+        left = VectorClock({"a": 3, "b": 1})
+        right = VectorClock({"a": 1, "b": 5, "c": 2})
+        merged = left.merge(right)
+        assert merged.as_dict() == {"a": 3, "b": 5, "c": 2}
+
+    def test_equality_ignores_zero_entries(self):
+        assert VectorClock({"a": 1, "b": 0}) == VectorClock({"a": 1})
+        assert hash(VectorClock({"a": 1, "b": 0})) == hash(VectorClock({"a": 1}))
+
+    def test_immutability_of_operations(self):
+        vc = VectorClock({"a": 1})
+        vc.increment("a")
+        vc.merge(VectorClock({"b": 9}))
+        assert vc.as_dict() == {"a": 1}
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=20)
+    )
+    def test_chain_of_increments_is_totally_ordered(self, ops):
+        clocks = [VectorClock()]
+        for replica in ops:
+            clocks.append(clocks[-1].increment(replica))
+        for i in range(len(clocks) - 1):
+            assert clocks[i].happens_before(clocks[i + 1])
+            assert clocks[i + 1].dominates(clocks[i])
+
+
+class TestCausalStore:
+    def test_read_your_writes_on_same_replica(self, env):
+        store = CausalStore(env, ["r1", "r2"])
+        session = store.session("r1")
+        session.write("k", "v")
+
+        def flow():
+            return (yield from session.read("k"))
+
+        assert run(env, flow()) == "v"
+
+    def test_eventual_read_can_be_stale(self, env):
+        store = CausalStore(env, ["r1", "r2"], replication_delay=10.0)
+        writer = store.session("r1")
+        writer.write("k", "new")
+        reader = store.session("r2")
+        assert reader.read_eventual("k") is None  # replication not done
+
+    def test_causal_read_waits_for_session_context(self, env):
+        """Session moves replicas: read blocks until r2 caught up."""
+        store = CausalStore(env, ["r1", "r2"], replication_delay=10.0)
+        session = store.session("r1")
+        session.write("k", "v")
+        session.move_to("r2")
+
+        def flow():
+            value = yield from session.read("k")
+            return env.now, value
+
+        when, value = run(env, flow())
+        assert value == "v"
+        assert when >= 10.0
+        assert store.stats.stale_reads_prevented == 1
+
+    def test_cross_service_context_attach(self, env):
+        """Antipode-style lineage: service B adopts A's context."""
+        store = CausalStore(env, ["r1", "r2"], replication_delay=10.0)
+        service_a = store.session("r1")
+        service_a.write("order", "placed")
+        service_b = store.session("r2")
+        service_b.attach(service_a.context)
+
+        def flow():
+            return (yield from service_b.read("order"))
+
+        assert run(env, flow()) == "placed"
+
+    def test_dependency_buffering_orders_applies(self, env):
+        """A later write never becomes visible before its dependency."""
+        store = CausalStore(env, ["r1", "r2", "r3"], replication_delay=5.0)
+        session_a = store.session("r1")
+        session_a.write("x", 1)
+
+        # A session on r2 that has seen x=1 writes y (depends on x).
+        def flow():
+            session_b = store.session("r2")
+            session_b.attach(session_a.context)
+            value = yield from session_b.read("x")
+            assert value == 1
+            session_b.write("y", "after-x")
+            # On r3, whenever y is visible, x must be too.
+            checks = []
+            for _ in range(30):
+                yield env.timeout(1.0)
+                y_value, _ = store.read("r3", "y")
+                x_value, _ = store.read("r3", "x")
+                if y_value is not None:
+                    checks.append(x_value)
+            return checks
+
+        checks = run(env, flow())
+        assert checks  # y did become visible
+        assert all(value == 1 for value in checks)
+
+    def test_no_replicas_rejected(self, env):
+        with pytest.raises(ValueError):
+            CausalStore(env, [])
