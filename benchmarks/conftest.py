@@ -1,7 +1,17 @@
-"""Benchmark bootstrap: make ``repro`` importable from a bare checkout."""
+"""Benchmark bootstrap: import path + opt-in causal tracing for every bench.
+
+With ``--trace-export[=DIR]`` (or ``REPRO_TRACE=1``) each benchmark's
+simulation environments record causal spans, exported after the test as
+Chrome ``trace_event`` JSON (load in chrome://tracing or
+https://ui.perfetto.dev) plus a text critical-path report — no per-bench
+code required.
+"""
 
 import os
+import re
 import sys
+
+import pytest
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
@@ -9,3 +19,33 @@ if _SRC not in sys.path:
         import repro  # noqa: F401
     except ImportError:
         sys.path.insert(0, _SRC)
+
+from repro import obs  # noqa: E402
+from repro.harness import save_trace  # noqa: E402
+
+_DEFAULT_TRACE_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "results", "traces"
+)
+
+
+@pytest.fixture(autouse=True)
+def _sim_trace_export(request):
+    """Trace every Environment the test creates; export artifacts after."""
+    directory = request.config.getoption("--trace-export", None)
+    if directory is None and os.environ.get("REPRO_TRACE"):
+        directory = _DEFAULT_TRACE_DIR
+    if not directory:
+        yield
+        return
+    obs.set_default_tracing(True)
+    obs.drain_registered_tracers()  # discard tracers from setup code
+    try:
+        yield
+    finally:
+        obs.set_default_tracing(False)
+        tracers = obs.drain_registered_tracers()
+        test_name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+        for index, tracer in enumerate(tracers):
+            if not tracer.spans:
+                continue
+            save_trace(tracer, directory, f"{test_name}.{index:03d}")

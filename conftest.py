@@ -13,3 +13,25 @@ if _SRC not in sys.path:
         import repro  # noqa: F401
     except ImportError:
         sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    """``--trace-export[=DIR]``: emit causal traces from benchmark runs.
+
+    (pytest already owns ``--trace`` for pdb, hence the longer spelling.)
+    Every Environment created while a bench runs records virtual-clock
+    spans; after the test they are written to DIR (default
+    ``benchmarks/results/traces``) as Chrome ``trace_event`` JSON plus a
+    text critical-path report.  ``REPRO_TRACE=1`` does the same without a
+    flag.  See docs/API.md §repro.obs.
+    """
+    parser.addoption(
+        "--trace-export",
+        action="store",
+        nargs="?",
+        const=os.path.join("benchmarks", "results", "traces"),
+        default=None,
+        metavar="DIR",
+        help="export causal simulation traces (Chrome trace_event JSON + "
+        "critical-path report) from benchmark runs to DIR",
+    )

@@ -9,7 +9,13 @@ measurement and failure-injection machinery shared by every benchmark.
 """
 
 from repro.core.faults import FaultEvent, FaultPlan
-from repro.core.metrics import LatencyRecorder, MetricsCollector, percentile
+from repro.core.metrics import (
+    LatencyRecorder,
+    MetricsCollector,
+    percentile,
+    percentile_sorted,
+    render_table,
+)
 from repro.core.taxonomy import (
     PROFILES,
     ConsistencyGuarantee,
@@ -34,5 +40,7 @@ __all__ = [
     "StateAccess",
     "StatePlacement",
     "percentile",
+    "percentile_sorted",
+    "render_table",
     "taxonomy_table",
 ]

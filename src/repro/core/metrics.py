@@ -21,9 +21,15 @@ def percentile(samples: list[float], q: float) -> float:
     """
     if not samples:
         raise ValueError("percentile of empty sample set")
+    return percentile_sorted(sorted(samples), q)
+
+
+def percentile_sorted(ordered: list[float], q: float) -> float:
+    """:func:`percentile` over an already-sorted sample list (no re-sort)."""
+    if not ordered:
+        raise ValueError("percentile of empty sample set")
     if not 0 <= q <= 100:
         raise ValueError("q must be in [0, 100]")
-    ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
     rank = (len(ordered) - 1) * q / 100.0
@@ -36,13 +42,25 @@ def percentile(samples: list[float], q: float) -> float:
 
 
 class LatencyRecorder:
-    """Accumulates latency samples for one operation type."""
+    """Accumulates latency samples for one operation type.
+
+    Percentile queries sort once and cache the ordering; :meth:`record`
+    invalidates the cache, so repeated ``p(50)``/``p(99)`` calls (every
+    benchmark table renders several) cost one sort total.
+    """
 
     def __init__(self) -> None:
         self.samples: list[float] = []
+        self._sorted: Optional[list[float]] = None
 
     def record(self, latency: float) -> None:
         self.samples.append(latency)
+        self._sorted = None
+
+    def extend(self, latencies: list[float]) -> None:
+        """Bulk-append samples (pooling recorders across operations)."""
+        self.samples.extend(latencies)
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -52,9 +70,16 @@ class LatencyRecorder:
     def mean(self) -> float:
         return sum(self.samples) / len(self.samples) if self.samples else 0.0
 
+    @property
+    def sorted_samples(self) -> list[float]:
+        """Samples in ascending order (cached until the next record)."""
+        if self._sorted is None:
+            self._sorted = sorted(self.samples)
+        return self._sorted
+
     def p(self, q: float) -> float:
         """Percentile; 0.0 when empty (keeps report rendering simple)."""
-        return percentile(self.samples, q) if self.samples else 0.0
+        return percentile_sorted(self.sorted_samples, q) if self.samples else 0.0
 
 
 @dataclass
@@ -102,18 +127,32 @@ class MetricsCollector:
     def record_failure(self, op: str) -> None:
         self._failures[op] += 1
 
+    #: Shared empty recorder returned for never-recorded operations, so
+    #: read paths never insert rows (it is never handed out for writing).
+    _EMPTY = LatencyRecorder()
+
     def completed(self, op: Optional[str] = None) -> int:
         if op is not None:
-            return self._latencies[op].count
+            recorder = self._latencies.get(op)
+            return recorder.count if recorder is not None else 0
         return sum(r.count for r in self._latencies.values())
 
     def failed(self, op: Optional[str] = None) -> int:
         if op is not None:
-            return self._failures[op]
+            return self._failures.get(op, 0)
         return sum(self._failures.values())
 
     def latency(self, op: str) -> LatencyRecorder:
-        return self._latencies[op]
+        """Read-only view of one operation's samples.
+
+        Never inserts: querying an unknown op returns an empty recorder
+        without fabricating a row in :meth:`summary`.
+        """
+        return self._latencies.get(op, MetricsCollector._EMPTY)
+
+    def recorders(self) -> dict[str, LatencyRecorder]:
+        """The live per-operation recorders (do not mutate)."""
+        return dict(self._latencies)
 
     def throughput(self, op: Optional[str] = None) -> float:
         """Completed operations per second of virtual time (window-scaled)."""
@@ -126,12 +165,12 @@ class MetricsCollector:
         """One row per operation type, sorted by name."""
         rows = []
         for name in sorted(set(self._latencies) | set(self._failures)):
-            recorder = self._latencies[name]
+            recorder = self._latencies.get(name, MetricsCollector._EMPTY)
             rows.append(
                 OpSummary(
                     name=name,
                     completed=recorder.count,
-                    failed=self._failures[name],
+                    failed=self._failures.get(name, 0),
                     mean_ms=recorder.mean,
                     p50_ms=recorder.p(50),
                     p99_ms=recorder.p(99),
@@ -142,10 +181,16 @@ class MetricsCollector:
 
 
 def render_table(headers: list[str], rows: list[list[str]]) -> str:
-    """Align rows under headers; the shared ASCII table helper."""
+    """Align rows under headers; the shared ASCII table helper.
+
+    Ragged input is tolerated: rows shorter than ``headers`` are padded
+    with empty cells, longer rows are truncated to the header width.
+    """
+    columns = len(headers)
+    rows = [(row + [""] * (columns - len(row)))[:columns] for row in rows]
     widths = [
         max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
-        for i in range(len(headers))
+        for i in range(columns)
     ]
 
     def fmt(row: list[str]) -> str:

@@ -238,7 +238,26 @@ class Database:
 
     def _lock(self, txn: Transaction, resource: Hashable, mode: LockMode) -> Generator:
         try:
-            yield self.locks.acquire(txn.tid, resource, mode)
+            grant = self.locks.acquire(txn.tid, resource, mode)
+            if grant.done:
+                yield grant
+            else:
+                # Blocked: the 2PL wait the paper blames for 2PC's cost
+                # (§4.2), surfaced as a span only when it actually happens.
+                tracer = self.env.tracer
+                span = tracer.begin(
+                    "db.lock_wait",
+                    resource=repr(resource),
+                    mode=mode.value,
+                    tid=txn.tid,
+                )
+                try:
+                    yield grant
+                except TransactionAborted:
+                    span.annotate(outcome="deadlock")
+                    raise
+                finally:
+                    tracer.end(span)
         except TransactionAborted:
             self.abort(txn)
             raise

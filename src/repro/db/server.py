@@ -65,17 +65,52 @@ class DatabaseServer:
     def _charge(self) -> Generator:
         yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
 
+    def _traced(self, name: str, gen: Generator, **tags: Any) -> Generator:
+        """Run ``gen`` under a causal span (one span per client-visible op)."""
+        tracer = self.env.tracer
+        span = tracer.begin(name, db=self.name, **tags)
+        try:
+            return (yield from gen)
+        finally:
+            tracer.end(span)
+
     def begin(self, isolation: IsolationLevel = IsolationLevel.SERIALIZABLE) -> Generator:
         """Open a transaction, waiting for a pooled connection."""
-        yield self._pool.acquire()
+        return (
+            yield from self._traced(
+                "db.begin", self._begin(isolation), isolation=isolation.value
+            )
+        )
+
+    def _begin(self, isolation: IsolationLevel) -> Generator:
+        tracer = self.env.tracer
+        grant = self._pool.acquire()
+        if grant.done:
+            yield grant
+        else:
+            # Pool exhausted: surface the queueing delay as its own span —
+            # the §3.3 performance-isolation contention made visible.
+            wait = tracer.begin("db.pool_wait", db=self.name)
+            try:
+                yield grant
+            finally:
+                tracer.end(wait)
         yield from self._charge()
         return self.engine.begin(isolation)
 
     def get(self, txn: Transaction, table: str, key: Hashable) -> Generator:
+        return (yield from self._traced("db.get", self._get(txn, table, key), table=table))
+
+    def _get(self, txn: Transaction, table: str, key: Hashable) -> Generator:
         yield from self._charge()
         return (yield from self.engine.get(txn, table, key))
 
     def scan(self, txn: Transaction, table: str, predicate=None) -> Generator:
+        return (
+            yield from self._traced("db.scan", self._scan(txn, table, predicate), table=table)
+        )
+
+    def _scan(self, txn: Transaction, table: str, predicate) -> Generator:
         yield from self._charge()
         rows = yield from self.engine.scan(txn, table, predicate)
         # Result-set transfer cost: scans are not free the way gets are.
@@ -83,10 +118,28 @@ class DatabaseServer:
         return rows
 
     def lookup(self, txn: Transaction, table: str, column: str, value: Any) -> Generator:
+        return (
+            yield from self._traced(
+                "db.lookup", self._lookup(txn, table, column, value), table=table
+            )
+        )
+
+    def _lookup(self, txn: Transaction, table: str, column: str, value: Any) -> Generator:
         yield from self._charge()
         return (yield from self.engine.lookup(txn, table, column, value))
 
     def range_lookup(
+        self, txn: Transaction, table: str, column: str, low: Any, high: Any
+    ) -> Generator:
+        return (
+            yield from self._traced(
+                "db.range_lookup",
+                self._range_lookup(txn, table, column, low, high),
+                table=table,
+            )
+        )
+
+    def _range_lookup(
         self, txn: Transaction, table: str, column: str, low: Any, high: Any
     ) -> Generator:
         yield from self._charge()
@@ -95,22 +148,41 @@ class DatabaseServer:
         return rows
 
     def insert(self, txn: Transaction, table: str, row: dict) -> Generator:
+        yield from self._traced("db.insert", self._insert(txn, table, row), table=table)
+
+    def _insert(self, txn: Transaction, table: str, row: dict) -> Generator:
         yield from self._charge()
         yield from self.engine.insert(txn, table, row)
 
     def put(self, txn: Transaction, table: str, key: Hashable, row: dict) -> Generator:
+        yield from self._traced("db.put", self._put(txn, table, key, row), table=table)
+
+    def _put(self, txn: Transaction, table: str, key: Hashable, row: dict) -> Generator:
         yield from self._charge()
         yield from self.engine.put(txn, table, key, row)
 
     def update(self, txn: Transaction, table: str, key: Hashable, changes: dict) -> Generator:
+        return (
+            yield from self._traced(
+                "db.update", self._update(txn, table, key, changes), table=table
+            )
+        )
+
+    def _update(self, txn: Transaction, table: str, key: Hashable, changes: dict) -> Generator:
         yield from self._charge()
         return (yield from self.engine.update(txn, table, key, changes))
 
     def delete(self, txn: Transaction, table: str, key: Hashable) -> Generator:
+        yield from self._traced("db.delete", self._delete(txn, table, key), table=table)
+
+    def _delete(self, txn: Transaction, table: str, key: Hashable) -> Generator:
         yield from self._charge()
         yield from self.engine.delete(txn, table, key)
 
     def commit(self, txn: Transaction) -> Generator:
+        yield from self._traced("db.commit", self._commit(txn))
+
+    def _commit(self, txn: Transaction) -> Generator:
         try:
             yield from self._charge()
             yield from self.engine.commit(txn)
@@ -118,6 +190,9 @@ class DatabaseServer:
             self._release_connection(txn)
 
     def abort(self, txn: Transaction) -> Generator:
+        yield from self._traced("db.abort", self._abort(txn))
+
+    def _abort(self, txn: Transaction) -> Generator:
         try:
             yield from self._charge()
             self.engine.abort(txn)
@@ -135,10 +210,16 @@ class DatabaseServer:
     # -- XA -----------------------------------------------------------------------
 
     def prepare(self, txn: Transaction) -> Generator:
+        yield from self._traced("db.prepare", self._prepare(txn))
+
+    def _prepare(self, txn: Transaction) -> Generator:
         yield from self._charge()
         yield from self.engine.prepare(txn)
 
     def commit_prepared(self, txn: Transaction) -> Generator:
+        yield from self._traced("db.commit_prepared", self._commit_prepared(txn))
+
+    def _commit_prepared(self, txn: Transaction) -> Generator:
         try:
             yield from self._charge()
             self.engine.commit_prepared(txn)
@@ -146,6 +227,9 @@ class DatabaseServer:
             self._release_connection(txn)
 
     def abort_prepared(self, txn: Transaction) -> Generator:
+        yield from self._traced("db.abort_prepared", self._abort_prepared(txn))
+
+    def _abort_prepared(self, txn: Transaction) -> Generator:
         try:
             yield from self._charge()
             self.engine.abort_prepared(txn)

@@ -9,6 +9,18 @@ prints both a performance row *and* a correctness row, per the paper's
 """
 
 from repro.harness.driver import RunResult, WorkloadDriver
-from repro.harness.report import format_results, format_rows
+from repro.harness.report import (
+    format_results,
+    format_rows,
+    save_result_traces,
+    save_trace,
+)
 
-__all__ = ["RunResult", "WorkloadDriver", "format_results", "format_rows"]
+__all__ = [
+    "RunResult",
+    "WorkloadDriver",
+    "format_results",
+    "format_rows",
+    "save_result_traces",
+    "save_trace",
+]

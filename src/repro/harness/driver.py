@@ -1,11 +1,12 @@
-"""The workload driver: arrivals → operations → metrics + ledger."""
+"""The workload driver: arrivals → operations → metrics + ledger + trace."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from repro.core.metrics import MetricsCollector
+from repro.core.metrics import LatencyRecorder, MetricsCollector
+from repro.obs import Tracer, chrome_trace_json, critical_path_report
 from repro.sim import Environment, Interrupted
 from repro.transactions.anomalies import AnomalyReport, EffectLedger, Invariant
 
@@ -27,21 +28,31 @@ class RunResult:
     anomalies: AnomalyReport
     wall_ms: float
     extra: dict = field(default_factory=dict)
+    #: The run's :class:`~repro.obs.Tracer` when tracing was enabled.
+    trace: Optional[Tracer] = None
+    _pooled: Optional[LatencyRecorder] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def throughput(self) -> float:
         return self.metrics.throughput()
 
     def p(self, q: float) -> float:
-        """Latency percentile pooled over every operation type."""
-        samples: list[float] = []
-        for row in self.metrics.summary():
-            samples.extend(self.metrics.latency(row.name).samples)
-        if not samples:
-            return 0.0
-        from repro.core.metrics import percentile
+        """Latency percentile pooled over every operation type.
 
-        return percentile(samples, q)
+        Samples are pooled once (without touching the collector's state)
+        and the pooled recorder caches its sort, so repeated ``p(50)`` /
+        ``p(99)`` queries cost one sort total.
+        """
+        if self._pooled is None:
+            pooled = LatencyRecorder()
+            for recorder in self.metrics.recorders().values():
+                pooled.extend(recorder.samples)
+            self._pooled = pooled
+        if not self._pooled.count:
+            return 0.0
+        return self._pooled.p(q)
 
     @property
     def completed(self) -> int:
@@ -50,6 +61,23 @@ class RunResult:
     @property
     def failed(self) -> int:
         return self.metrics.failed()
+
+    # -- trace artifacts ----------------------------------------------------
+
+    def trace_json(self) -> str:
+        """Chrome ``trace_event`` JSON for this run (Perfetto-loadable)."""
+        if self.trace is None:
+            raise ValueError(
+                f"run {self.label!r} was not traced; pass tracer=Tracer() to "
+                "Environment or call repro.obs.set_default_tracing(True)"
+            )
+        return chrome_trace_json(self.trace)
+
+    def critical_path(self, top: int = 1) -> str:
+        """Text critical-path decomposition of the slowest operation(s)."""
+        if self.trace is None:
+            raise ValueError(f"run {self.label!r} was not traced")
+        return critical_path_report(self.trace, top=top)
 
 
 class WorkloadDriver:
@@ -67,15 +95,22 @@ class WorkloadDriver:
         def issue(op_index: int) -> Generator:
             op = ops[op_index]
             kind = _kind_of(op)
+            tracer = self.env.tracer
+            # Each client-visible operation is a root span: the unit the
+            # critical-path report decomposes.
+            span = tracer.begin(f"op:{kind}", parent=None, index=op_index)
             started = self.env.now
             try:
                 yield from execute(op)
             except Interrupted:
+                tracer.end(span, outcome="interrupted")
                 raise
             except Exception:  # noqa: BLE001 - a failure the client observed
                 self.metrics.record_failure(kind)
+                tracer.end(span, outcome="failed")
                 raise
             self.metrics.record_success(kind, self.env.now - started)
+            tracer.end(span, outcome="ok")
             op_id = getattr(op, "op_id", None)
             if op_id is not None:
                 self.ledger.acknowledge(op_id)
@@ -105,10 +140,12 @@ class WorkloadDriver:
         self.metrics.stop(self.env.now)
         final_state = state_fn() if state_fn is not None else state
         report = self.ledger.reconcile(invariants=invariants, state=final_state)
+        tracer = self.env.tracer
         return RunResult(
             label=self.label,
             metrics=self.metrics,
             anomalies=report,
             wall_ms=self.env.now - started,
             extra=dict(extra or {}),
+            trace=tracer if tracer.enabled else None,
         )

@@ -1,11 +1,13 @@
-"""Benchmark report rendering: the tables the benches print."""
+"""Benchmark report rendering: the tables the benches print, plus traces."""
 
 from __future__ import annotations
 
+import os
 from typing import Iterable
 
 from repro.core.metrics import render_table
 from repro.harness.driver import RunResult
+from repro.obs import Tracer, chrome_trace_json, critical_path_report
 
 
 def format_rows(headers: list[str], rows: list[list[object]]) -> str:
@@ -35,3 +37,38 @@ def format_results(results: Iterable[RunResult], title: str = "") -> str:
     if title:
         return f"\n=== {title} ===\n{table}"
     return table
+
+
+def save_trace(
+    trace: Tracer,
+    directory: str,
+    label: str,
+    critical_top: int = 3,
+) -> tuple[str, str]:
+    """Write one tracer's artifacts; returns (chrome_path, critpath_path).
+
+    ``<label>.trace.json`` loads in ``chrome://tracing`` / Perfetto;
+    ``<label>.critpath.txt`` is the text critical-path decomposition of the
+    slowest operations.
+    """
+    os.makedirs(directory, exist_ok=True)
+    chrome_path = os.path.join(directory, f"{label}.trace.json")
+    with open(chrome_path, "w") as handle:
+        handle.write(chrome_trace_json(trace))
+    crit_path = os.path.join(directory, f"{label}.critpath.txt")
+    with open(crit_path, "w") as handle:
+        handle.write(critical_path_report(trace, top=critical_top) + "\n")
+    return chrome_path, crit_path
+
+
+def save_result_traces(
+    results: Iterable[RunResult], directory: str
+) -> list[tuple[str, str]]:
+    """Persist trace artifacts for every traced result (untraced skipped)."""
+    written = []
+    for result in results:
+        if result.trace is None:
+            continue
+        label = result.label.replace("/", "_").replace(" ", "_")
+        written.append(save_trace(result.trace, directory, label))
+    return written

@@ -119,12 +119,18 @@ class Broker:
 
     def publish(self, topic: str, key: Any, value: Any) -> Generator:
         """Append durably; resolves once the broker has acked."""
-        partitions = self._partitions(topic)
-        yield self.env.timeout(self.publish_latency)
-        partition = partitions[self.partition_for(topic, key)]
-        record = partition.append(key, value, self.env.now)
-        self.stats.published += 1
-        return record
+        tracer = self.env.tracer
+        span = tracer.begin("broker.publish", broker=self.name, topic=topic)
+        try:
+            partitions = self._partitions(topic)
+            yield self.env.timeout(self.publish_latency)
+            partition = partitions[self.partition_for(topic, key)]
+            record = partition.append(key, value, self.env.now)
+            self.stats.published += 1
+            span.annotate(partition=partition.index, offset=record.offset)
+            return record
+        finally:
+            tracer.end(span)
 
     def publish_now(self, topic: str, key: Any, value: Any) -> Record:
         """Zero-latency append (test setup and fire-and-forget relays)."""
@@ -232,32 +238,43 @@ class Consumer:
     def poll(self, max_records: int = 32, wait: bool = True) -> Generator:
         """Fetch the next batch; blocks until data arrives if ``wait``."""
         env = self.broker.env
-        yield env.timeout(self.broker.poll_latency)
-        while True:
-            batch: list[Record] = []
-            for partition in self.broker._partitions(self.topic):
-                position = self._positions[partition.index]
-                available = partition.log[position:position + max_records - len(batch)]
-                if available:
-                    self.broker._note_delivery(
-                        self.group, self.topic, partition.index,
-                        range(position, position + len(available)),
-                    )
-                    batch.extend(available)
-                    self._positions[partition.index] = position + len(available)
-                if len(batch) >= max_records:
-                    break
-            if batch or not wait:
-                self.broker.stats.polled += len(batch)
-                return batch
-            waits = [p.wait_for_data(env) for p in self.broker._partitions(self.topic)]
-            yield any_of(env, waits)
+        tracer = env.tracer
+        span = tracer.begin("broker.poll", group=self.group, topic=self.topic)
+        try:
+            yield env.timeout(self.broker.poll_latency)
+            while True:
+                batch: list[Record] = []
+                for partition in self.broker._partitions(self.topic):
+                    position = self._positions[partition.index]
+                    available = partition.log[position:position + max_records - len(batch)]
+                    if available:
+                        self.broker._note_delivery(
+                            self.group, self.topic, partition.index,
+                            range(position, position + len(available)),
+                        )
+                        batch.extend(available)
+                        self._positions[partition.index] = position + len(available)
+                    if len(batch) >= max_records:
+                        break
+                if batch or not wait:
+                    self.broker.stats.polled += len(batch)
+                    span.annotate(records=len(batch))
+                    return batch
+                waits = [p.wait_for_data(env) for p in self.broker._partitions(self.topic)]
+                yield any_of(env, waits)
+        finally:
+            tracer.end(span)
 
     def commit(self) -> Generator:
         """Persist current positions as the group's committed offsets."""
-        yield self.broker.env.timeout(self.broker.poll_latency)
-        for index, position in self._positions.items():
-            self.broker._commit(self.group, self.topic, index, position)
+        tracer = self.broker.env.tracer
+        span = tracer.begin("broker.commit", group=self.group, topic=self.topic)
+        try:
+            yield self.broker.env.timeout(self.broker.poll_latency)
+            for index, position in self._positions.items():
+                self.broker._commit(self.group, self.topic, index, position)
+        finally:
+            tracer.end(span)
 
     def commit_now(self) -> None:
         """Synchronous variant of :meth:`commit` (at-most-once fast path)."""
@@ -308,6 +325,18 @@ class GroupMember:
     def poll(self, max_records: int = 32, wait: bool = True) -> Generator:
         """Fetch the next batch from the member's assigned partitions."""
         env = self.broker.env
+        tracer = env.tracer
+        span = tracer.begin(
+            "broker.poll", group=self.group, topic=self.topic, member=self.member_id
+        )
+        try:
+            batch = yield from self._poll(env, max_records, wait)
+            span.annotate(records=len(batch))
+            return batch
+        finally:
+            tracer.end(span)
+
+    def _poll(self, env: Environment, max_records: int, wait: bool) -> Generator:
         yield env.timeout(self.broker.poll_latency)
         while True:
             self._refresh()
@@ -339,9 +368,16 @@ class GroupMember:
             yield any_of(env, [winner, timeout])
 
     def commit(self) -> Generator:
-        yield self.broker.env.timeout(self.broker.poll_latency)
-        for index, position in self._positions.items():
-            self.broker._commit(self.group, self.topic, index, position)
+        tracer = self.broker.env.tracer
+        span = tracer.begin(
+            "broker.commit", group=self.group, topic=self.topic, member=self.member_id
+        )
+        try:
+            yield self.broker.env.timeout(self.broker.poll_latency)
+            for index, position in self._positions.items():
+                self.broker._commit(self.group, self.topic, index, position)
+        finally:
+            tracer.end(span)
 
     def leave(self) -> None:
         """Leave the group; a rebalance hands the partitions to survivors."""

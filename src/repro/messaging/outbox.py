@@ -100,23 +100,37 @@ class OutboxRelay:
 
     def sweep(self) -> Generator:
         """One pass: publish every pending event, then mark it dispatched."""
-        for row in self.outbox.pending():
-            event = {"event_id": row["event_id"], "value": row["value"]}
-            yield from self.broker.publish(row["topic"], row["key"], event)
-            self.published += 1
-            if row["event_id"] in self._published_ids:
-                self.republished += 1
-            self._published_ids.add(row["event_id"])
-            if (
-                self.crash_after_publish_prob > 0
-                and self._rng.random() < self.crash_after_publish_prob
-            ):
-                return  # died before marking: the row stays pending
-            yield from self._mark_dispatched(row["event_id"])
+        tracer = self.env.tracer
+        pending = self.outbox.pending()
+        span = tracer.begin("outbox.sweep", events=len(pending))
+        published = 0
+        try:
+            for row in pending:
+                event = {"event_id": row["event_id"], "value": row["value"]}
+                yield from self.broker.publish(row["topic"], row["key"], event)
+                self.published += 1
+                published += 1
+                if row["event_id"] in self._published_ids:
+                    self.republished += 1
+                self._published_ids.add(row["event_id"])
+                if (
+                    self.crash_after_publish_prob > 0
+                    and self._rng.random() < self.crash_after_publish_prob
+                ):
+                    span.annotate(crashed=True)
+                    return  # died before marking: the row stays pending
+                yield from self._mark_dispatched(row["event_id"])
+        finally:
+            tracer.end(span, published=published)
 
     def _mark_dispatched(self, event_id: str) -> Generator:
-        txn = self.outbox.db.begin(IsolationLevel.READ_COMMITTED)
-        yield from self.outbox.db.update(
-            txn, TransactionalOutbox.TABLE, event_id, {"dispatched": True}
-        )
-        yield from self.outbox.db.commit(txn)
+        tracer = self.env.tracer
+        span = tracer.begin("outbox.mark", event_id=event_id)
+        try:
+            txn = self.outbox.db.begin(IsolationLevel.READ_COMMITTED)
+            yield from self.outbox.db.update(
+                txn, TransactionalOutbox.TABLE, event_id, {"dispatched": True}
+            )
+            yield from self.outbox.db.commit(txn)
+        finally:
+            tracer.end(span)

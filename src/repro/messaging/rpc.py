@@ -50,6 +50,8 @@ class _Request:
     reply_to: str
     reply_port: str
     idempotency_key: Optional[str]
+    #: Caller's span id, carried across the wire for causal trace linking.
+    trace_parent: Optional[int] = None
 
 
 @dataclass
@@ -119,6 +121,19 @@ class RpcServer:
 
     def _handle(self, message: Message) -> Generator:
         request: _Request = message.payload
+        tracer = self.network.env.tracer
+        span = tracer.begin(
+            "rpc.handle",
+            parent=request.trace_parent,
+            method=request.method,
+            node=self.node.name,
+        )
+        try:
+            yield from self._handle_traced(request, span)
+        finally:
+            tracer.end(span)
+
+    def _handle_traced(self, request: _Request, span: Any) -> Generator:
         handler = self._handlers.get(request.method)
         if handler is None:
             self._reply(request, ok=False, value=f"no such method {request.method!r}")
@@ -128,6 +143,7 @@ class RpcServer:
             hit = self.dedup.lookup(key)
             if hit is not None:
                 self.stats.deduplicated += 1
+                span.annotate(dedup="store")
                 self._reply(request, ok=True, value=hit.response)
                 return
             inflight = self._inflight.get(key)
@@ -135,6 +151,7 @@ class RpcServer:
                 # A duplicate arrived while the original still executes:
                 # piggyback on its outcome instead of re-executing.
                 self.stats.deduplicated += 1
+                span.annotate(dedup="inflight")
                 outcome = yield inflight
                 self._reply(request, ok=outcome[0], value=outcome[1])
                 return
@@ -217,31 +234,42 @@ class RpcClient:
         :class:`RpcTimeout` or :class:`RpcRemoteError`.
         """
         env = self.network.env
+        tracer = env.tracer
         self.stats.calls += 1
+        span = tracer.begin("rpc.call", dst=dst, method=method)
         attempts = 0
-        while attempts <= retries:
-            attempts += 1
-            request_id = next(RpcClient._ids)
-            request = _Request(
-                request_id=request_id,
-                method=method,
-                payload=payload,
-                reply_to=self.node.name,
-                reply_port=self._reply_port,
-                idempotency_key=idempotency_key,
-            )
-            fut = env.future(label=f"rpc:{dst}.{method}#{request_id}")
-            self._pending[request_id] = fut
-            self.network.send(self.node.name, dst, self.service, request)
-            winner = yield any_of(env, [fut, env.timeout(timeout, "timeout")])
-            index, value = winner
-            if index == 0:
-                reply: _Reply = value
-                if reply.ok:
-                    return reply.value
-                raise RpcRemoteError(dst, method, reply.value)
-            self._pending.pop(request_id, None)
-            if attempts <= retries:
-                self.stats.retries += 1
-        self.stats.timeouts += 1
-        raise RpcTimeout(dst, method, attempts)
+        try:
+            while attempts <= retries:
+                attempts += 1
+                request_id = next(RpcClient._ids)
+                request = _Request(
+                    request_id=request_id,
+                    method=method,
+                    payload=payload,
+                    reply_to=self.node.name,
+                    reply_port=self._reply_port,
+                    idempotency_key=idempotency_key,
+                    trace_parent=span.span_id if tracer.enabled else None,
+                )
+                attempt_span = tracer.begin("rpc.attempt", attempt=attempts)
+                fut = env.future(label=f"rpc:{dst}.{method}#{request_id}")
+                self._pending[request_id] = fut
+                self.network.send(self.node.name, dst, self.service, request)
+                winner = yield any_of(env, [fut, env.timeout(timeout, "timeout")])
+                index, value = winner
+                if index == 0:
+                    tracer.end(attempt_span, outcome="reply")
+                    reply: _Reply = value
+                    span.annotate(attempts=attempts)
+                    if reply.ok:
+                        return reply.value
+                    raise RpcRemoteError(dst, method, reply.value)
+                tracer.end(attempt_span, outcome="timeout")
+                self._pending.pop(request_id, None)
+                if attempts <= retries:
+                    self.stats.retries += 1
+            self.stats.timeouts += 1
+            span.annotate(attempts=attempts, outcome="timeout")
+            raise RpcTimeout(dst, method, attempts)
+        finally:
+            tracer.end(span)

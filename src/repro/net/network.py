@@ -29,6 +29,8 @@ class Message:
     payload: Any
     sent_at: float
     duplicate: bool = False
+    #: Causal tracing span covering the in-flight interval (None untraced).
+    span: Any = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -148,12 +150,15 @@ class Network:
         msg_id = next(self._msg_ids)
         self.stats.sent += 1
 
+        tracer = self.env.tracer
         faults = self._effective_faults(src, dst)
         if self.is_partitioned(src, dst):
             self.stats.dropped_partition += 1
+            tracer.event("net.drop", src=src, dst=dst, port=port, reason="partition")
             return msg_id
         if faults.drop_rate > 0 and self._rng.random() < faults.drop_rate:
             self.stats.dropped_loss += 1
+            tracer.event("net.drop", src=src, dst=dst, port=port, reason="loss")
             return msg_id
 
         self._dispatch(src, dst, port, payload, msg_id, faults, duplicate=False)
@@ -187,6 +192,14 @@ class Network:
         if duplicate:
             # A duplicate (retransmission) arrives strictly later.
             delay += sampler(self._rng)
+        tracer = self.env.tracer
+        span = None
+        if tracer.enabled:
+            # Detached span: covers the in-flight interval, ended at delivery.
+            span = tracer.start(
+                "net.msg", src=src, dst=dst, port=port,
+                msg_id=msg_id, duplicate=duplicate,
+            )
         message = Message(
             msg_id=msg_id,
             src=src,
@@ -195,16 +208,24 @@ class Network:
             payload=payload,
             sent_at=self.env.now,
             duplicate=duplicate,
+            span=span,
         )
         self.env.schedule(delay, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:
         # A partition raised after sending also cuts in-flight messages.
+        tracer = self.env.tracer
         if self.is_partitioned(message.src, message.dst):
             self.stats.dropped_partition += 1
+            if message.span is not None:
+                tracer.end(message.span, outcome="dropped_partition")
             return
         node = self.nodes.get(message.dst)
         if node is None or not node.deliver(message.port, message):
             self.stats.dropped_dead += 1
+            if message.span is not None:
+                tracer.end(message.span, outcome="dropped_dead")
             return
         self.stats.delivered += 1
+        if message.span is not None:
+            tracer.end(message.span, outcome="delivered")

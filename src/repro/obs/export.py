@@ -1,0 +1,166 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and critical-path text.
+
+The Chrome export loads directly in ``chrome://tracing`` or
+https://ui.perfetto.dev.  Spans whose interval nests inside their parent's
+are emitted as complete (``"ph": "X"``) events on the track of their root
+operation; spans that outlive their parent (an in-flight message delivered
+after the operation finished, a duplicate retransmission) are emitted as
+async begin/end pairs so the synchronous tracks always nest correctly.
+
+Both exports are pure functions of the span list: same seed, byte-identical
+output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.tracer import Span, Tracer
+
+
+def _span_index(spans: list[Span]) -> dict[int, Span]:
+    return {span.span_id: span for span in spans}
+
+
+def _root_ids(spans: list[Span], by_id: dict[int, Span]) -> dict[int, int]:
+    """Map each span id to the id of its root ancestor (its track)."""
+    roots: dict[int, int] = {}
+
+    def resolve(span: Span) -> int:
+        cached = roots.get(span.span_id)
+        if cached is not None:
+            return cached
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        root = span.span_id if parent is None else resolve(parent)
+        roots[span.span_id] = root
+        return root
+
+    for span in spans:
+        resolve(span)
+    return roots
+
+
+def _effective_end(span: Span) -> float:
+    """Unfinished spans export as zero-duration (tagged below)."""
+    return span.end if span.end is not None else span.start
+
+
+def _nests_in_parent(span: Span, parent: Optional[Span]) -> bool:
+    if parent is None:
+        return True
+    return (
+        parent.end is not None
+        and span.start >= parent.start
+        and _effective_end(span) <= parent.end
+    )
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The ``traceEvents`` list for one tracer, deterministically ordered."""
+    spans = sorted(tracer.spans, key=lambda s: (s.start, s.span_id))
+    by_id = _span_index(spans)
+    tracks = _root_ids(spans, by_id)
+    events: list[dict] = []
+    for span in spans:
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        end = _effective_end(span)
+        args = dict(sorted(span.tags.items()))
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.end is None:
+            args["unfinished"] = True
+        ts = round(span.start * 1000.0, 3)  # virtual ms -> trace microseconds
+        tid = tracks[span.span_id]
+        if _nests_in_parent(span, parent):
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "sim",
+                    "ph": "X",
+                    "ts": ts,
+                    # From the rounded endpoints, so ts+dur of a child never
+                    # overshoots its parent's interval by rounding alone.
+                    "dur": round(round(end * 1000.0, 3) - ts, 3),
+                    "pid": 1,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        else:
+            # Outlives its parent: an async pair keeps the sync track nested.
+            base = {
+                "name": span.name,
+                "cat": "sim.async",
+                "id": span.span_id,
+                "pid": 1,
+                "tid": tid,
+            }
+            events.append({**base, "ph": "b", "ts": ts, "args": args})
+            events.append({**base, "ph": "e", "ts": round(end * 1000.0, 3)})
+    return events
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    """Serialize a tracer as Chrome ``trace_event`` JSON (byte-stable)."""
+    payload = {
+        "displayTimeUnit": "ms",
+        "traceEvents": chrome_trace_events(tracer),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# -- critical path ----------------------------------------------------------
+
+
+def _render_tree(
+    span: Span,
+    tracer: Tracer,
+    by_parent: dict[Optional[int], list[Span]],
+    depth: int,
+    lines: list[str],
+) -> None:
+    children = sorted(by_parent.get(span.span_id, ()), key=lambda s: (s.start, s.span_id))
+    overlap = sum(
+        max(0.0, min(_effective_end(c), _effective_end(span)) - max(c.start, span.start))
+        for c in children
+    )
+    duration = _effective_end(span) - span.start
+    self_time = max(0.0, duration - overlap)
+    tags = " ".join(f"{k}={v}" for k, v in sorted(span.tags.items()))
+    lines.append(
+        f"{'  ' * depth}{span.name}  "
+        f"[{span.start:.3f}..{_effective_end(span):.3f}]  "
+        f"dur={duration:.3f}ms self={self_time:.3f}ms"
+        + (f"  {tags}" if tags else "")
+    )
+    for child in children:
+        _render_tree(child, tracer, by_parent, depth + 1, lines)
+
+
+def critical_path_report(tracer: Tracer, top: int = 1) -> str:
+    """Decompose the ``top`` slowest root spans into indented span trees.
+
+    Each line shows the span's virtual-time interval, duration, and *self*
+    time (duration not covered by child spans) — the direct answer to
+    "where did the p99 go?".
+    """
+    roots = sorted(
+        tracer.roots(),
+        key=lambda s: (-(_effective_end(s) - s.start), s.span_id),
+    )[: max(1, top)]
+    if not roots:
+        return "critical path: no spans recorded"
+    by_parent: dict[Optional[int], list[Span]] = {}
+    for span in tracer.spans:
+        by_parent.setdefault(span.parent_id, []).append(span)
+    lines: list[str] = []
+    for rank, root in enumerate(roots, 1):
+        duration = _effective_end(root) - root.start
+        lines.append(
+            f"critical path #{rank}: {root.name}  dur={duration:.3f}ms "
+            f"(of {len(tracer.spans)} spans)"
+        )
+        _render_tree(root, tracer, by_parent, 1, lines)
+    return "\n".join(lines)

@@ -13,6 +13,7 @@ import random
 import zlib
 from typing import Any, Callable, Generator, Optional
 
+from repro.obs.tracer import default_tracer
 from repro.sim.events import Future
 
 
@@ -40,7 +41,7 @@ class Process(Future):
     :class:`Interrupted` into it at its current suspension point.
     """
 
-    __slots__ = ("_generator", "_waiting_on", "_resume_callback")
+    __slots__ = ("_generator", "_waiting_on", "_resume_callback", "_tracer", "_trace_ctx")
 
     def __init__(
         self,
@@ -52,6 +53,11 @@ class Process(Future):
         self._generator = generator
         self._waiting_on: Optional[Future] = None
         self._resume_callback: Optional[Callable[[Future], None]] = None
+        # Causal tracing: a process inherits the spawner's span context and
+        # carries it across suspensions (see repro.obs.tracer).
+        tracer = env.tracer
+        self._tracer = tracer if tracer.enabled else None
+        self._trace_ctx = tracer.current if self._tracer is not None else None
         env.schedule(0.0, self._step, None, None)
 
     @property
@@ -82,29 +88,37 @@ class Process(Future):
             return
         self._waiting_on = None
         self._resume_callback = None
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.current = self._trace_ctx
         try:
-            if throw_exc is not None:
-                target = self._generator.throw(throw_exc)
-            else:
-                target = self._generator.send(send_value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:  # noqa: BLE001 - process bodies may raise anything
-            self.fail(exc)
-            return
-        if not isinstance(target, Future):
-            self.env.schedule(
-                0.0,
-                self._step,
-                None,
-                SimulationError(
-                    f"process {self.label!r} yielded {target!r}; "
-                    "only Future/Timeout/Process may be yielded"
-                ),
-            )
-            return
-        self._wait_for(target)
+            try:
+                if throw_exc is not None:
+                    target = self._generator.throw(throw_exc)
+                else:
+                    target = self._generator.send(send_value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - process bodies may raise anything
+                self.fail(exc)
+                return
+            if not isinstance(target, Future):
+                self.env.schedule(
+                    0.0,
+                    self._step,
+                    None,
+                    SimulationError(
+                        f"process {self.label!r} yielded {target!r}; "
+                        "only Future/Timeout/Process may be yielded"
+                    ),
+                )
+                return
+            self._wait_for(target)
+        finally:
+            if tracer is not None:
+                self._trace_ctx = tracer.current
+                tracer.current = None
 
     def _wait_for(self, target: Future) -> None:
         def resume(fut: Future) -> None:
@@ -131,15 +145,24 @@ class Environment:
         Master seed.  Use :meth:`stream` to derive independent, stable
         random streams for different subsystems so that adding randomness
         in one place does not perturb another.
+    tracer:
+        A :class:`repro.obs.Tracer` to record causal spans against the
+        virtual clock, or ``None`` for the process-wide default (the no-op
+        tracer unless :func:`repro.obs.set_default_tracing` turned tracing
+        on).  Tracing never consumes virtual time, so traced and untraced
+        runs produce identical metrics.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, tracer: Optional[Any] = None) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._sequence = 0
         self.seed = seed
         self.rng = random.Random(seed)
         self._streams: dict[str, random.Random] = {}
+        self.tracer = tracer if tracer is not None else default_tracer()
+        if self.tracer.enabled:
+            self.tracer.clock = lambda: self._now
 
     # -- clock and scheduling -----------------------------------------------
 

@@ -126,19 +126,30 @@ class SagaOrchestrator:
         outcome = SagaOutcome(saga=saga.name, status="completed", started_at=self.env.now)
         self.stats.started += 1
         completed: list[SagaStep] = []
-        for step in saga.steps:
-            try:
-                result = yield from step.action(ctx)
-                ctx[step.name] = result
-                completed.append(step)
-                outcome.completed_steps.append(step.name)
-            except Interrupted:
-                raise
-            except Exception as exc:  # noqa: BLE001 - any step failure triggers undo
-                outcome.failed_step = step.name
-                outcome.error = repr(exc)
-                yield from self._compensate(saga, completed, ctx, outcome)
-                break
+        tracer = self.env.tracer
+        span = tracer.begin(
+            "saga", saga=saga.name, execution=ctx["saga_execution_id"]
+        )
+        try:
+            for step in saga.steps:
+                step_span = tracer.begin("saga.step", step=step.name)
+                try:
+                    result = yield from step.action(ctx)
+                    ctx[step.name] = result
+                    completed.append(step)
+                    outcome.completed_steps.append(step.name)
+                    tracer.end(step_span)
+                except Interrupted:
+                    tracer.end(step_span, outcome="interrupted")
+                    raise
+                except Exception as exc:  # noqa: BLE001 - any step failure triggers undo
+                    tracer.end(step_span, outcome="failed")
+                    outcome.failed_step = step.name
+                    outcome.error = repr(exc)
+                    yield from self._compensate(saga, completed, ctx, outcome)
+                    break
+        finally:
+            tracer.end(span, status=outcome.status)
         outcome.finished_at = self.env.now
         if outcome.status == "completed":
             self.stats.completed += 1
@@ -153,21 +164,27 @@ class SagaOrchestrator:
         outcome: SagaOutcome,
     ) -> Generator:
         outcome.status = "compensated"
+        tracer = self.env.tracer
         for step in reversed(completed):
             if step.compensation is None:
                 continue
             attempts = 0
-            while True:
-                attempts += 1
-                try:
-                    yield from step.compensation(ctx)
-                    break
-                except Interrupted:
-                    raise
-                except Exception:  # noqa: BLE001 - retried, then declared stuck
-                    if attempts > self.compensation_retries:
-                        outcome.status = "stuck"
-                        self.stats.stuck += 1
-                        return
-                    yield self.env.timeout(2.0 * attempts)  # backoff
+            span = tracer.begin("saga.compensate", step=step.name)
+            try:
+                while True:
+                    attempts += 1
+                    try:
+                        yield from step.compensation(ctx)
+                        break
+                    except Interrupted:
+                        raise
+                    except Exception:  # noqa: BLE001 - retried, then declared stuck
+                        if attempts > self.compensation_retries:
+                            outcome.status = "stuck"
+                            self.stats.stuck += 1
+                            span.annotate(outcome="stuck")
+                            return
+                        yield self.env.timeout(2.0 * attempts)  # backoff
+            finally:
+                tracer.end(span, attempts=attempts)
         self.stats.compensated += 1

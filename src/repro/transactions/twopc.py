@@ -73,57 +73,75 @@ class TwoPhaseCommit:
         started = self.env.now
         prepared: list[tuple[Any, Any]] = []
         outcome = TwoPhaseOutcome(xid=xid, decision="committed")
+        tracer = self.env.tracer
+        span = tracer.begin("2pc", xid=xid, branches=len(branches))
+        try:
+            # Phase 1: prepare everyone.
+            phase = tracer.begin("2pc.prepare", xid=xid)
+            for index, (participant, txn) in enumerate(branches):
+                try:
+                    yield from _call(participant, "prepare", txn)
+                    prepared.append((participant, txn))
+                except Exception:  # noqa: BLE001 - any prepare failure aborts all
+                    outcome.decision = "aborted"
+                    outcome.failed_participant = index
+                    break
+            tracer.end(phase, prepared=len(prepared))
+            outcome.prepare_duration = self.env.now - started
 
-        # Phase 1: prepare everyone.
-        for index, (participant, txn) in enumerate(branches):
-            try:
-                yield from _call(participant, "prepare", txn)
-                prepared.append((participant, txn))
-            except Exception:  # noqa: BLE001 - any prepare failure aborts all
-                outcome.decision = "aborted"
-                outcome.failed_participant = index
-                break
-        outcome.prepare_duration = self.env.now - started
+            if outcome.decision == "aborted":
+                phase = tracer.begin("2pc.abort", xid=xid)
+                for participant, txn in prepared:
+                    yield from _call(participant, "abort_prepared", txn)
+                for participant, txn in branches[len(prepared):]:
+                    yield from _call(participant, "abort", txn)
+                tracer.end(phase)
+                self.stats.aborted += 1
+                outcome.total_duration = self.env.now - started
+                return outcome
 
-        if outcome.decision == "aborted":
+            if crash_before_decision:
+                outcome.decision = "in_doubt"
+                self._in_doubt[xid] = prepared
+                self.stats.in_doubt += 1
+                outcome.total_duration = self.env.now - started
+                return outcome
+
+            # Phase 2: deliver the commit decision.
+            phase = tracer.begin("2pc.commit", xid=xid)
+            if self.decision_delay:
+                yield self.env.timeout(self.decision_delay)
             for participant, txn in prepared:
-                yield from _call(participant, "abort_prepared", txn)
-            for participant, txn in branches[len(prepared):]:
-                yield from _call(participant, "abort", txn)
-            self.stats.aborted += 1
+                yield from _call(participant, "commit_prepared", txn)
+            tracer.end(phase)
+            self.stats.committed += 1
             outcome.total_duration = self.env.now - started
             return outcome
-
-        if crash_before_decision:
-            outcome.decision = "in_doubt"
-            self._in_doubt[xid] = prepared
-            self.stats.in_doubt += 1
-            outcome.total_duration = self.env.now - started
-            return outcome
-
-        # Phase 2: deliver the commit decision.
-        if self.decision_delay:
-            yield self.env.timeout(self.decision_delay)
-        for participant, txn in prepared:
-            yield from _call(participant, "commit_prepared", txn)
-        self.stats.committed += 1
-        outcome.total_duration = self.env.now - started
-        return outcome
+        finally:
+            tracer.end(span, decision=outcome.decision)
 
     def recover(self, xid: int, commit: bool = True) -> Generator:
         """Resolve an in-doubt transaction after coordinator recovery."""
         branches = self._in_doubt.pop(xid, None)
         if branches is None:
             return False
-        for participant, txn in branches:
-            name = "commit_prepared" if commit else "abort_prepared"
-            yield from _call(participant, name, txn)
+        tracer = self.env.tracer
+        span = tracer.begin("2pc.recover", xid=xid, commit=commit)
+        try:
+            yield from self._recover_branches(branches, commit)
+        finally:
+            tracer.end(span)
         if commit:
             self.stats.committed += 1
         else:
             self.stats.aborted += 1
         self.stats.in_doubt -= 1
         return True
+
+    def _recover_branches(self, branches: list[tuple[Any, Any]], commit: bool) -> Generator:
+        for participant, txn in branches:
+            name = "commit_prepared" if commit else "abort_prepared"
+            yield from _call(participant, name, txn)
 
     def in_doubt_xids(self) -> list[int]:
         return list(self._in_doubt)

@@ -1,0 +1,99 @@
+"""Static determinism guard: no wall clocks or unseeded randomness in src.
+
+The whole repository's value rests on runs being a pure function of the
+seed.  A single ``time.time()`` or module-level ``random.random()`` call in
+the simulation substrate silently breaks that, so this test greps the
+source tree for the known hazard patterns.  Seeded generators obtained via
+``env.stream(...)`` / ``random.Random(seed)`` are the sanctioned substitute
+and do not match any pattern below.
+"""
+
+import os
+import re
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+#: Calls that read the wall clock or the process-global (unseeded) RNG.
+HAZARDS = [
+    re.compile(pattern)
+    for pattern in (
+        r"\btime\.time\(",
+        r"\btime\.monotonic\(",
+        r"\btime\.perf_counter\(",
+        r"\btime\.time_ns\(",
+        r"\bdatetime\.now\(",
+        r"\bdatetime\.utcnow\(",
+        # The module-level random API (random.Random instances are fine:
+        # they are explicitly seeded and the pattern requires the bare
+        # module prefix, which `rng.random()` etc. never has).
+        r"(?<![\w.])random\.random\(",
+        r"(?<![\w.])random\.randint\(",
+        r"(?<![\w.])random\.randrange\(",
+        r"(?<![\w.])random\.choice\(",
+        r"(?<![\w.])random\.shuffle\(",
+        r"(?<![\w.])random\.uniform\(",
+        r"(?<![\w.])random\.expovariate\(",
+        r"(?<![\w.])random\.sample\(",
+        r"(?<![\w.])random\.seed\(",
+    )
+]
+
+#: (relative path, pattern substring) pairs that are deliberately exempt.
+#: Empty today — add entries only with a comment explaining why the use
+#: cannot perturb simulated behaviour (e.g. wall-clock *reporting* of a
+#: benchmark's real runtime, never fed back into the simulation).
+ALLOWLIST: set[tuple[str, str]] = set()
+
+
+def python_sources():
+    for root, _dirs, files in os.walk(SRC):
+        for name in sorted(files):
+            if name.endswith(".py"):
+                yield os.path.join(root, name)
+
+
+def test_src_tree_exists_and_is_nonempty():
+    assert list(python_sources()), f"no python sources found under {SRC}"
+
+
+def test_no_wallclock_or_unseeded_random_in_src():
+    violations = []
+    for path in python_sources():
+        relative = os.path.relpath(path, SRC)
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, 1):
+                stripped = line.split("#", 1)[0]  # ignore commented-out code
+                for pattern in HAZARDS:
+                    if not pattern.search(stripped):
+                        continue
+                    if (relative, pattern.pattern) in ALLOWLIST:
+                        continue
+                    violations.append(f"{relative}:{lineno}: {line.strip()}")
+    assert not violations, (
+        "wall-clock/unseeded-random calls break determinism; use the "
+        "virtual clock (env.now) and seeded streams (env.stream) instead:\n"
+        + "\n".join(violations)
+    )
+
+
+def test_hazard_patterns_actually_match():
+    # Guard the guard: if a refactor broke the regexes, this test would
+    # silently pass forever.  Each hazard must match its canonical form.
+    canonical = {
+        r"\btime\.time\(": "t = time.time()",
+        r"(?<![\w.])random\.random\(": "x = random.random()",
+        r"\bdatetime\.now\(": "now = datetime.now()",
+    }
+    for pattern in HAZARDS:
+        sample = canonical.get(pattern.pattern)
+        if sample is not None:
+            assert pattern.search(sample)
+    # And the sanctioned forms must NOT match.
+    clean = [
+        "rng = random.Random(42)",
+        "value = rng.random()",
+        "value = self._rng.randint(0, 9)",
+        "gap = env.stream('arrivals').expovariate(1.0)",
+    ]
+    for line in clean:
+        assert not any(p.search(line) for p in HAZARDS), line

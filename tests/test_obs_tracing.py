@@ -1,0 +1,260 @@
+"""The causal tracing subsystem: spans, context propagation, exporters."""
+
+import json
+
+from repro.db import DatabaseServer, IsolationLevel
+from repro.messaging.rpc import RpcClient, RpcServer
+from repro.net.latency import Latency
+from repro.net.network import Network
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    chrome_trace_json,
+    critical_path_report,
+)
+from repro.sim import Environment
+
+
+def traced_env(seed=7):
+    env = Environment(seed=seed, tracer=Tracer())
+    return env, env.tracer
+
+
+# -- tracer core -------------------------------------------------------------
+
+
+def test_spans_nest_under_current():
+    env, tracer = traced_env()
+
+    def work(env):
+        outer = tracer.begin("outer")
+        yield env.timeout(2)
+        inner = tracer.begin("inner")
+        yield env.timeout(3)
+        tracer.end(inner)
+        tracer.end(outer)
+
+    env.process(work(env))
+    env.run()
+    outer, inner = tracer.find("outer")[0], tracer.find("inner")[0]
+    assert inner.parent_id == outer.span_id
+    assert outer.start == 0.0 and outer.end == 5.0
+    assert inner.start == 2.0 and inner.end == 5.0
+    assert outer.duration == 5.0
+
+
+def test_spawned_process_inherits_context():
+    env, tracer = traced_env()
+
+    def child(env):
+        span = tracer.begin("child")
+        yield env.timeout(1)
+        tracer.end(span)
+
+    def parent(env):
+        span = tracer.begin("parent")
+        yield env.process(child(env))
+        tracer.end(span)
+
+    env.process(parent(env))
+    env.run()
+    child_span = tracer.find("child")[0]
+    assert child_span.parent_id == tracer.find("parent")[0].span_id
+
+
+def test_context_is_per_process_across_interleaving():
+    """Two concurrent processes must not leak spans into each other."""
+    env, tracer = traced_env()
+
+    def worker(env, name, delay):
+        span = tracer.begin(name)
+        yield env.timeout(delay)
+        inner = tracer.begin(f"{name}.inner")
+        yield env.timeout(delay)
+        tracer.end(inner)
+        tracer.end(span)
+
+    env.process(worker(env, "a", 1))
+    env.process(worker(env, "b", 1.5))
+    env.run()
+    for name in ("a", "b"):
+        inner = tracer.find(f"{name}.inner")[0]
+        assert inner.parent_id == tracer.find(name)[0].span_id
+
+
+def test_future_resolution_restores_waiter_context():
+    env, tracer = traced_env()
+    gate = env.future(label="gate")
+
+    def waiter(env):
+        span = tracer.begin("waiter")
+        yield gate
+        inner = tracer.event("after-wake")
+        tracer.end(span)
+        assert inner.parent_id == span.span_id
+
+    def waker(env):
+        yield env.timeout(4)
+        gate.succeed("go")
+
+    env.process(waiter(env))
+    env.process(waker(env))
+    env.run()
+    assert tracer.find("waiter")[0].end == 4.0
+
+
+def test_end_is_idempotent_and_event_is_instant():
+    env, tracer = traced_env()
+    span = tracer.begin("once")
+    tracer.end(span)
+    first_end = span.end
+    tracer.end(span)  # late duplicate end keeps the first timestamp
+    assert span.end == first_end
+    marker = tracer.event("marker", reason="x")
+    assert marker.start == marker.end
+    assert marker.tags["reason"] == "x"
+
+
+def test_null_tracer_records_nothing():
+    env = Environment(seed=1)  # default: NULL_TRACER
+    assert env.tracer is NULL_TRACER
+    span = env.tracer.begin("ignored")
+    span.annotate(k=1)
+    env.tracer.end(span)
+    env.tracer.event("ignored")
+    assert len(env.tracer) == 0
+    assert env.tracer.roots() == []
+
+
+# -- instrumentation ---------------------------------------------------------
+
+
+def test_db_spans_cover_transaction_lifecycle():
+    env, tracer = traced_env()
+    server = DatabaseServer(env, name="t")
+    server.create_table("kv")
+    server.load("kv", [{"id": 1, "v": 0}])
+
+    def txn(env):
+        t = yield from server.begin(IsolationLevel.SERIALIZABLE)
+        yield from server.get(t, "kv", 1)
+        yield from server.put(t, "kv", 1, {"id": 1, "v": 1})
+        yield from server.commit(t)
+
+    env.run_until(env.process(txn(env)))
+    names = [s.name for s in tracer.spans]
+    for expected in ("db.begin", "db.get", "db.put", "db.commit"):
+        assert expected in names
+
+
+def test_lock_wait_span_only_when_blocked():
+    env, tracer = traced_env()
+    server = DatabaseServer(env, name="t")
+    server.create_table("kv")
+    server.load("kv", [{"id": 1, "v": 0}])
+
+    def writer(env, delay):
+        yield env.timeout(delay)
+        t = yield from server.begin(IsolationLevel.SERIALIZABLE)
+        yield from server.update(t, "kv", 1, {"v": delay})
+        yield env.timeout(20)  # hold the X lock so the other writer queues
+        yield from server.commit(t)
+
+    first = env.process(writer(env, 0))
+    second = env.process(writer(env, 1))
+    env.run_until(first)
+    env.run_until(second)
+    waits = tracer.find("db.lock_wait")
+    assert waits, "the queued writer should surface a lock-wait span"
+    assert all(w.duration > 0 for w in waits)
+
+
+def test_rpc_trace_links_handler_to_caller_across_nodes():
+    env, tracer = traced_env()
+    network = Network(env, default_latency=Latency.intra_zone())
+    network.add_node("client")
+    network.add_node("server")
+    server = RpcServer(network, network.node("server"))
+
+    def echo(payload):
+        yield network.env.timeout(1)
+        return payload
+
+    server.register("echo", echo)
+    client = RpcClient(network, network.node("client"))
+
+    def call(env):
+        result = yield from client.call("server", "echo", "hi")
+        return result
+
+    proc = env.process(call(env))
+    assert env.run_until(proc) == "hi"
+
+    call_span = tracer.find("rpc.call")[0]
+    handle_span = tracer.find("rpc.handle")[0]
+    assert handle_span.parent_id == call_span.span_id  # causal link over the wire
+    assert call_span.tags["attempts"] == 1
+    msg_spans = tracer.find("net.msg")
+    assert len(msg_spans) == 2  # request + reply
+    assert all(s.tags["outcome"] == "delivered" for s in msg_spans)
+
+
+# -- exporters ---------------------------------------------------------------
+
+
+def run_traced_scenario(seed=11):
+    env, tracer = traced_env(seed)
+    server = DatabaseServer(env, name="x")
+    server.create_table("kv")
+    server.load("kv", [{"id": i, "v": 0} for i in range(4)])
+
+    def op(env, key):
+        t = yield from server.begin(IsolationLevel.SNAPSHOT)
+        yield from server.get(t, "kv", key)
+        yield from server.put(t, "kv", key, {"id": key, "v": key})
+        yield from server.commit(t)
+
+    def main(env):
+        span = env.tracer.begin("op:batch", parent=None)
+        for key in range(4):
+            yield from op(env, key)
+        env.tracer.end(span)
+
+    env.run_until(env.process(main(env)))
+    return tracer
+
+
+def test_chrome_export_is_valid_and_nested():
+    tracer = run_traced_scenario()
+    payload = json.loads(chrome_trace_json(tracer))
+    events = payload["traceEvents"]
+    assert events, "export should contain events"
+    complete = [e for e in events if e["ph"] == "X"]
+    spans_by_id = {e["args"]["span_id"]: e for e in complete}
+    for event in complete:
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        parent_id = event["args"].get("parent_id")
+        if parent_id in spans_by_id:
+            parent = spans_by_id[parent_id]
+            assert event["ts"] >= parent["ts"]
+            # 1e-6 us absorbs IEEE addition noise; intervals are rounded
+            # to 1e-3 us, so any real violation is 1000x larger.
+            assert event["ts"] + event["dur"] <= parent["ts"] + parent["dur"] + 1e-6
+
+
+def test_chrome_export_byte_identical_across_same_seed_runs():
+    a = chrome_trace_json(run_traced_scenario(seed=23))
+    b = chrome_trace_json(run_traced_scenario(seed=23))
+    assert a == b
+
+
+def test_critical_path_report_shows_slowest_root():
+    tracer = run_traced_scenario()
+    report = critical_path_report(tracer, top=1)
+    assert "critical path #1: op:batch" in report
+    assert "db.commit" in report
+    assert "self=" in report
+
+
+def test_critical_path_report_empty_tracer():
+    assert "no spans" in critical_path_report(Tracer())
