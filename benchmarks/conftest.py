@@ -13,6 +13,12 @@ import sys
 
 import pytest
 
+# Benchmark results are a pure function of the seed: the substrate iterates
+# every hash container deterministically (see docs/PERFORMANCE.md).  Pin the
+# hash seed anyway so any *subprocess* a bench spawns — and any future
+# hash-order hazard — cannot reintroduce run-to-run drift silently.
+os.environ.setdefault("PYTHONHASHSEED", "0")
+
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     try:

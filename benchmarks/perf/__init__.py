@@ -1,0 +1,51 @@
+"""Wall-clock performance harness for the simulation substrate.
+
+Everything under ``benchmarks/perf`` measures *real* time with
+``time.perf_counter`` — allowed here precisely because it is banned in
+``src/`` (see ``tests/test_no_wallclock.py``): simulated behaviour must
+never depend on the host clock, but the harness exists to measure the
+host clock.
+
+Entry point: ``python scripts/perfcheck.py`` runs every bench, writes
+``BENCH_perf.json`` at the repo root, and diffs against the committed
+baseline in ``benchmarks/perf/baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_perf.json")
+BASELINE_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline.json")
+
+
+def host_info() -> dict:
+    """Identify the machine a result set was measured on."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def write_results(metrics: dict, *, smoke: bool = False, path: str = BENCH_JSON) -> str:
+    """Persist a metrics dict (metric name -> number) as BENCH_perf.json."""
+    payload = {"host": host_info(), "smoke": smoke, "metrics": metrics}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_baseline(path: str = BASELINE_JSON) -> dict:
+    """Load the committed baseline, or an empty dict if absent."""
+    if not os.path.exists(path):
+        return {}
+    with open(path) as handle:
+        return json.load(handle)

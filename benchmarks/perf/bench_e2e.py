@@ -1,0 +1,58 @@
+"""End-to-end wall-clock benchmarks over the real claim-bench workloads.
+
+Times the B1 (YCSB x isolation matrix) and C1 (nine paradigm builds on
+the transfer workload) suites exactly as the claim benches run them, and
+reports wall-clock seconds plus committed transactions per wall-clock
+second.  Virtual-time results are untouched — the suites still write
+their tables through ``benchmarks.common.report``.
+
+Smoke mode runs a single B1 cell (the contended serializable RMW mix)
+instead of both full suites.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def _txn_count(results) -> int:
+    total = 0
+    for result in results:
+        total += sum(
+            recorder.count for recorder in result.metrics.recorders().values()
+        )
+    return total
+
+
+def run(smoke: bool = False) -> dict:
+    from benchmarks import bench_b1_ycsb, bench_c1_paradigms
+
+    metrics: dict[str, float] = {}
+    if smoke:
+        start = time.perf_counter()
+        result = bench_b1_ycsb.run_one(
+            "F", "serializable", bench_b1_ycsb.LEVELS[2][1], seed=183
+        )
+        elapsed = time.perf_counter() - start
+        metrics["e2e_smoke_wall_sec"] = round(elapsed, 4)
+        metrics["e2e_smoke_txns_per_sec"] = round(_txn_count([result]) / elapsed)
+        return metrics
+
+    start = time.perf_counter()
+    b1_results = bench_b1_ycsb.run_all()
+    b1_elapsed = time.perf_counter() - start
+    metrics["e2e_b1_wall_sec"] = round(b1_elapsed, 4)
+    metrics["e2e_b1_txns_per_sec"] = round(_txn_count(b1_results) / b1_elapsed)
+
+    start = time.perf_counter()
+    c1_results = bench_c1_paradigms.run_all()
+    c1_elapsed = time.perf_counter() - start
+    metrics["e2e_c1_wall_sec"] = round(c1_elapsed, 4)
+    metrics["e2e_c1_txns_per_sec"] = round(_txn_count(c1_results) / c1_elapsed)
+    return metrics
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(run(), indent=2, sort_keys=True))

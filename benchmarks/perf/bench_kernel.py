@@ -1,0 +1,124 @@
+"""Kernel microbenchmarks: events per wall-clock second.
+
+Four scenarios cover the event-loop hot paths:
+
+- ``timeout0``   — a process chaining ``yield env.timeout(0)``: the
+  dominant pattern in RPC-heavy workloads (dispatch + process resume).
+- ``pingpong``   — explicit future resolution via ``env.schedule(0, ...)``.
+- ``fanout``     — one future broadcast to many callbacks (broker wakeups,
+  ``all_of``/``any_of`` combinators).
+- ``mixed``      — alternating zero-delay and positive-delay timeouts, so
+  the ready queue and the heap interleave.
+
+Each scenario reports events/sec from ``Environment.events_executed``.
+Running with ``fast_path=False`` exercises the heap-only reference
+executor, so the fast-path speedup is measurable from one build.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sim import Environment
+from repro.sim.events import Future
+
+
+def _timeout0(n: int, fast_path: bool) -> Environment:
+    env = Environment(seed=1, fast_path=fast_path)
+
+    def chain(env, n):
+        for _ in range(n):
+            yield env.timeout(0)
+
+    env.run_until(env.process(chain(env, n)))
+    return env
+
+
+def _pingpong(n: int, fast_path: bool) -> Environment:
+    env = Environment(seed=1, fast_path=fast_path)
+
+    def pinger(env, n):
+        for _ in range(n):
+            fut = Future(env, label="ping")
+            env.schedule(0.0, fut.succeed, 1)
+            yield fut
+
+    env.run_until(env.process(pinger(env, n)))
+    return env
+
+
+def _fanout(n: int, fast_path: bool, width: int = 16) -> Environment:
+    env = Environment(seed=1, fast_path=fast_path)
+    sink = {"count": 0}
+
+    def on_done(fut):
+        sink["count"] += 1
+
+    def driver(env, n):
+        for _ in range(n):
+            fut = Future(env, label="bcast")
+            for _ in range(width):
+                fut.add_done_callback(on_done)
+            env.schedule(0.0, fut.succeed, None)
+            yield fut
+
+    env.run_until(env.process(driver(env, n)))
+    return env
+
+
+def _mixed(n: int, fast_path: bool) -> Environment:
+    env = Environment(seed=1, fast_path=fast_path)
+
+    def chain(env, n):
+        for i in range(n):
+            yield env.timeout(0 if i % 2 else 0.1)
+
+    env.run_until(env.process(chain(env, n)))
+    return env
+
+
+SCENARIOS = [
+    ("timeout0", _timeout0),
+    ("pingpong", _pingpong),
+    ("fanout", _fanout),
+    ("mixed", _mixed),
+]
+
+
+def _measure(fn, n: int, fast_path: bool, repeats: int) -> float:
+    """Best events/sec over ``repeats`` runs (min-noise estimator)."""
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        env = fn(n, fast_path)
+        elapsed = time.perf_counter() - start
+        best = max(best, env.events_executed / elapsed)
+    return best
+
+
+def run(smoke: bool = False) -> dict:
+    """Return {metric -> events/sec} for every scenario, both executors."""
+    n = 20_000 if smoke else 200_000
+    repeats = 1 if smoke else 3
+    metrics: dict[str, float] = {}
+    total_fast = 0.0
+    total_heap = 0.0
+    for name, fn in SCENARIOS:
+        scale = n // 8 if name == "fanout" else n
+        fast = _measure(fn, scale, True, repeats)
+        heap = _measure(fn, scale, False, repeats)
+        metrics[f"kernel_{name}_events_per_sec"] = round(fast)
+        metrics[f"kernel_{name}_heap_only_events_per_sec"] = round(heap)
+        total_fast += fast
+        total_heap += heap
+    count = len(SCENARIOS)
+    metrics["kernel_events_per_sec"] = round(total_fast / count)
+    metrics["kernel_heap_only_events_per_sec"] = round(total_heap / count)
+    metrics["kernel_fast_path_speedup"] = round(total_fast / total_heap, 3)
+    return metrics
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(run(), indent=2, sort_keys=True))

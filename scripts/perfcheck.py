@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Run the wall-clock perf harness and gate on the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perfcheck.py            # full run + gate
+    PYTHONPATH=src python scripts/perfcheck.py --smoke    # quick sanity run
+    PYTHONPATH=src python scripts/perfcheck.py --update-baseline
+
+The full run writes ``BENCH_perf.json`` at the repo root and compares
+every throughput metric (``*_per_sec``) and wall-clock metric
+(``*_wall_sec``) against ``benchmarks/perf/baseline.json``; a metric more
+than 20% worse than baseline fails the check.  ``--smoke`` runs every
+bench at reduced scale and skips the gate (smoke numbers are not
+comparable to the committed baseline).  ``--update-baseline`` rewrites the
+baseline from a fresh full run — do this only on a quiet machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if REPO_SRC not in sys.path:
+    sys.path.insert(0, REPO_SRC)
+
+REGRESSION_TOLERANCE = 0.20
+
+
+def collect(smoke: bool) -> dict:
+    from benchmarks.perf import bench_e2e, bench_kernel, bench_locks
+
+    metrics: dict[str, float] = {}
+    for name, module in (
+        ("kernel", bench_kernel),
+        ("locks", bench_locks),
+        ("e2e", bench_e2e),
+    ):
+        print(f"[perfcheck] running {name} benches ...", flush=True)
+        metrics.update(module.run(smoke=smoke))
+    return metrics
+
+
+def compare(metrics: dict, baseline_metrics: dict) -> list[str]:
+    """Return a list of regression descriptions (empty = pass)."""
+    regressions = []
+    for name, base in sorted(baseline_metrics.items()):
+        current = metrics.get(name)
+        if current is None or not isinstance(base, (int, float)) or base <= 0:
+            continue
+        if name.endswith("_per_sec") or name.endswith("_speedup"):
+            floor = base * (1.0 - REGRESSION_TOLERANCE)
+            if current < floor:
+                regressions.append(
+                    f"{name}: {current:,.0f} < {floor:,.0f} "
+                    f"(baseline {base:,.0f}, -{(1 - current / base):.0%})"
+                )
+        elif name.endswith("_wall_sec") or name.endswith("_sec"):
+            ceiling = base * (1.0 + REGRESSION_TOLERANCE)
+            if current > ceiling:
+                regressions.append(
+                    f"{name}: {current:.3f}s > {ceiling:.3f}s "
+                    f"(baseline {base:.3f}s, +{(current / base - 1):.0%})"
+                )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced-scale sanity run; skips the regression gate",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite benchmarks/perf/baseline.json from this run",
+    )
+    args = parser.parse_args(argv)
+
+    from benchmarks.perf import (
+        BASELINE_JSON,
+        host_info,
+        load_baseline,
+        write_results,
+    )
+
+    metrics = collect(smoke=args.smoke)
+    baseline = load_baseline()
+    pre_change = baseline.get("pre_change", {}).get("kernel_events_per_sec")
+    if not args.smoke and pre_change:
+        # Reference: the pre-fast-path kernel measured once with these same
+        # scenarios (see docs/PERFORMANCE.md for how it was captured).
+        metrics["kernel_events_per_sec_pre_change"] = pre_change
+        metrics["kernel_speedup_vs_pre_change"] = round(
+            metrics["kernel_events_per_sec"] / pre_change, 3
+        )
+    path = write_results(metrics, smoke=args.smoke)
+    print(f"[perfcheck] wrote {path}")
+    for name in sorted(metrics):
+        print(f"  {name:45s} {metrics[name]:>14,.8g}")
+
+    if args.smoke:
+        print("[perfcheck] smoke run OK (regression gate skipped)")
+        return 0
+
+    if args.update_baseline:
+        payload = {"host": host_info(), "metrics": metrics}
+        if "pre_change" in baseline:
+            payload["pre_change"] = baseline["pre_change"]
+        with open(BASELINE_JSON, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[perfcheck] baseline updated: {BASELINE_JSON}")
+        return 0
+
+    if not baseline:
+        print("[perfcheck] no committed baseline; run with --update-baseline")
+        return 0
+    regressions = compare(metrics, baseline.get("metrics", {}))
+    if regressions:
+        print(f"[perfcheck] FAIL: {len(regressions)} metric(s) regressed >20%:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print("[perfcheck] OK: no metric regressed more than 20% vs baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,20 @@ observable in the benchmarks.
 Because a transaction is a sequential simulation process, it waits on at
 most one resource at a time; its waits-for edges are therefore recomputed
 wholesale whenever the queue it sits in changes, keeping detection exact.
+
+Two indexes keep the hot paths cheap and deterministic:
+
+- ``_held_by_txn`` and ``_waiting_by_txn`` map each transaction to the
+  resources it holds / queues on, so :meth:`release_all` (called on every
+  commit and abort) is O(locks touched by the txn) instead of a scan over
+  every lock in the system.  Both use insertion-ordered dicts as ordered
+  sets: release wakes waiters in acquisition order, which — unlike the
+  hash-ordered sets they replace — does not depend on ``PYTHONHASHSEED``.
+- The waits-for graph is maintained incrementally on the common enqueue
+  path (a tail enqueue only adds edges *from* the new waiter, so only the
+  new waiter can close a new cycle and only its edges need computing); the
+  full per-resource rebuild runs only on queue-reordering events (upgrades
+  jumping the queue, grants, victim aborts).
 """
 
 from __future__ import annotations
@@ -103,7 +117,10 @@ class LockManager:
         self.env = env
         self._locks: dict[Hashable, _LockState] = {}
         self._waits_for: dict[int, set[int]] = {}
-        self._held_by_txn: dict[int, set[Hashable]] = {}
+        # dict-as-ordered-set: values are always None.  Iteration order is
+        # insertion (= acquisition / first-wait) order, never hash order.
+        self._held_by_txn: dict[int, dict[Hashable, None]] = {}
+        self._waiting_by_txn: dict[int, dict[Hashable, None]] = {}
         self.stats = LockStats()
 
     # -- acquisition --------------------------------------------------------
@@ -133,13 +150,30 @@ class LockManager:
             return fut
 
         waiter = _Waiter(tid, mode, fut, upgrade)
-        if upgrade:
-            state.queue.appendleft(waiter)  # upgrades jump the queue
-        else:
-            state.queue.append(waiter)
         self.stats.waited += 1
-        self._refresh_edges(resource, state)
-        self._abort_new_deadlock_victims(resource, state, prefer=tid)
+        self._waiting_by_txn.setdefault(tid, {})[resource] = None
+        if upgrade:
+            # Upgrades jump the queue: every waiter behind gains a blocker,
+            # so the whole resource's edges must be rebuilt.
+            state.queue.appendleft(waiter)
+            self._refresh_edges(resource, state)
+            self._abort_new_deadlock_victims(resource, state, prefer=tid)
+            return fut
+        state.queue.append(waiter)
+        # Tail enqueue: only the new waiter gained edges (conflicting
+        # holders plus every pending waiter ahead of it), so only it can
+        # close a *new* cycle — one edge-set computation and at most one
+        # DFS, instead of a rebuild plus a DFS per waiter.
+        edges = {
+            holder
+            for holder, held_mode in state.holders.items()
+            if holder != tid and not compatible(held_mode, mode)
+        }
+        edges.update(w.tid for w in state.queue if w.tid != tid and not w.future.done)
+        self._waits_for[tid] = edges
+        cycle = self._find_cycle(tid)
+        if cycle:
+            self._abort_victim(resource, state, waiter, cycle)
         return fut
 
     def _grantable(self, state: _LockState, tid: int, mode: LockMode, upgrade: bool) -> bool:
@@ -155,25 +189,35 @@ class LockManager:
 
     def _grant(self, state: _LockState, tid: int, resource: Hashable, mode: LockMode) -> None:
         state.holders[tid] = combine(state.holders.get(tid, mode), mode)
-        self._held_by_txn.setdefault(tid, set()).add(resource)
+        self._held_by_txn.setdefault(tid, {})[resource] = None
         self._waits_for.pop(tid, None)
         self.stats.acquired += 1
 
     # -- release ------------------------------------------------------------
 
     def release_all(self, tid: int) -> None:
-        """Release every lock held or awaited by ``tid`` (commit/abort)."""
+        """Release every lock held or awaited by ``tid`` (commit/abort).
+
+        O(resources the txn touched); wakes waiters in the txn's
+        acquisition order, which is deterministic for a given seed.
+        """
+        held = self._held_by_txn.pop(tid, None)
+        waited = self._waiting_by_txn.pop(tid, None)
         touched: list[Hashable] = []
-        for resource in self._held_by_txn.pop(tid, set()):
-            state = self._locks.get(resource)
-            if state is None:
-                continue
-            state.holders.pop(tid, None)
-            touched.append(resource)
-        for resource, state in list(self._locks.items()):
-            if any(w.tid == tid for w in state.queue):
+        if held:
+            for resource in held:
+                state = self._locks.get(resource)
+                if state is None:
+                    continue
+                state.holders.pop(tid, None)
+                touched.append(resource)
+        if waited:
+            for resource in waited:
+                state = self._locks.get(resource)
+                if state is None:
+                    continue
                 state.queue = deque(w for w in state.queue if w.tid != tid)
-                if resource not in touched:
+                if held is None or resource not in held:
                     touched.append(resource)
         self._waits_for.pop(tid, None)
         for resource in touched:
@@ -181,11 +225,28 @@ class LockManager:
             if state is not None:
                 self._wake_waiters(resource, state)
 
+    def _unnote_waiting(self, tid: int, resource: Hashable, state: Optional[_LockState]) -> None:
+        """Drop ``resource`` from ``tid``'s waiting index.
+
+        When ``state`` is given, the entry survives if the queue still has
+        another pending waiter for the same tid (double direct acquires).
+        """
+        if state is not None and any(
+            w.tid == tid and not w.future.done for w in state.queue
+        ):
+            return
+        waiting = self._waiting_by_txn.get(tid)
+        if waiting is not None:
+            waiting.pop(resource, None)
+            if not waiting:
+                self._waiting_by_txn.pop(tid, None)
+
     def _wake_waiters(self, resource: Hashable, state: _LockState) -> None:
         while state.queue:
             waiter = state.queue[0]
             if waiter.future.done:
                 state.queue.popleft()
+                self._unnote_waiting(waiter.tid, resource, state)
                 continue
             blocked = any(
                 holder != waiter.tid and not compatible(held_mode, waiter.mode)
@@ -194,6 +255,7 @@ class LockManager:
             if blocked:
                 break
             state.queue.popleft()
+            self._unnote_waiting(waiter.tid, resource, state)
             self._grant(state, waiter.tid, resource, waiter.mode)
             waiter.future.succeed(None)
         if not state.holders and not state.queue:
@@ -223,6 +285,22 @@ class LockManager:
             self._waits_for[waiter.tid] = edges
             ahead.append(waiter)
 
+    def _abort_victim(
+        self,
+        resource: Hashable,
+        state: _LockState,
+        waiter: _Waiter,
+        cycle: list[int],
+    ) -> None:
+        """Fail ``waiter`` as a deadlock victim and re-drive the queue."""
+        self.stats.deadlocks += 1
+        self._waits_for.pop(waiter.tid, None)
+        state.queue = deque(w for w in state.queue if w.tid != waiter.tid)
+        self._unnote_waiting(waiter.tid, resource, None)
+        waiter.future.fail(DeadlockAbort(waiter.tid, cycle))
+        self._refresh_edges(resource, state)
+        self._wake_waiters(resource, state)
+
     def _abort_new_deadlock_victims(
         self,
         resource: Hashable,
@@ -241,12 +319,7 @@ class LockManager:
         for waiter in ordered:
             cycle = self._find_cycle(waiter.tid)
             if cycle:
-                self.stats.deadlocks += 1
-                self._waits_for.pop(waiter.tid, None)
-                state.queue = deque(w for w in state.queue if w.tid != waiter.tid)
-                waiter.future.fail(DeadlockAbort(waiter.tid, cycle))
-                self._refresh_edges(resource, state)
-                self._wake_waiters(resource, state)
+                self._abort_victim(resource, state, waiter, cycle)
                 return
 
     def _find_cycle(self, start: int) -> Optional[list[int]]:
@@ -277,7 +350,7 @@ class LockManager:
         return dict(state.holders) if state else {}
 
     def held_by(self, tid: int) -> set[Hashable]:
-        return set(self._held_by_txn.get(tid, set()))
+        return set(self._held_by_txn.get(tid, ()))
 
     def queue_length(self, resource: Hashable) -> int:
         state = self._locks.get(resource)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Any, Generator
+from typing import Any, Generator, Optional
 
 from repro.sim import Environment, Future, any_of
 
@@ -49,7 +49,11 @@ class _Partition:
         self.topic = topic
         self.index = index
         self.log: list[Record] = []
-        self._waiters: list[Future] = []
+        # One shared wakeup future per partition: every poller chains onto
+        # it, instead of appending a fresh future per poll (which grew
+        # without bound on idle topics).  Callback order on the shared
+        # future is registration order, exactly as the waiter list was.
+        self._wakeup: Optional[Future] = None
 
     @property
     def end_offset(self) -> int:
@@ -58,15 +62,18 @@ class _Partition:
     def append(self, key: Any, value: Any, timestamp: float) -> Record:
         record = Record(self.topic, self.index, len(self.log), key, value, timestamp)
         self.log.append(record)
-        waiters, self._waiters = self._waiters, []
-        for waiter in waiters:
-            waiter.try_succeed(None)
+        wakeup = self._wakeup
+        if wakeup is not None:
+            self._wakeup = None
+            wakeup.try_succeed(None)
         return record
 
     def wait_for_data(self, env: Environment) -> Future:
-        fut = env.future(label=f"{self.topic}/{self.index}.data")
-        self._waiters.append(fut)
-        return fut
+        wakeup = self._wakeup
+        if wakeup is None or wakeup.done:
+            wakeup = env.future(label=f"{self.topic}/{self.index}.data")
+            self._wakeup = wakeup
+        return wakeup
 
 
 class Broker:

@@ -1,9 +1,20 @@
 """The simulation environment: virtual clock, event queue, and processes.
 
-The environment owns a priority queue of ``(time, sequence, callback)``
-entries.  Time only advances when the queue is drained up to the next entry,
-so latencies measured inside the simulation are exact, and two runs with the
-same seed produce byte-identical traces.
+The environment owns two event containers:
+
+- a **ready queue** (FIFO deque) for zero-delay events — future dispatches,
+  process steps, ``timeout(0)`` — which make up the bulk of traffic in
+  RPC-heavy workloads and need no priority ordering, and
+- a **heap** of ``(time, sequence, callback, args)`` entries for genuinely
+  future events.
+
+Every scheduled event still consumes one monotone sequence number, and the
+executors drain both containers in exact global ``(time, sequence)`` order,
+so the split is invisible to simulated behaviour: two runs with the same
+seed produce byte-identical traces with the fast path on or off (see
+``fast_path`` below and ``tests/test_golden_equivalence.py``).  Time only
+advances when the next entry is popped, so latencies measured inside the
+simulation are exact.
 """
 
 from __future__ import annotations
@@ -11,10 +22,13 @@ from __future__ import annotations
 import heapq
 import random
 import zlib
+from collections import deque
 from typing import Any, Callable, Generator, Optional
 
 from repro.obs.tracer import default_tracer
 from repro.sim.events import Future
+
+_INF = float("inf")
 
 
 class SimulationError(RuntimeError):
@@ -52,13 +66,15 @@ class Process(Future):
         super().__init__(env, label=label or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Optional[Future] = None
-        self._resume_callback: Optional[Callable[[Future], None]] = None
+        # One reusable bound resume callback per process: creating a fresh
+        # closure on every suspension shows up in kernel profiles.
+        self._resume_callback: Callable[[Future], None] = self._resume
         # Causal tracing: a process inherits the spawner's span context and
         # carries it across suspensions (see repro.obs.tracer).
         tracer = env.tracer
         self._tracer = tracer if tracer.enabled else None
         self._trace_ctx = tracer.current if self._tracer is not None else None
-        env.schedule(0.0, self._step, None, None)
+        env.call_soon(self._step, None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -75,19 +91,62 @@ class Process(Future):
         if self.done:
             return
         self._detach()
-        self.env.schedule(0.0, self._step, None, Interrupted(cause))
+        self.env.call_soon(self._step, None, Interrupted(cause))
 
     def _detach(self) -> None:
-        if self._waiting_on is not None and self._resume_callback is not None:
+        if self._waiting_on is not None:
             self._waiting_on.remove_done_callback(self._resume_callback)
         self._waiting_on = None
-        self._resume_callback = None
 
-    def _step(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
-        if self.done:
+    def _resume(self, fut: Future) -> None:
+        # The success branch below is a manual inline of
+        # ``self._step(fut._value, None)`` — one stack frame per process
+        # resumption is the kernel's hottest cost.  Keep it in sync with
+        # :meth:`_step`.
+        if self._done:
+            return
+        if fut is not self._waiting_on:
+            return  # detached by an interrupt that raced this callback
+        if fut._exc is not None:
+            self._step(None, fut._exc)
             return
         self._waiting_on = None
-        self._resume_callback = None
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.current = self._trace_ctx
+        try:
+            try:
+                target = self._generator.send(fut._value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - process bodies may raise anything
+                self.fail(exc)
+                return
+            if not isinstance(target, Future):
+                self.env.call_soon(self._step, None, self._yield_error(target))
+                return
+            self._waiting_on = target
+            # Inlined target.add_done_callback(self._resume_callback):
+            if target._done:
+                self.env.call_soon(self._resume_callback, target)
+            else:
+                target._callbacks.append(self._resume_callback)
+        finally:
+            if tracer is not None:
+                self._trace_ctx = tracer.current
+                tracer.current = None
+
+    def _yield_error(self, target: Any) -> SimulationError:
+        return SimulationError(
+            f"process {self.label!r} yielded {target!r}; "
+            "only Future/Timeout/Process may be yielded"
+        )
+
+    def _step(self, send_value: Any, throw_exc: Optional[BaseException]) -> None:
+        if self._done:
+            return
+        self._waiting_on = None
         tracer = self._tracer
         if tracer is not None:
             tracer.current = self._trace_ctx
@@ -104,36 +163,18 @@ class Process(Future):
                 self.fail(exc)
                 return
             if not isinstance(target, Future):
-                self.env.schedule(
-                    0.0,
-                    self._step,
-                    None,
-                    SimulationError(
-                        f"process {self.label!r} yielded {target!r}; "
-                        "only Future/Timeout/Process may be yielded"
-                    ),
-                )
+                self.env.call_soon(self._step, None, self._yield_error(target))
                 return
-            self._wait_for(target)
+            self._waiting_on = target
+            # Inlined target.add_done_callback(self._resume_callback):
+            if target._done:
+                self.env.call_soon(self._resume_callback, target)
+            else:
+                target._callbacks.append(self._resume_callback)
         finally:
             if tracer is not None:
                 self._trace_ctx = tracer.current
                 tracer.current = None
-
-    def _wait_for(self, target: Future) -> None:
-        def resume(fut: Future) -> None:
-            if self.done:
-                return
-            if fut is not self._waiting_on:
-                return  # detached by an interrupt that raced this callback
-            if fut.failed:
-                self._step(None, fut.exception())
-            else:
-                self._step(fut.result(), None)
-
-        self._waiting_on = target
-        self._resume_callback = resume
-        target.add_done_callback(resume)
 
 
 class Environment:
@@ -151,16 +192,43 @@ class Environment:
         tracer unless :func:`repro.obs.set_default_tracing` turned tracing
         on).  Tracing never consumes virtual time, so traced and untraced
         runs produce identical metrics.
+    fast_path:
+        When ``True`` (the default), zero-delay events are kept in a FIFO
+        ready queue instead of the heap.  ``False`` forces every event
+        through the heap — the pre-optimization executor, kept as a
+        reference implementation so equivalence stays testable (the golden
+        suite asserts both modes produce byte-identical results).
     """
 
-    def __init__(self, seed: int = 0, tracer: Optional[Any] = None) -> None:
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_ready",
+        "_sequence",
+        "_executed",
+        "seed",
+        "rng",
+        "_streams",
+        "tracer",
+        "fast_path",
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        tracer: Optional[Any] = None,
+        fast_path: bool = True,
+    ) -> None:
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
+        self._ready: deque[tuple[int, Callable[..., None], tuple]] = deque()
         self._sequence = 0
+        self._executed = 0
         self.seed = seed
         self.rng = random.Random(seed)
         self._streams: dict[str, random.Random] = {}
         self.tracer = tracer if tracer is not None else default_tracer()
+        self.fast_path = fast_path
         if self.tracer.enabled:
             self.tracer.clock = lambda: self._now
 
@@ -173,14 +241,46 @@ class Environment:
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` units of virtual time."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if delay == 0.0 and self.fast_path:
+            self._sequence += 1
+            self._ready.append((self._sequence, callback, args))
+            return
+        if not (0.0 <= delay < _INF):  # rejects negatives, NaN, and +inf
+            raise SimulationError(
+                f"cannot schedule at a non-finite or past offset (delay={delay})"
+            )
         self._sequence += 1
         heapq.heappush(self._heap, (self._now + delay, self._sequence, callback, args))
 
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at the current time (zero delay).
+
+        The kernel's internal fast path for future dispatch and process
+        steps; equivalent to ``schedule(0.0, ...)`` but skips the delay
+        validation.
+        """
+        self._sequence += 1
+        if self.fast_path:
+            self._ready.append((self._sequence, callback, args))
+        else:
+            heapq.heappush(self._heap, (self._now, self._sequence, callback, args))
+
     def timeout(self, delay: float, value: Any = None) -> Future:
         """Return a future that succeeds with ``value`` after ``delay``."""
-        fut = Future(self, label=f"timeout({delay})")
+        # Field-by-field construction skips the Future.__init__ frame; one
+        # constructor call per timeout is measurable at benchmark scale.
+        # Keep in sync with Future.__init__.
+        fut = Future.__new__(Future)
+        fut.env = self
+        fut._done = False
+        fut._value = None
+        fut._exc = None
+        fut._callbacks = []
+        fut.label = "timeout"
+        if delay == 0.0 and self.fast_path:
+            self._sequence += 1
+            self._ready.append((self._sequence, fut.try_succeed, (value,)))
+            return fut
         self.schedule(delay, fut.try_succeed, value)
         return fut
 
@@ -194,19 +294,48 @@ class Environment:
 
     # -- running ------------------------------------------------------------
 
+    # The three executors below intentionally inline the "pop next event in
+    # global (time, sequence) order" logic rather than sharing a helper:
+    # one extra function call per event costs ~15% wall-clock at benchmark
+    # scale.  A ready entry always carries the *current* time (the loop
+    # never advances the clock while the ready queue is non-empty), so the
+    # only case where the heap must be drained first is a heap entry at the
+    # same timestamp with a smaller sequence number — an earlier-scheduled
+    # positive delay landing on the current instant.
+
     def run(self, until: Optional[float] = None) -> float:
         """Drain the event queue, optionally stopping at virtual time ``until``.
 
         Returns the virtual time at which the run stopped.
         """
-        while self._heap:
-            when, _seq, callback, args = self._heap[0]
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._heap)
-            self._now = when
-            callback(*args)
+        heap = self._heap
+        ready = self._ready
+        pop = heapq.heappop
+        executed = 0
+        try:
+            while ready or heap:
+                if ready:
+                    if until is not None and self._now > until:
+                        self._now = until
+                        return self._now
+                    entry = ready.popleft()
+                    if heap and heap[0][0] <= self._now and heap[0][1] < entry[0]:
+                        ready.appendleft(entry)
+                        when, _seq, callback, args = pop(heap)
+                        self._now = when
+                    else:
+                        _seq, callback, args = entry
+                else:
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        self._now = until
+                        return self._now
+                    when, _seq, callback, args = pop(heap)
+                    self._now = when
+                executed += 1
+                callback(*args)
+        finally:
+            self._executed += executed
         if until is not None and until > self._now:
             self._now = until
         return self._now
@@ -217,30 +346,70 @@ class Environment:
         Raises :class:`SimulationError` if the queue drains (or ``limit`` is
         reached) before the future resolves — i.e. the simulation deadlocked.
         """
-        while not future.done:
-            if not self._heap or self._heap[0][0] > limit:
-                raise SimulationError(
-                    f"simulation ran dry at t={self._now} before "
-                    f"{future.label!r} resolved"
-                )
-            when, _seq, callback, args = heapq.heappop(self._heap)
-            self._now = when
-            callback(*args)
+        heap = self._heap
+        ready = self._ready
+        pop = heapq.heappop
+        executed = 0
+        try:
+            while not future._done:
+                if ready:
+                    entry = ready.popleft()
+                    if heap and heap[0][0] <= self._now and heap[0][1] < entry[0]:
+                        ready.appendleft(entry)
+                        when, _seq, callback, args = pop(heap)
+                        self._now = when
+                    else:
+                        _seq, callback, args = entry
+                elif heap:
+                    when = heap[0][0]
+                    if when > limit:
+                        raise SimulationError(
+                            f"simulation ran dry at t={self._now} before "
+                            f"{future.label!r} resolved"
+                        )
+                    when, _seq, callback, args = pop(heap)
+                    self._now = when
+                else:
+                    raise SimulationError(
+                        f"simulation ran dry at t={self._now} before "
+                        f"{future.label!r} resolved"
+                    )
+                executed += 1
+                callback(*args)
+        finally:
+            self._executed += executed
         return future.result()
 
     def step(self) -> bool:
         """Execute a single event; return ``False`` when the queue is empty."""
-        if not self._heap:
+        ready = self._ready
+        heap = self._heap
+        if ready:
+            entry = ready.popleft()
+            if heap and heap[0][0] <= self._now and heap[0][1] < entry[0]:
+                ready.appendleft(entry)
+                when, _seq, callback, args = heapq.heappop(heap)
+                self._now = when
+            else:
+                _seq, callback, args = entry
+        elif heap:
+            when, _seq, callback, args = heapq.heappop(heap)
+            self._now = when
+        else:
             return False
-        when, _seq, callback, args = heapq.heappop(self._heap)
-        self._now = when
+        self._executed += 1
         callback(*args)
         return True
 
     @property
     def pending_events(self) -> int:
         """Number of events still queued."""
-        return len(self._heap)
+        return len(self._heap) + len(self._ready)
+
+    @property
+    def events_executed(self) -> int:
+        """Total events this environment has executed (perf accounting)."""
+        return self._executed
 
     # -- randomness ---------------------------------------------------------
 
@@ -252,4 +421,7 @@ class Environment:
         return self._streams[name]
 
     def __repr__(self) -> str:
-        return f"<Environment t={self._now} pending={len(self._heap)} seed={self.seed}>"
+        return (
+            f"<Environment t={self._now} "
+            f"pending={len(self._heap) + len(self._ready)} seed={self.seed}>"
+        )

@@ -64,7 +64,22 @@ class Future:
             raise FutureAlreadyResolved(self.label or repr(self))
         self._done = True
         self._value = value
-        self._dispatch()
+        callbacks = self._callbacks
+        if callbacks:
+            # Inlined _dispatch() — resolution is the kernel's hottest path.
+            self._callbacks = []
+            env = self.env
+            if env.fast_path:
+                ready = env._ready
+                sequence = env._sequence
+                args = (self,)
+                for callback in callbacks:
+                    sequence += 1
+                    ready.append((sequence, callback, args))
+                env._sequence = sequence
+            else:
+                for callback in callbacks:
+                    env.call_soon(callback, self)
         return self
 
     def fail(self, exc: BaseException) -> "Future":
@@ -75,14 +90,33 @@ class Future:
             raise TypeError(f"fail() requires an exception, got {exc!r}")
         self._done = True
         self._exc = exc
-        self._dispatch()
+        if self._callbacks:
+            self._dispatch()
         return self
 
     def try_succeed(self, value: Any = None) -> bool:
         """Resolve with ``value`` unless already resolved; report success."""
         if self._done:
             return False
-        self.succeed(value)
+        # Inlined succeed() + _dispatch(): timeouts resolve through here
+        # once per event, so the extra frames are measurable at scale.
+        self._done = True
+        self._value = value
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            env = self.env
+            if env.fast_path:
+                ready = env._ready
+                sequence = env._sequence
+                args = (self,)
+                for callback in callbacks:
+                    sequence += 1
+                    ready.append((sequence, callback, args))
+                env._sequence = sequence
+            else:
+                for callback in callbacks:
+                    env.call_soon(callback, self)
         return True
 
     def try_fail(self, exc: BaseException) -> bool:
@@ -94,15 +128,28 @@ class Future:
 
     def _dispatch(self) -> None:
         callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            self.env.schedule(0.0, callback, self)
+        env = self.env
+        if env.fast_path:
+            # Inlined Environment.call_soon: dispatch is the single hottest
+            # call site in the kernel, so the per-callback method call and
+            # re-packed args tuple are worth eliding.
+            ready = env._ready
+            sequence = env._sequence
+            args = (self,)
+            for callback in callbacks:
+                sequence += 1
+                ready.append((sequence, callback, args))
+            env._sequence = sequence
+        else:
+            for callback in callbacks:
+                env.call_soon(callback, self)
 
     # -- chaining -----------------------------------------------------------
 
     def add_done_callback(self, callback: Callable[["Future"], None]) -> None:
         """Invoke ``callback(self)`` once resolved (via the event queue)."""
         if self._done:
-            self.env.schedule(0.0, callback, self)
+            self.env.call_soon(callback, self)
         else:
             self._callbacks.append(callback)
 
@@ -123,24 +170,34 @@ class Future:
 def all_of(env: "Environment", futures: Iterable[Future]) -> Future:  # noqa: F821
     """Return a future resolving with the list of all results.
 
-    Fails as soon as any input future fails (remaining results discarded).
+    Fails as soon as any input future fails; on failure the combinator
+    unsubscribes from the still-pending inputs and drops its reference to
+    the input list, so long-lived losing futures do not accumulate dead
+    callbacks (see ``test_sim_events``).
     """
     futures = list(futures)
     combined = Future(env, label="all_of")
     if not futures:
         combined.succeed([])
         return combined
-    remaining = {"count": len(futures)}
+    state = {"count": len(futures), "futures": futures}
 
     def on_done(fut: Future) -> None:
-        if combined.done:
+        if combined._done:
             return
-        if fut.failed:
-            combined.fail(fut.exception())
+        pending = state["futures"]
+        if fut._exc is not None:
+            combined.fail(fut._exc)
+            for other in pending:
+                if not other._done:
+                    other.remove_done_callback(on_done)
+            state["futures"] = ()
             return
-        remaining["count"] -= 1
-        if remaining["count"] == 0:
-            combined.succeed([f.result() for f in futures])
+        state["count"] -= 1
+        if state["count"] == 0:
+            results = [f._value for f in pending]
+            state["futures"] = ()
+            combined.succeed(results)
 
     for fut in futures:
         fut.add_done_callback(on_done)
@@ -151,24 +208,34 @@ def any_of(env: "Environment", futures: Iterable[Future]) -> Future:  # noqa: F8
     """Return a future resolving with ``(index, value)`` of the first winner.
 
     If the first future to resolve failed, the combined future fails with
-    the same exception.
+    the same exception.  On resolution the combinator removes its callbacks
+    from every losing future still pending: pollers that race a timeout
+    against long-lived data-arrival futures (e.g. broker consumers) would
+    otherwise leak one dead closure per lost race.
     """
     futures = list(futures)
     if not futures:
         raise ValueError("any_of() requires at least one future")
     combined = Future(env, label="any_of")
+    entries: list[tuple[Future, Callable[[Future], None]]] = []
 
     def make_callback(index: int) -> Callable[[Future], None]:
         def on_done(fut: Future) -> None:
-            if combined.done:
+            if combined._done:
                 return
-            if fut.failed:
-                combined.fail(fut.exception())
+            if fut._exc is not None:
+                combined.fail(fut._exc)
             else:
-                combined.succeed((index, fut.result()))
+                combined.succeed((index, fut._value))
+            for other, callback in entries:
+                if not other._done:
+                    other.remove_done_callback(callback)
+            entries.clear()
 
         return on_done
 
     for i, fut in enumerate(futures):
-        fut.add_done_callback(make_callback(i))
+        callback = make_callback(i)
+        entries.append((fut, callback))
+        fut.add_done_callback(callback)
     return combined

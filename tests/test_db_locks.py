@@ -182,3 +182,102 @@ class TestIntrospection:
         lm.acquire(2, "r", LockMode.X)
         lm.acquire(3, "r", LockMode.X)
         assert lm.queue_length("r") == 2
+
+
+class TestIndexes:
+    """The per-txn held/waiting indexes behind O(locks-touched) release."""
+
+    def test_release_does_not_scan_unrelated_locks(self, env, lm):
+        # A large standing population of other txns' locks must not be
+        # visited when an unrelated txn commits.
+        for tid in range(100, 600):
+            lm.acquire(tid, ("row", "t", tid), LockMode.X)
+        lm.acquire(1, "mine", LockMode.X)
+        lm.release_all(1)
+        env.run()
+        assert lm.held_by(1) == set()
+        # Standing locks are untouched.
+        assert lm.holders(("row", "t", 100)) == {100: LockMode.X}
+
+    def test_waiting_index_cleared_on_grant(self, env, lm):
+        lm.acquire(1, "r", LockMode.X)
+        fut = lm.acquire(2, "r", LockMode.X)
+        assert "r" in lm._waiting_by_txn.get(2, {})
+        lm.release_all(1)
+        env.run()
+        assert fut.done
+        assert 2 not in lm._waiting_by_txn
+        assert "r" in lm._held_by_txn[2]
+
+    def test_waiting_index_cleared_on_deadlock_abort(self, env, lm):
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(2, "b", LockMode.X)
+        lm.acquire(1, "b", LockMode.X)
+        victim = lm.acquire(2, "a", LockMode.X)
+        env.run()
+        assert victim.failed
+        assert "a" not in lm._waiting_by_txn.get(2, {})
+
+    def test_release_while_queued_clears_waiting_index(self, env, lm):
+        lm.acquire(1, "r", LockMode.X)
+        lm.acquire(2, "r", LockMode.X)
+        lm.release_all(2)
+        assert 2 not in lm._waiting_by_txn
+        lm.release_all(1)
+        env.run()
+        assert lm.holders("r") == {}
+
+    def test_held_index_insertion_ordered(self, env, lm):
+        # Wake order on release follows acquisition order — deterministic
+        # regardless of PYTHONHASHSEED (the C2 stability fix).
+        resources = [("row", "t", k) for k in ("zebra", "apple", "mango")]
+        for resource in resources:
+            lm.acquire(1, resource, LockMode.X)
+        assert list(lm._held_by_txn[1]) == resources
+
+
+class TestIncrementalDetection:
+    """Tail enqueues compute only the new waiter's edges, one DFS."""
+
+    def test_enqueue_sets_edges_to_holders_and_waiters_ahead(self, env, lm):
+        lm.acquire(1, "r", LockMode.X)
+        lm.acquire(2, "r", LockMode.X)
+        lm.acquire(3, "r", LockMode.X)
+        assert lm._waits_for[2] == {1}
+        assert lm._waits_for[3] == {1, 2}
+
+    def test_victim_is_the_requester_that_closed_the_cycle(self, env, lm):
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(2, "b", LockMode.X)
+        fut1 = lm.acquire(1, "b", LockMode.X)
+        fut2 = lm.acquire(2, "a", LockMode.X)  # closes the cycle -> victim
+        env.run()
+        assert fut2.failed and not fut1.done
+        assert lm.stats.deadlocks == 1
+
+    def test_detection_matches_across_many_random_schedules(self, env):
+        # The incremental edges must find exactly the deadlocks the full
+        # rebuild would: replay random acquire/release interleavings and
+        # check the books stay consistent.
+        import random
+
+        rng = random.Random(42)
+        lm = LockManager(env)
+        live = set()
+        for step in range(400):
+            tid = rng.randrange(8)
+            if tid in live and rng.random() < 0.3:
+                lm.release_all(tid)
+                live.discard(tid)
+            else:
+                resource = ("row", "t", rng.randrange(4))
+                mode = rng.choice([LockMode.S, LockMode.X])
+                lm.acquire(tid, resource, mode)
+                live.add(tid)
+            env.run()
+        for tid in list(live):
+            lm.release_all(tid)
+        env.run()
+        assert lm._locks == {}
+        assert lm._waiting_by_txn == {}
+        assert lm._waits_for == {}

@@ -1,0 +1,82 @@
+"""Golden same-seed equivalence: the ready-queue fast path is invisible.
+
+``Environment(fast_path=False)`` keeps the pre-optimization heap-only
+executor as a permanent reference implementation.  These tests run real
+claim-bench workloads in both modes and assert the *formatted result
+tables* and a *Chrome trace export* are byte-identical: the fast path may
+change wall-clock time only, never virtual-time behaviour.
+"""
+
+import pytest
+
+from repro.harness import WorkloadDriver, format_rows
+from repro.obs import Tracer
+from repro.sim import Environment
+from repro.workloads import ClosedLoop, TransferWorkload
+
+
+def _force_fast_path(monkeypatch, value):
+    """Route every Environment construction through fast_path=``value``."""
+    original = Environment.__init__
+
+    def patched(self, seed=0, tracer=None, fast_path=True):
+        original(self, seed=seed, tracer=tracer, fast_path=value)
+
+    monkeypatch.setattr(Environment, "__init__", patched)
+
+
+def _b1_table():
+    from benchmarks import bench_b1_ycsb
+
+    results = bench_b1_ycsb.run_all()
+    return format_rows(
+        ["mix/level", "ops/s", "p50 ms", "p99 ms", "lost updates"],
+        [[r.label, f"{r.throughput:.0f}", f"{r.p(50):.2f}",
+          f"{r.p(99):.2f}", r.extra["lost_updates"]] for r in results],
+    )
+
+
+def _c1_table():
+    from benchmarks import bench_c1_paradigms
+
+    results = bench_c1_paradigms.run_all()
+    return format_rows(
+        ["paradigm", "ops/s", "p50 ms", "p99 ms"],
+        [[r.label, f"{r.throughput:.0f}", f"{r.p(50):.2f}", f"{r.p(99):.2f}"]
+         for r in results],
+    )
+
+
+def _traced_transfer_json():
+    from repro.apps import DbBank
+
+    tracer = Tracer()
+    env = Environment(seed=77, tracer=tracer)
+    workload = TransferWorkload(num_accounts=20, theta=0.7)
+    bank = DbBank(env, workload)
+    ops = list(workload.operations(env.stream("ops:golden"), 64))
+    driver = WorkloadDriver(env, label="golden")
+    driver.ledger = bank.ledger
+    arrival = ClosedLoop(clients=4, ops_per_client=16, think_time_ms=2.0)
+    result = env.run_until(
+        env.process(driver.run(ops, bank.execute, arrival))
+    )
+    return result.trace_json()
+
+
+@pytest.mark.parametrize("table_fn", [_b1_table, _c1_table],
+                         ids=["B1", "C1"])
+def test_result_tables_identical_across_modes(monkeypatch, table_fn):
+    _force_fast_path(monkeypatch, True)
+    fast = table_fn()
+    _force_fast_path(monkeypatch, False)
+    heap_only = table_fn()
+    assert fast == heap_only
+
+
+def test_trace_export_identical_across_modes(monkeypatch):
+    _force_fast_path(monkeypatch, True)
+    fast = _traced_transfer_json()
+    _force_fast_path(monkeypatch, False)
+    heap_only = _traced_transfer_json()
+    assert fast == heap_only

@@ -207,3 +207,86 @@ class TestRandomStreams:
         a = Environment(seed=1).stream("x").random()
         b = Environment(seed=2).stream("x").random()
         assert a != b
+
+
+class TestScheduleValidation:
+    def test_nan_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.schedule(float("nan"), lambda: None)
+
+    def test_positive_infinity_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.schedule(float("inf"), lambda: None)
+
+    def test_zero_delay_accepted(self, env):
+        fired = []
+        env.schedule(0.0, lambda: fired.append(env.now))
+        env.run()
+        assert fired == [0.0]
+
+
+class TestReadyQueueOrdering:
+    """The FIFO fast path must preserve exact (time, sequence) order."""
+
+    def _interleaved(self, fast_path):
+        env = Environment(seed=7, fast_path=fast_path)
+        order = []
+        # A positive delay landing at t=1 *before* zero-delay events are
+        # scheduled at t=1: the heap entry has the smaller sequence number
+        # and must preempt the ready queue.
+        env.schedule(1.0, lambda: order.append("early-heap"))
+
+        def at_t1():
+            env.schedule(0.0, lambda: order.append("ready-1"))
+            env.schedule(0.0, lambda: order.append("ready-2"))
+
+        env.schedule(0.5, lambda: env.schedule(0.5, at_t1))
+        env.run()
+        return order
+
+    def test_fast_path_matches_heap_order(self):
+        assert self._interleaved(True) == self._interleaved(False)
+
+    def test_heap_entry_preempts_ready_queue_at_same_time(self):
+        env = Environment(seed=7)
+        order = []
+
+        def zero_spawner():
+            # Queued on the ready queue at t=1 with large sequence numbers.
+            env.schedule(0.0, lambda: order.append("zero"))
+
+        env.schedule(1.0, zero_spawner)        # seq 1, fires first at t=1
+        env.schedule(1.0, lambda: order.append("heap"))  # seq 2, same instant
+        env.run()
+        # "heap" was scheduled before "zero" existed, so it runs first.
+        assert order == ["heap", "zero"]
+
+    def test_fast_path_off_forces_heap_only(self):
+        env = Environment(seed=7, fast_path=False)
+        env.schedule(0.0, lambda: None)
+        assert len(env._heap) == 1 and not env._ready
+        env.run()
+
+    def test_events_executed_counts_both_containers(self):
+        env = Environment(seed=7)
+        env.schedule(0.0, lambda: None)
+        env.schedule(1.0, lambda: None)
+        env.run()
+        assert env.events_executed == 2
+
+    def test_same_seed_trace_identical_across_modes(self):
+        def run(fast_path):
+            env = Environment(seed=11, fast_path=fast_path)
+            log = []
+
+            def worker(env, name, delay):
+                for i in range(5):
+                    yield env.timeout(delay if i % 2 else 0)
+                    log.append((round(env.now, 6), name, i))
+
+            procs = [env.process(worker(env, n, d))
+                     for n, d in [("a", 0.3), ("b", 0.7), ("c", 0.0)]]
+            env.run()
+            return log
+
+        assert run(True) == run(False)

@@ -128,3 +128,40 @@ class TestCombinators:
         bad.fail(KeyError("k"))
         env.run(until=1)
         assert combined.failed
+
+
+class TestCombinatorCleanup:
+    def test_any_of_unsubscribes_from_losers(self, env):
+        winner = env.timeout(1)
+        loser = env.future("long-lived")
+        any_of(env, [winner, loser])
+        assert len(loser._callbacks) == 1
+        env.run()
+        # The loser must not retain the combinator's dead closure.
+        assert loser._callbacks == []
+
+    def test_any_of_losers_do_not_accumulate_across_polls(self, env):
+        # A poller racing a timeout against the same long-lived future on
+        # every poll (broker consumers) must not grow its callback list.
+        data = env.future("data")
+        for _ in range(10):
+            any_of(env, [env.timeout(1), data])
+            env.run()
+        assert data._callbacks == []
+
+    def test_all_of_drops_future_refs_after_failure(self, env):
+        pending = env.future("pending")
+        bad = env.future("bad")
+        combined = all_of(env, [pending, bad])
+        bad.fail(RuntimeError("dead"))
+        env.run(until=1)
+        assert combined.failed
+        assert pending._callbacks == []
+
+    def test_any_of_still_resolves_once_after_cleanup(self, env):
+        first = env.timeout(1, "a")
+        second = env.timeout(2, "b")
+        combined = any_of(env, [first, second])
+        env.run()
+        assert combined.result() == (0, "a")
+        assert second._callbacks == []
