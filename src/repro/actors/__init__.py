@@ -19,6 +19,7 @@ from repro.actors.actor import Actor, ActorError
 from repro.actors.runtime import ActorRef, ActorRuntime, StateStorageProvider
 from repro.actors.transactions import (
     ActorTransactionCoordinator,
+    CommitUncertain,
     TransactionFailed,
     transactional,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "ActorRef",
     "ActorRuntime",
     "ActorTransactionCoordinator",
+    "CommitUncertain",
     "StateStorageProvider",
     "TransactionFailed",
     "transactional",

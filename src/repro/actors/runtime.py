@@ -50,6 +50,11 @@ class StateStorageProvider:
         state = self._data.get((actor_type, key))
         return dict(state) if state is not None else None
 
+    def delete(self, actor_type: str, key: str) -> Generator:
+        """Remove a record (e.g. a consumed transaction prepare record)."""
+        yield self.env.timeout(self._latency(self._rng))
+        self._data.pop((actor_type, key), None)
+
     def peek(self, actor_type: str, key: str) -> Optional[dict]:
         """Zero-latency read for tests and invariant checks."""
         state = self._data.get((actor_type, key))
@@ -63,6 +68,7 @@ class ActorRuntimeStats:
     calls: int = 0
     dropped_calls: int = 0
     idle_deactivations: int = 0
+    duplicates_dropped: int = 0
 
 
 class _Silo:
@@ -119,6 +125,17 @@ class _Silo:
         yield lock.acquire()  # turn-based concurrency (covers activation too)
         try:
             actor = self.activations.get(ident)
+            if actor is not None and self.runtime._last_host.get(ident) != self.name:
+                # The directory says another silo activated this actor after
+                # us — placement moved away (we were presumed dead) and has
+                # now moved back.  Our cached activation missed every write
+                # the other activation committed, so serving from it would
+                # resurrect stale state.  Kill the duplicate without the
+                # graceful on_deactivate (which may persist the stale state)
+                # and re-activate from the provider.
+                self.activations.pop(ident, None)
+                self.runtime.stats.duplicates_dropped += 1
+                actor = None
             if actor is None:
                 actor = yield from self._activate(actor_type, key)
             self.last_used[ident] = self.runtime.env.now

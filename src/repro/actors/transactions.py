@@ -20,7 +20,6 @@ transaction, as Orleans' lock-timeout policy does.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
@@ -30,6 +29,15 @@ from repro.sim import Environment, Lock, any_of
 
 class TransactionFailed(Exception):
     """The actor transaction aborted (lock timeout or execution error)."""
+
+
+class CommitUncertain(TransactionFailed):
+    """The commit decision was made but could not reach every participant.
+
+    Some participants may have installed the prepared state, others not —
+    the classic 2PC uncertainty window.  Chaos histories record such ops
+    as ``info`` (outcome unknown) rather than ``fail``.
+    """
 
 
 @dataclass(frozen=True)
@@ -47,17 +55,22 @@ class ActorTxnStats:
     committed: int = 0
     aborted: int = 0
     lock_timeouts: int = 0
+    commit_uncertain: int = 0
 
 
 class ActorTransactionCoordinator:
     """Coordinates ACID multi-actor operations on an :class:`ActorRuntime`."""
 
-    _txn_ids = itertools.count(1)
-
-    def __init__(self, runtime: ActorRuntime, lock_timeout: float = 100.0) -> None:
+    def __init__(
+        self,
+        runtime: ActorRuntime,
+        lock_timeout: float = 100.0,
+        commit_attempts: int = 8,
+    ) -> None:
         self.runtime = runtime
         self.env: Environment = runtime.env
         self.lock_timeout = lock_timeout
+        self.commit_attempts = commit_attempts
         self._locks: dict[tuple[str, str], Lock] = {}
         self.stats = ActorTxnStats()
 
@@ -74,7 +87,7 @@ class ActorTransactionCoordinator:
         :class:`TransactionFailed` on lock timeout or any method error;
         in that case no actor's durable state changed.
         """
-        txn_id = next(ActorTransactionCoordinator._txn_ids)
+        txn_id = self.env.next_id("actor-txn")
         ops = [TxnOp(t, k, m, tuple(a)) for t, k, m, a in ops]
         # Ordered acquisition prevents deadlock among transactions.
         idents = sorted({(op.actor_type, op.key) for op in ops})
@@ -93,9 +106,17 @@ class ActorTransactionCoordinator:
                     raise TransactionFailed(f"txn {txn_id}: lock timeout on {ident}")
                 held.append(lock)
             results = yield from self._execute_and_prepare(txn_id, ops)
-            yield from self._commit(txn_id, ops)
+            try:
+                yield from self._commit(txn_id, ops)
+            except Exception as exc:
+                raise CommitUncertain(
+                    f"txn {txn_id}: commit decision undeliverable: {exc!r}"
+                ) from exc
             self.stats.committed += 1
             return results
+        except CommitUncertain:
+            self.stats.commit_uncertain += 1
+            raise
         except TransactionFailed:
             self.stats.aborted += 1
             raise
@@ -112,15 +133,19 @@ class ActorTransactionCoordinator:
         """Execute each op against tentative state; durably prepare it."""
         results = []
         tentative: dict[tuple[str, str], dict] = {}
-        for op in ops:
+        for op_index, op in enumerate(ops):
             result = yield from self.runtime._dispatch(
                 op.actor_type, op.key, "txn_execute",
-                ({"method": op.method, "args": list(op.args)},),
+                ({"method": op.method, "args": list(op.args),
+                  "txn_id": txn_id, "op_index": op_index},),
                 timeout=50.0, retries=1,
             )
             results.append(result["result"])
             tentative[(op.actor_type, op.key)] = result["tentative_state"]
         # Prepare: persist each tentative version (one provider trip each).
+        # The record doubles as the commit-phase recovery path: a
+        # re-activated participant that lost its volatile tentative copy
+        # reloads it from here (see ``txn_commit``).
         for (actor_type, key), state in tentative.items():
             yield from self.runtime.provider.save(
                 actor_type, f"{key}#prepare-{txn_id}", state
@@ -128,12 +153,30 @@ class ActorTransactionCoordinator:
         return results
 
     def _commit(self, txn_id: int, ops: list[TxnOp]) -> Generator:
-        """Second phase: install tentative state, persist final version."""
+        """Second phase: install tentative state, persist final version.
+
+        Once every participant prepared, the decision is commit; it must
+        reach each participant even across silo crashes, so the dispatch
+        retries hard (the durable prepare record makes redelivery safe).
+        """
+        from repro.actors.runtime import ActorError
+        from repro.messaging.rpc import RpcTimeout
+
         for ident in sorted({(op.actor_type, op.key) for op in ops}):
             actor_type, key = ident
-            yield from self.runtime._dispatch(
-                actor_type, key, "txn_commit", (), timeout=50.0, retries=1,
-            )
+            attempts = 0
+            while True:
+                try:
+                    yield from self.runtime._dispatch(
+                        actor_type, key, "txn_commit",
+                        ({"txn_id": txn_id},), timeout=50.0, retries=2,
+                    )
+                    break
+                except (RpcTimeout, ActorError):
+                    attempts += 1
+                    if attempts >= self.commit_attempts:
+                        raise
+                    yield self.env.timeout(self.lock_timeout / 4)
 
 
 def transactional(cls):
@@ -147,8 +190,20 @@ def transactional(cls):
     """
 
     def txn_execute(self, request: dict) -> Generator:
+        txn_id = request.get("txn_id")
+        op_index = request.get("op_index", 0)
+        # A different txn starts from committed state: stale tentative
+        # state from an aborted predecessor must not leak forward.
+        if getattr(self, "_pending_txn_id", None) != txn_id:
+            self._pending_txn_id = txn_id
+            self._pending_txn_state = None
+            self._txn_op_results = {}
+        # Duplicate delivery (network duplication, client retry whose
+        # original did land): return the recorded result, don't re-apply.
+        if op_index in self._txn_op_results:
+            return self._txn_op_results[op_index]
         original = self.state
-        working = dict(self._pending_txn_state) if getattr(self, "_pending_txn_state", None) else dict(original)
+        working = dict(self._pending_txn_state) if self._pending_txn_state else dict(original)
         self.state = working
         try:
             method = getattr(self, request["method"])
@@ -156,14 +211,39 @@ def transactional(cls):
         finally:
             self.state = original
         self._pending_txn_state = working
-        return {"result": result, "tentative_state": dict(working)}
+        response = {"result": result, "tentative_state": dict(working)}
+        self._txn_op_results[op_index] = response
+        return response
 
-    def txn_commit(self) -> Generator:
+    def txn_commit(self, request: Optional[dict] = None) -> Generator:
+        txn_id = (request or {}).get("txn_id")
         pending = getattr(self, "_pending_txn_state", None)
-        if pending is not None:
+        if pending is not None and getattr(self, "_pending_txn_id", None) == txn_id:
             self.state = pending
             self._pending_txn_state = None
             yield from self.save_state()
+            if txn_id is not None:
+                yield from self._runtime.provider.delete(
+                    type(self).__name__, f"{self.key}#prepare-{txn_id}"
+                )
+            return
+        # Volatile tentative copy is gone (silo crash re-activated us) or
+        # this is a redelivered commit: recover the durably prepared
+        # version.  The coordinator only sends commit after every
+        # participant prepared, so installing it is safe while the
+        # coordinator still holds the transaction locks; the record is
+        # deleted afterwards, so a late duplicate commit is a no-op.
+        if txn_id is not None:
+            prepared = yield from self._runtime.provider.load(
+                type(self).__name__, f"{self.key}#prepare-{txn_id}"
+            )
+            if prepared is not None:
+                self.state = dict(prepared)
+                self._pending_txn_state = None
+                yield from self.save_state()
+                yield from self._runtime.provider.delete(
+                    type(self).__name__, f"{self.key}#prepare-{txn_id}"
+                )
 
     cls.txn_execute = txn_execute
     cls.txn_commit = txn_commit

@@ -1,0 +1,85 @@
+"""The declarative fault budget a nemesis samples schedules from."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: Fault classes a nemesis knows how to generate.
+FAULT_CLASSES = ("crash", "partition", "loss", "duplication", "delay")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything the nemesis may do, as data.
+
+    ``horizon`` is the workload window (virtual ms, relative to workload
+    start) inside which faults may be active; every fault heals/restarts
+    within it.  ``settle`` is the quiet tail after the horizon during
+    which the system recovers before oracles read final state.
+
+    ``crashable`` / ``partitionable`` list the node *names* that are fair
+    game — node classes the application can afford to lose (never, say,
+    the client edge).  ``max_concurrent_faults`` bounds how many episodes
+    may overlap in time, and ``min_heal_window`` is the minimum quiet gap
+    between same-kind episodes (and same-node crashes), so the system
+    always gets a chance to re-converge.
+    """
+
+    horizon: float = 400.0
+    settle: float = 800.0
+    episodes: int = 4
+    fault_classes: tuple[str, ...] = FAULT_CLASSES
+    crashable: tuple[str, ...] = ()
+    partitionable: tuple[str, ...] = ()
+    max_concurrent_faults: int = 1
+    min_heal_window: float = 60.0
+    downtime: tuple[float, float] = (30.0, 100.0)
+    burst: tuple[float, float] = (20.0, 80.0)
+    loss_rate: tuple[float, float] = (0.05, 0.3)
+    duplication_rate: tuple[float, float] = (0.05, 0.3)
+    extra_delay_ms: tuple[float, float] = (5.0, 40.0)
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.settle < 0:
+            raise ValueError("settle must be >= 0")
+        if self.episodes < 0:
+            raise ValueError("episodes must be >= 0")
+        unknown = set(self.fault_classes) - set(FAULT_CLASSES)
+        if unknown:
+            raise ValueError(f"unknown fault classes: {sorted(unknown)}")
+        if self.max_concurrent_faults < 1:
+            raise ValueError("max_concurrent_faults must be >= 1")
+        if self.min_heal_window < 0:
+            raise ValueError("min_heal_window must be >= 0")
+        for name in ("downtime", "burst", "loss_rate", "duplication_rate",
+                     "extra_delay_ms"):
+            lo, hi = getattr(self, name)
+            if not (0 <= lo <= hi):
+                raise ValueError(f"{name}: need 0 <= lo <= hi, got ({lo}, {hi})")
+        if len(self.partitionable) == 1:
+            raise ValueError("partitionable needs at least two nodes (or none)")
+
+    def effective_classes(self) -> tuple[str, ...]:
+        """Classes that can actually produce an episode with this budget."""
+        out = []
+        for kind in self.fault_classes:
+            if kind == "crash" and not self.crashable:
+                continue
+            if kind == "partition" and len(self.partitionable) < 2:
+                continue
+            out.append(kind)
+        return tuple(out)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        # Tuples serialize as lists; from_dict restores them.
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosConfig":
+        coerced = {}
+        for key, value in data.items():
+            coerced[key] = tuple(value) if isinstance(value, list) else value
+        return cls(**coerced)

@@ -1,0 +1,166 @@
+"""The seeded nemesis: randomized fault episodes within a declared budget.
+
+An :class:`Episode` is one bounded fault interval (a crash with its
+restart, a partition with its heal, a loss/duplication/delay burst with
+its restore).  The nemesis samples admissible episodes from a
+:class:`~repro.chaos.config.ChaosConfig` using a named random stream, and
+:func:`compile_plan` lowers them to the repository-wide
+:class:`~repro.core.faults.FaultPlan` — fuzzed and scripted fault
+schedules share one execution path, and the shrinker can minimize at the
+episode level while replaying at the plan level.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chaos.config import ChaosConfig
+from repro.core.faults import FaultPlan
+
+#: Episode kinds that are exclusive per target node.
+_NODE_KINDS = ("crash",)
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One bounded fault interval; ``rate`` is probability or delay-ms."""
+
+    kind: str
+    start: float
+    duration: float
+    target: Optional[str] = None
+    group_a: tuple[str, ...] = ()
+    group_b: tuple[str, ...] = ()
+    rate: float = 0.0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def overlaps(self, other: "Episode", gap: float = 0.0) -> bool:
+        return self.start < other.end + gap and other.start < self.end + gap
+
+    def to_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "start": self.start, "duration": self.duration}
+        if self.target is not None:
+            out["target"] = self.target
+        if self.group_a:
+            out["group_a"] = list(self.group_a)
+        if self.group_b:
+            out["group_b"] = list(self.group_b)
+        if self.rate:
+            out["rate"] = self.rate
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Episode":
+        return cls(
+            kind=data["kind"],
+            start=float(data["start"]),
+            duration=float(data["duration"]),
+            target=data.get("target"),
+            group_a=tuple(data.get("group_a", ())),
+            group_b=tuple(data.get("group_b", ())),
+            rate=float(data.get("rate", 0.0)),
+        )
+
+
+class Nemesis:
+    """Samples admissible fault schedules from a :class:`ChaosConfig`."""
+
+    def __init__(self, config: ChaosConfig) -> None:
+        self.config = config
+
+    def generate(self, rng: random.Random) -> list[Episode]:
+        """Sample up to ``config.episodes`` admissible episodes.
+
+        Accept-reject: candidates violating the budget (overlap beyond
+        ``max_concurrent_faults``, same-kind overlap, crash of a node
+        still within its heal window) are discarded; the attempt budget
+        bounds the loop so a tight config yields fewer episodes rather
+        than spinning.
+        """
+        config = self.config
+        classes = config.effective_classes()
+        episodes: list[Episode] = []
+        if not classes or config.episodes == 0:
+            return episodes
+        attempts_left = config.episodes * 25 + 25
+        while len(episodes) < config.episodes and attempts_left > 0:
+            attempts_left -= 1
+            candidate = self._sample(rng, classes)
+            if candidate is not None and self._admissible(candidate, episodes):
+                episodes.append(candidate)
+        episodes.sort(key=lambda e: (e.start, e.kind, e.target or ""))
+        return episodes
+
+    def _sample(self, rng: random.Random, classes: tuple[str, ...]) -> Optional[Episode]:
+        config = self.config
+        kind = classes[rng.randrange(len(classes))]
+        lo, hi = config.downtime if kind in ("crash", "partition") else config.burst
+        if lo >= config.horizon:
+            return None
+        start = round(rng.uniform(0.0, config.horizon - lo), 3)
+        duration = round(rng.uniform(lo, min(hi, config.horizon - start)), 3)
+        if kind == "crash":
+            target = config.crashable[rng.randrange(len(config.crashable))]
+            return Episode(kind=kind, start=start, duration=duration, target=target)
+        if kind == "partition":
+            nodes = list(config.partitionable)
+            rng.shuffle(nodes)
+            cut = rng.randrange(1, len(nodes))
+            return Episode(
+                kind=kind, start=start, duration=duration,
+                group_a=tuple(sorted(nodes[:cut])),
+                group_b=tuple(sorted(nodes[cut:])),
+            )
+        bounds = {
+            "loss": config.loss_rate,
+            "duplication": config.duplication_rate,
+            "delay": config.extra_delay_ms,
+        }[kind]
+        rate = round(rng.uniform(*bounds), 4)
+        return Episode(kind=kind, start=start, duration=duration, rate=rate)
+
+    def _admissible(self, candidate: Episode, accepted: list[Episode]) -> bool:
+        config = self.config
+        concurrent = 0
+        for other in accepted:
+            if candidate.kind == other.kind:
+                # Same-kind episodes are serialized with a heal window:
+                # loss/duplication/delay set a single global knob, and
+                # partitions heal globally, so overlap would corrupt the
+                # restore; serialized crashes keep schedules readable.
+                same_node = (
+                    candidate.kind not in _NODE_KINDS
+                    or candidate.target == other.target
+                )
+                if same_node and candidate.overlaps(other, gap=config.min_heal_window):
+                    return False
+            if candidate.overlaps(other):
+                concurrent += 1
+        return concurrent < config.max_concurrent_faults
+
+
+def compile_plan(episodes: list[Episode]) -> FaultPlan:
+    """Lower episodes to the shared :class:`FaultPlan` execution path."""
+    plan = FaultPlan()
+    for episode in sorted(episodes, key=lambda e: (e.start, e.kind, e.target or "")):
+        if episode.kind == "crash":
+            plan.crash_restart(episode.target, at=episode.start,
+                               downtime=episode.duration)
+        elif episode.kind == "partition":
+            plan.partition(list(episode.group_a), list(episode.group_b),
+                           at=episode.start, heal_at=episode.end)
+        elif episode.kind == "loss":
+            plan.loss(episode.rate, at=episode.start, until=episode.end)
+        elif episode.kind == "duplication":
+            plan.duplication(episode.rate, at=episode.start, until=episode.end)
+        elif episode.kind == "delay":
+            plan.delay(episode.rate, at=episode.start, until=episode.end)
+        else:
+            raise ValueError(f"unknown episode kind {episode.kind!r}")
+    plan.validate()
+    return plan

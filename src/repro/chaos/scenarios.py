@@ -1,0 +1,374 @@
+"""The four runtimes under test, behind one chaos-scenario interface.
+
+Each scenario wires an application (from :mod:`repro.apps`) to a network
+whose nodes the nemesis may crash and partition, declares a default
+:class:`~repro.chaos.config.ChaosConfig` budget, classifies the
+exceptions its operations raise into Jepsen outcomes (``fail`` = the
+effect definitely did not happen, ``info`` = unknown), and names the
+oracles entitled to judge it.
+
+``broken=True`` selects the intentionally unsound configuration — the
+actor bank in ``plain`` mode, whose two independent actor calls per
+transfer are atomic per actor but not across them (§4.2's default).  The
+chaos harness must find and shrink that bug; it is the end-to-end test
+that the detector detects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.actors import ActorError, CommitUncertain, TransactionFailed
+from repro.apps import ActorBank, FaasBank, MicroserviceShop, TxnDataflowBank
+from repro.chaos.config import ChaosConfig
+from repro.chaos.oracles import (
+    ConservationOracle,
+    Oracle,
+    SagaAtomicityOracle,
+    SnapshotAuditOracle,
+    TransferExactlyOnceOracle,
+)
+from repro.dataflow import TxnAbort
+from repro.faas.workflows import WorkflowAborted
+from repro.messaging import RpcRemoteError, RpcTimeout
+from repro.net import Network, NodeCrashed
+from repro.sim import Environment, Interrupted
+from repro.workloads import MarketplaceWorkload, TransferWorkload
+
+
+class Scenario:
+    """One runtime under chaos: workload, faults surface, oracles."""
+
+    name = "scenario"
+    kind = "transfer"
+    op_timeout = 2000.0
+    audit_interval: Optional[float] = None
+    default_config = ChaosConfig()
+
+    def __init__(self, env: Environment, broken: bool = False) -> None:
+        self.env = env
+        self.broken = broken
+        self.net: Optional[Network] = None
+
+    def setup(self) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def ops(self) -> list:
+        raise NotImplementedError
+
+    def execute(self, op) -> Generator:
+        raise NotImplementedError
+
+    #: Optional: a generator returning the audit value, or None.
+    audit: Optional[Callable[[], Generator]] = None
+
+    def final_state(self) -> Any:
+        raise NotImplementedError
+
+    def oracles(self) -> list[Oracle]:
+        raise NotImplementedError
+
+    def classify(self, exc: Exception) -> str:
+        """Map an operation exception to ``fail`` or ``info``."""
+        raise NotImplementedError
+
+
+class MicroserviceScenario(Scenario):
+    """Saga-coordinated checkouts across stock/payment/orders services."""
+
+    name = "microservice"
+    kind = "checkout"
+    default_config = ChaosConfig(
+        crashable=("stock", "payment", "orders"),
+        partitionable=("edge-client", "stock", "payment", "orders"),
+        loss_rate=(0.03, 0.15),
+        duplication_rate=(0.03, 0.15),
+    )
+
+    def __init__(self, env: Environment, broken: bool = False) -> None:
+        super().__init__(env, broken)
+        self.workload = MarketplaceWorkload(
+            num_products=6, initial_stock=200, payment_failure_rate=0.1
+        )
+        mode = "none" if broken else "saga"
+        self.shop = MicroserviceShop(
+            env, self.workload, mode=mode,
+            request_timeout=150.0, compensation_retries=10,
+        )
+        self.net = self.shop.app.net
+
+    def setup(self) -> Generator:
+        return
+        yield  # pragma: no cover
+
+    def ops(self) -> list:
+        return list(self.workload.operations(self.env.stream("workload"), 18))
+
+    def execute(self, op) -> Generator:
+        yield from self.shop.execute(op)
+        return True
+
+    def final_state(self) -> Any:
+        return self.shop.final_state()
+
+    def oracles(self) -> list[Oracle]:
+        return [SagaAtomicityOracle(self.workload, kind=self.kind)]
+
+    def classify(self, exc: Exception) -> str:
+        # The saga surface: a compensated (or business-declined) checkout
+        # raises RpcRemoteError — the failure is definite.  Anything else
+        # (a timeout escaping the uncoordinated mode) is unknown.
+        if isinstance(exc, RpcRemoteError):
+            return "fail"
+        return "info"
+
+
+class ActorScenario(Scenario):
+    """Transfers across virtual actors via Orleans-style 2PC.
+
+    Broken mode drops the coordinator: withdraw and deposit become two
+    independent at-most-once actor calls with client retries.
+    """
+
+    name = "actor"
+    default_config = ChaosConfig(
+        crashable=("silo-0", "silo-1", "silo-2"),
+        partitionable=(),
+        downtime=(30.0, 90.0),
+        loss_rate=(0.03, 0.15),
+        duplication_rate=(0.03, 0.15),
+    )
+
+    def __init__(self, env: Environment, broken: bool = False) -> None:
+        super().__init__(env, broken)
+        self.workload = TransferWorkload(
+            num_accounts=12, initial_balance=100, amount=10, theta=0.5
+        )
+        mode = "plain" if broken else "transaction"
+        self.bank = ActorBank(env, self.workload, mode=mode, num_silos=3)
+        self.net = self.bank.runtime.net
+        self._ops: dict[str, Any] = {}
+
+    def setup(self) -> Generator:
+        yield from self.bank.setup()
+
+    def ops(self) -> list:
+        ops = list(self.workload.operations(self.env.stream("workload"), 18))
+        self._ops = {op.op_id: op for op in ops}
+        return ops
+
+    def execute(self, op) -> Generator:
+        yield from self.bank.execute(op)
+        return True
+
+    def final_state(self) -> Any:
+        return self.bank.balances()
+
+    def oracles(self) -> list[Oracle]:
+        initial = {
+            row["id"]: row["balance"] for row in self.workload.initial_rows()
+        }
+        return [
+            ConservationOracle("balance", self.workload.expected_total),
+            TransferExactlyOnceOracle(initial, self._ops, kind=self.kind),
+        ]
+
+    def classify(self, exc: Exception) -> str:
+        if isinstance(exc, CommitUncertain):
+            return "info"  # the 2PC uncertainty window
+        if isinstance(exc, TransactionFailed):
+            return "fail"  # aborted before the commit decision
+        # Plain-mode surface (ActorError, RpcTimeout): at-most-once calls
+        # may have applied without acknowledging.
+        return "info"
+
+
+class DataflowScenario(Scenario):
+    """Transfers on the Styx-like transactional dataflow engine.
+
+    The engine is bound to a single simulated node: crashing the node
+    loses all volatile engine state, restarting it runs deterministic
+    checkpoint-restore + input-log replay.  Only crashes are in budget —
+    the engine's internals do not traverse the message network.
+    """
+
+    name = "dataflow"
+    audit_interval = 70.0
+    default_config = ChaosConfig(
+        fault_classes=("crash",),
+        crashable=("dataflow-engine",),
+        episodes=3,
+        downtime=(30.0, 90.0),
+    )
+
+    def __init__(self, env: Environment, broken: bool = False) -> None:
+        super().__init__(env, broken)
+        self.workload = TransferWorkload(
+            num_accounts=12, initial_balance=100, amount=10, theta=0.5
+        )
+        self.bank = TxnDataflowBank(
+            env, self.workload, checkpoint_every=3, epoch_interval=5.0
+        )
+        self.net = Network(env)
+        self.node = self.net.add_node("dataflow-engine")
+        bind_engine_to_node(env, self.node, self.bank.engine)
+
+    def setup(self) -> Generator:
+        self.bank.start()
+        yield from self.bank.setup()
+
+    def ops(self) -> list:
+        return list(self.workload.operations(self.env.stream("workload"), 18))
+
+    def execute(self, op) -> Generator:
+        result = yield from self.bank.execute(op)
+        return result
+
+    def audit(self) -> Generator:
+        total = yield from self.bank.audit()
+        return total
+
+    def final_state(self) -> Any:
+        return self.bank.balances()
+
+    def oracles(self) -> list[Oracle]:
+        return [
+            ConservationOracle("balance", self.workload.expected_total),
+            SnapshotAuditOracle(self.workload.expected_total),
+        ]
+
+    def classify(self, exc: Exception) -> str:
+        if isinstance(exc, TxnAbort):
+            return "fail"  # deterministic abort: never installed
+        return "info"
+
+
+class FaasScenario(Scenario):
+    """Transfers as Beldi-style OCC workflows on crashable workers.
+
+    Workflow attempts run as processes on worker nodes; a crash kills the
+    attempt mid-flight and the supervisor re-runs it on a surviving
+    worker **with the same workflow id** — the §4.2 exactly-once recipe
+    (OCC commit + result dedup) is what the oracle then audits.
+    """
+
+    name = "faas"
+    audit_interval = 70.0
+    default_config = ChaosConfig(
+        fault_classes=("crash",),
+        crashable=("worker-0", "worker-1"),
+        episodes=3,
+        downtime=(30.0, 90.0),
+    )
+
+    def __init__(self, env: Environment, broken: bool = False) -> None:
+        super().__init__(env, broken)
+        self.workload = TransferWorkload(
+            num_accounts=12, initial_balance=100, amount=10, theta=0.5
+        )
+        self.bank = FaasBank(env, self.workload, mode="workflow")
+        self.bank.workflows.register("audit", self._audit_workflow)
+        self.net = Network(env)
+        self.workers = [self.net.add_node(f"worker-{i}") for i in range(2)]
+        self._audits = 0
+
+    @staticmethod
+    def _audit_workflow(ctx, account_ids):
+        total = 0
+        for account in account_ids:
+            balance = yield from ctx.read(account, 0)
+            total += balance
+        return total
+
+    def setup(self) -> Generator:
+        yield from self.bank.setup()
+
+    def ops(self) -> list:
+        return list(self.workload.operations(self.env.stream("workload"), 18))
+
+    def _on_worker(self, body: Callable[[], Generator]) -> Generator:
+        """Run ``body`` on an alive worker, re-running it after crashes.
+
+        Safe only for idempotent bodies (workflow ids dedup re-runs).
+        """
+        while True:
+            worker = next((w for w in self.workers if w.alive), None)
+            if worker is None:
+                yield self.env.timeout(10.0)
+                continue
+            try:
+                attempt = worker.spawn(body(), label="faas-attempt")
+                result = yield attempt
+                return result
+            except (Interrupted, NodeCrashed):
+                yield self.env.timeout(5.0)
+
+    def execute(self, op) -> Generator:
+        result = yield from self._on_worker(lambda: self.bank.execute(op))
+        return result
+
+    def audit(self) -> Generator:
+        self._audits += 1
+        account_ids = [row["id"] for row in self.workload.initial_rows()]
+        total = yield from self._on_worker(
+            lambda: self.bank.workflows.run(
+                "audit", account_ids, workflow_id=f"audit-{self._audits:03d}"
+            )
+        )
+        return total
+
+    def final_state(self) -> Any:
+        return self.bank.balances()
+
+    def oracles(self) -> list[Oracle]:
+        return [
+            ConservationOracle("balance", self.workload.expected_total),
+            SnapshotAuditOracle(self.workload.expected_total),
+        ]
+
+    def classify(self, exc: Exception) -> str:
+        if isinstance(exc, WorkflowAborted):
+            return "fail"  # OCC retries exhausted: nothing committed
+        return "info"
+
+
+def bind_engine_to_node(env: Environment, node, engine) -> None:
+    """Tie a :class:`TransactionalDataflow` lifecycle to a network node.
+
+    A sentinel process on the node translates node.crash() into
+    engine.crash(); the restart hook runs engine.recover() and re-arms
+    the sentinel, so FaultPlan/nemesis crash events drive the engine
+    through its real checkpoint-restore + replay path.
+    """
+
+    def sentinel() -> Generator:
+        try:
+            yield env.timeout(1e11)
+        except Interrupted:
+            engine.crash()
+
+    def on_restart(_node) -> None:
+        env.process(engine.recover(), label="dataflow-engine.recover")
+        node.spawn(sentinel(), label="dataflow-engine.sentinel")
+
+    node.spawn(sentinel(), label="dataflow-engine.sentinel")
+    node.on_restart(on_restart)
+
+
+_SCENARIOS = {
+    "microservice": MicroserviceScenario,
+    "actor": ActorScenario,
+    "dataflow": DataflowScenario,
+    "faas": FaasScenario,
+}
+
+
+def build_scenario(name: str, env: Environment, broken: bool = False) -> Scenario:
+    try:
+        cls = _SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown runtime {name!r}; choose from {sorted(_SCENARIOS)}"
+        ) from None
+    return cls(env, broken=broken)

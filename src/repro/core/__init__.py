@@ -8,7 +8,7 @@ with one :class:`RuntimeProfile` per runtime built in this repository;
 measurement and failure-injection machinery shared by every benchmark.
 """
 
-from repro.core.faults import FaultEvent, FaultPlan
+from repro.core.faults import FaultEvent, FaultPlan, FaultPlanError
 from repro.core.metrics import (
     LatencyRecorder,
     MetricsCollector,
@@ -32,6 +32,7 @@ __all__ = [
     "DeliveryGuarantee",
     "FaultEvent",
     "FaultPlan",
+    "FaultPlanError",
     "LatencyRecorder",
     "MetricsCollector",
     "PROFILES",

@@ -3,28 +3,104 @@
 A :class:`FaultPlan` turns a benchmark's failure scenario into data:
 "crash node X at t=500, restart it at t=800, partition A|B from 1000 to
 1500".  Plans apply against a :class:`~repro.net.network.Network` and are
-shared by the recovery benchmarks (C8) and fault-injection tests.
+shared by the recovery benchmarks (C8), fault-injection tests, and the
+randomized :mod:`repro.chaos` nemesis, whose fuzzed schedules compile down
+to plain fault plans so scripted and fuzzed runs share one execution path.
+
+Plans are *data*: :meth:`FaultPlan.to_json` / :meth:`FaultPlan.from_json`
+round-trip a plan losslessly, which is the repro-artifact format the chaos
+shrinker emits.  Validation happens at build and apply time — a malformed
+plan (negative offset, unknown fault kind, restart of a never-crashed
+node, crash of a node the network does not have) raises
+:class:`FaultPlanError` up front instead of exploding mid-simulation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.network import Network
 from repro.sim import Environment
 
+#: Fault kinds a plan may contain, in canonical order.
+FAULT_KINDS = ("crash", "restart", "partition", "heal", "loss", "duplication", "delay")
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed (caught at build/apply time, not mid-run)."""
+
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One scheduled fault action."""
+    """One scheduled fault action.
+
+    ``rate`` carries the loss/duplication probability, or the extra delay
+    in milliseconds for ``delay`` events.  ``until`` (loss / duplication /
+    delay only) auto-restores the fault to zero at that time, so a burst
+    does not silently persist for the rest of the run.
+    """
 
     at: float
-    kind: str  # crash | restart | partition | heal | loss | duplication
+    kind: str  # crash | restart | partition | heal | loss | duplication | delay
     target: Optional[str] = None
     group_a: tuple[str, ...] = ()
     group_b: tuple[str, ...] = ()
     rate: float = 0.0
+    until: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        out: dict = {"at": self.at, "kind": self.kind}
+        if self.target is not None:
+            out["target"] = self.target
+        if self.group_a:
+            out["group_a"] = list(self.group_a)
+        if self.group_b:
+            out["group_b"] = list(self.group_b)
+        if self.rate:
+            out["rate"] = self.rate
+        if self.until is not None:
+            out["until"] = self.until
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultEvent":
+        known = {"at", "kind", "target", "group_a", "group_b", "rate", "until"}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(f"unknown fault event fields: {sorted(unknown)}")
+        return cls(
+            at=float(data["at"]),
+            kind=data["kind"],
+            target=data.get("target"),
+            group_a=tuple(data.get("group_a", ())),
+            group_b=tuple(data.get("group_b", ())),
+            rate=float(data.get("rate", 0.0)),
+            until=float(data["until"]) if data.get("until") is not None else None,
+        )
+
+
+def _check_at(at: float, what: str) -> None:
+    if not (isinstance(at, (int, float)) and 0.0 <= float(at) < float("inf")):
+        raise FaultPlanError(f"{what}: offset must be finite and >= 0, got {at!r}")
+
+
+def _check_rate(rate: float, what: str) -> None:
+    if not (isinstance(rate, (int, float)) and 0.0 <= float(rate) <= 1.0):
+        raise FaultPlanError(f"{what}: rate must be in [0, 1], got {rate!r}")
+
+
+def _check_node(node: object, what: str) -> None:
+    if not isinstance(node, str) or not node:
+        raise FaultPlanError(f"{what}: node name must be a non-empty string, got {node!r}")
+
+
+def _check_until(at: float, until: Optional[float], what: str) -> None:
+    if until is not None:
+        _check_at(until, what)
+        if until <= at:
+            raise FaultPlanError(f"{what}: until ({until}) must be after at ({at})")
 
 
 class FaultPlan:
@@ -43,14 +119,20 @@ class FaultPlan:
         self.events: list[FaultEvent] = []
 
     def crash(self, node: str, at: float) -> "FaultPlan":
+        _check_node(node, "crash")
+        _check_at(at, f"crash({node!r})")
         self.events.append(FaultEvent(at=at, kind="crash", target=node))
         return self
 
     def restart(self, node: str, at: float) -> "FaultPlan":
+        _check_node(node, "restart")
+        _check_at(at, f"restart({node!r})")
         self.events.append(FaultEvent(at=at, kind="restart", target=node))
         return self
 
     def crash_restart(self, node: str, at: float, downtime: float) -> "FaultPlan":
+        if downtime <= 0:
+            raise FaultPlanError(f"crash_restart({node!r}): downtime must be positive")
         return self.crash(node, at).restart(node, at + downtime)
 
     def partition(
@@ -60,6 +142,16 @@ class FaultPlan:
         at: float,
         heal_at: Optional[float] = None,
     ) -> "FaultPlan":
+        _check_at(at, "partition")
+        if not group_a or not group_b:
+            raise FaultPlanError("partition: both groups must be non-empty")
+        for node in list(group_a) + list(group_b):
+            _check_node(node, "partition")
+        overlap = set(group_a) & set(group_b)
+        if overlap:
+            raise FaultPlanError(f"partition: groups overlap on {sorted(overlap)}")
+        if heal_at is not None and heal_at <= at:
+            raise FaultPlanError(f"partition: heal_at ({heal_at}) must be after at ({at})")
         self.events.append(
             FaultEvent(at=at, kind="partition",
                        group_a=tuple(group_a), group_b=tuple(group_b))
@@ -68,18 +160,127 @@ class FaultPlan:
             self.events.append(FaultEvent(at=heal_at, kind="heal"))
         return self
 
-    def loss(self, rate: float, at: float = 0.0) -> "FaultPlan":
-        self.events.append(FaultEvent(at=at, kind="loss", rate=rate))
+    def heal(self, at: float) -> "FaultPlan":
+        """Remove all partitions at ``at`` (explicit form)."""
+        _check_at(at, "heal")
+        self.events.append(FaultEvent(at=at, kind="heal"))
         return self
 
-    def duplication(self, rate: float, at: float = 0.0) -> "FaultPlan":
-        self.events.append(FaultEvent(at=at, kind="duplication", rate=rate))
+    def loss(self, rate: float, at: float = 0.0, until: Optional[float] = None) -> "FaultPlan":
+        """Message loss burst; with ``until`` the rate restores to 0 there."""
+        _check_rate(rate, "loss")
+        _check_at(at, "loss")
+        _check_until(at, until, "loss")
+        self.events.append(FaultEvent(at=at, kind="loss", rate=rate, until=until))
         return self
+
+    def duplication(self, rate: float, at: float = 0.0, until: Optional[float] = None) -> "FaultPlan":
+        """Duplication burst; with ``until`` the rate restores to 0 there."""
+        _check_rate(rate, "duplication")
+        _check_at(at, "duplication")
+        _check_until(at, until, "duplication")
+        self.events.append(FaultEvent(at=at, kind="duplication", rate=rate, until=until))
+        return self
+
+    def delay(self, extra_ms: float, at: float = 0.0, until: Optional[float] = None) -> "FaultPlan":
+        """A latency spike: add ``extra_ms`` to every message, optionally
+        restored at ``until``."""
+        if not (isinstance(extra_ms, (int, float)) and extra_ms >= 0):
+            raise FaultPlanError(f"delay: extra_ms must be >= 0, got {extra_ms!r}")
+        _check_at(at, "delay")
+        _check_until(at, until, "delay")
+        self.events.append(FaultEvent(at=at, kind="delay", rate=extra_ms, until=until))
+        return self
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self, net: Optional[Network] = None) -> None:
+        """Check plan consistency; with ``net``, also check node names.
+
+        Raises :class:`FaultPlanError` on: unknown fault kind, negative
+        offsets, a restart that does not follow a crash of the same node,
+        or (with ``net``) a crash/restart/partition naming a node the
+        network does not have.
+        """
+        node_state: dict[str, str] = {}  # node -> "up" | "down"
+        ordered = sorted(
+            range(len(self.events)), key=lambda i: (self.events[i].at, i)
+        )
+        for index in ordered:
+            event = self.events[index]
+            if event.kind not in FAULT_KINDS:
+                raise FaultPlanError(f"unknown fault kind {event.kind!r}")
+            _check_at(event.at, event.kind)
+            if event.kind in ("crash", "restart"):
+                if not event.target:
+                    raise FaultPlanError(f"{event.kind}: missing target node")
+                state = node_state.get(event.target, "up")
+                if event.kind == "crash":
+                    if state == "down":
+                        raise FaultPlanError(
+                            f"crash of {event.target!r} at t={event.at}: already down"
+                        )
+                    node_state[event.target] = "down"
+                else:
+                    if state != "down":
+                        raise FaultPlanError(
+                            f"restart of {event.target!r} at t={event.at} "
+                            "precedes any crash of it"
+                        )
+                    node_state[event.target] = "up"
+            if net is not None:
+                for name in self._named_nodes(event):
+                    if name not in net.nodes:
+                        raise FaultPlanError(
+                            f"{event.kind} at t={event.at} names unknown node {name!r}"
+                        )
+
+    @staticmethod
+    def _named_nodes(event: FaultEvent) -> tuple[str, ...]:
+        if event.kind in ("crash", "restart") and event.target:
+            return (event.target,)
+        if event.kind == "partition":
+            return event.group_a + event.group_b
+        return ()
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        plan = cls()
+        for entry in data.get("events", []):
+            event = FaultEvent.from_dict(entry)
+            if event.kind not in FAULT_KINDS:
+                raise FaultPlanError(f"unknown fault kind {event.kind!r}")
+            plan.events.append(event)
+        plan.validate()
+        return plan
+
+    def to_json(self) -> str:
+        """Canonical JSON — the shrinker's repro-artifact format."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -- execution ------------------------------------------------------------
 
     def apply(self, env: Environment, net: Network) -> None:
-        """Schedule every event against the network's environment."""
+        """Validate, then schedule every event against the environment.
+
+        Offsets are relative to ``env.now`` at apply time, so a plan built
+        for "workload time" applies unchanged after a setup phase.
+        """
+        self.validate(net)
         for event in self.events:
             env.schedule(event.at, self._execute, net, event)
+            if event.until is not None and event.kind in ("loss", "duplication", "delay"):
+                restore = FaultEvent(at=event.until, kind=event.kind, rate=0.0)
+                env.schedule(event.until, self._execute, net, restore)
 
     @staticmethod
     def _execute(net: Network, event: FaultEvent) -> None:
@@ -95,5 +296,7 @@ class FaultPlan:
             net.set_loss(event.rate)
         elif event.kind == "duplication":
             net.set_duplication(event.rate)
-        else:
-            raise ValueError(f"unknown fault kind {event.kind!r}")
+        elif event.kind == "delay":
+            net.set_extra_delay(event.rate)
+        else:  # pragma: no cover - validate() rejects unknown kinds up front
+            raise FaultPlanError(f"unknown fault kind {event.kind!r}")

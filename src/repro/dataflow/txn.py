@@ -27,7 +27,6 @@ Mechanics reproduced here:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Hashable, Optional
 
@@ -121,8 +120,6 @@ class TxnContext:
 class TransactionalDataflow:
     """The engine: sequencer + epoch executor + checkpointing."""
 
-    _tids = itertools.count(1)
-
     def __init__(
         self,
         env: Environment,
@@ -190,7 +187,7 @@ class TransactionalDataflow:
             raise KeyError(f"no function named {fn_name!r}")
         declared = frozenset(keys) if keys is not None else frozenset({_UNIVERSAL_KEY})
         request = _Request(
-            tid=next(TransactionalDataflow._tids),
+            tid=self.env.next_id("dataflow-tid"),
             fn_name=fn_name,
             key=key,
             payload=payload,
@@ -357,7 +354,18 @@ class TransactionalDataflow:
             self._committed_tids = set(snapshot["committed_tids"])
             self._epochs_done = snapshot["epochs_done"]
             position = snapshot["log_position"]
+        # Seed the tid allocator past everything the snapshot and input log
+        # have seen: a fresh id colliding with a recovered committed tid
+        # would trip the exactly-once dedup and silently drop a release.
+        seen = set(self._committed_tids)
+        seen.update(request.tid for request in self._input_log)
+        if seen:
+            self.env.reseed_counter("dataflow-tid", max(seen))
         replayable = self._input_log[position:]
+        # Submits that arrived during downtime sit in _pending *and* in the
+        # replayable log suffix; replay covers them, so drop the pending
+        # copies or the epoch loop would apply their effects a second time.
+        self._pending = []
         self.stats.replayed += len(replayable)
         if replayable:
             yield from self._run_epoch(replayable, replay=True)

@@ -552,6 +552,17 @@ class Database:
             elif record.kind == "prepare":
                 (tid,) = record.payload
                 self._in_doubt[tid] = pending.pop(tid, {})
+        # A prepared transaction voted yes: its writes stay latent and its
+        # locks stay held until the coordinator's decision.  The lock table
+        # died with the crash, so re-acquire here — otherwise a conflicting
+        # writer could commit over rows the in-doubt transaction will
+        # install at resolve time (a lost update).  Prepared transactions
+        # held compatible locks before the crash, so every grant is
+        # immediate against the fresh lock manager.
+        for tid, writes in self._in_doubt.items():
+            for table, key in writes:
+                self.locks.acquire(tid, ("table", table), LockMode.IX)
+                self.locks.acquire(tid, ("row", table, key), LockMode.X)
 
     def resolve_in_doubt(self, tid: int, commit: bool) -> None:
         """Coordinator's decision for a recovered in-doubt transaction."""
@@ -562,6 +573,7 @@ class Database:
         self.wal.flush()
         if commit:
             self._install(writes)
+        self.locks.release_all(tid)
 
     # -- non-transactional helpers (test/bench setup) -------------------------------
 

@@ -20,7 +20,6 @@ is optimistic concurrency control:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
@@ -76,8 +75,6 @@ class WorkflowContext:
 
 class TransactionalWorkflows:
     """The workflow engine: register bodies, run them serializably."""
-
-    _attempt_ids = itertools.count(1)
 
     def __init__(
         self,

@@ -31,6 +31,10 @@ class Message:
     duplicate: bool = False
     #: Causal tracing span covering the in-flight interval (None untraced).
     span: Any = field(default=None, compare=False, repr=False)
+    #: Whether the receiver was alive when the message left the sender —
+    #: distinguishes a crash-race (receiver died mid-flight) from a send
+    #: aimed at an already-dead node.
+    dst_alive_at_send: bool = field(default=True, compare=False, repr=False)
 
 
 @dataclass
@@ -42,6 +46,7 @@ class NetworkStats:
     dropped_loss: int = 0
     dropped_partition: int = 0
     dropped_dead: int = 0
+    dropped_crashed_inflight: int = 0
     duplicated: int = 0
 
     def as_dict(self) -> dict[str, int]:
@@ -51,6 +56,7 @@ class NetworkStats:
             "dropped_loss": self.dropped_loss,
             "dropped_partition": self.dropped_partition,
             "dropped_dead": self.dropped_dead,
+            "dropped_crashed_inflight": self.dropped_crashed_inflight,
             "duplicated": self.duplicated,
         }
 
@@ -129,6 +135,21 @@ class Network:
         """Whether a message between ``a`` and ``b`` would be cut."""
         return frozenset((a, b)) in self._partitions
 
+    @property
+    def loss_rate(self) -> float:
+        """Current global message-loss rate."""
+        return self._global_faults.drop_rate
+
+    @property
+    def duplication_rate(self) -> float:
+        """Current global duplication rate."""
+        return self._global_faults.duplicate_rate
+
+    @property
+    def extra_delay(self) -> float:
+        """Current global extra per-message delay."""
+        return self._global_faults.extra_delay
+
     def _faults_for(self, src: str, dst: str) -> _LinkFaults:
         if src == "*" and dst == "*":
             return self._global_faults
@@ -200,6 +221,7 @@ class Network:
                 "net.msg", src=src, dst=dst, port=port,
                 msg_id=msg_id, duplicate=duplicate,
             )
+        receiver = self.nodes.get(dst)
         message = Message(
             msg_id=msg_id,
             src=src,
@@ -209,6 +231,7 @@ class Network:
             sent_at=self.env.now,
             duplicate=duplicate,
             span=span,
+            dst_alive_at_send=receiver is not None and receiver.alive,
         )
         self.env.schedule(delay, self._deliver, message)
 
@@ -222,9 +245,18 @@ class Network:
             return
         node = self.nodes.get(message.dst)
         if node is None or not node.deliver(message.port, message):
-            self.stats.dropped_dead += 1
+            crash_race = (
+                node is not None and not node.alive and message.dst_alive_at_send
+            )
+            if crash_race:
+                self.stats.dropped_crashed_inflight += 1
+            else:
+                self.stats.dropped_dead += 1
             if message.span is not None:
-                tracer.end(message.span, outcome="dropped_dead")
+                tracer.end(
+                    message.span,
+                    outcome="dropped_crashed_inflight" if crash_race else "dropped_dead",
+                )
             return
         self.stats.delivered += 1
         if message.span is not None:

@@ -209,6 +209,7 @@ class Environment:
         "seed",
         "rng",
         "_streams",
+        "_counters",
         "tracer",
         "fast_path",
     )
@@ -227,6 +228,7 @@ class Environment:
         self.seed = seed
         self.rng = random.Random(seed)
         self._streams: dict[str, random.Random] = {}
+        self._counters: dict[str, int] = {}
         self.tracer = tracer if tracer is not None else default_tracer()
         self.fast_path = fast_path
         if self.tracer.enabled:
@@ -419,6 +421,29 @@ class Environment:
             derived = zlib.crc32(name.encode("utf-8")) ^ (self.seed * 2654435761 % 2**32)
             self._streams[name] = random.Random(derived)
         return self._streams[name]
+
+    # -- id allocation -------------------------------------------------------
+
+    def next_id(self, name: str) -> int:
+        """Allocate the next integer (from 1) of a named per-env counter.
+
+        Replaces process-global ``itertools.count`` class attributes: ids
+        are now deterministic per simulation run instead of depending on
+        how many environments the process created before this one.
+        """
+        value = self._counters.get(name, 0) + 1
+        self._counters[name] = value
+        return value
+
+    def reseed_counter(self, name: str, floor: int) -> None:
+        """Ensure the named counter's next value exceeds ``floor``.
+
+        Recovery hook: a component restoring a snapshot that embeds
+        previously-issued ids (e.g. the dataflow's committed-tid set) calls
+        this so fresh ids never collide with recovered ones.
+        """
+        if self._counters.get(name, 0) < floor:
+            self._counters[name] = floor
 
     def __repr__(self) -> str:
         return (

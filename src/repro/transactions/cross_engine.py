@@ -16,7 +16,6 @@ locked against concurrent preparers until the decision.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Generator, Hashable, Optional
 
@@ -48,8 +47,6 @@ class TransactionalKv:
     cache-tier behaviour Epoxy layers on Redis-likes).
     """
 
-    _tids = itertools.count(1)
-
     def __init__(self, env: Environment, name: str = "txn-kv", op_latency: float = 0.5) -> None:
         self.env = env
         self.name = name
@@ -61,7 +58,7 @@ class TransactionalKv:
     # -- transaction API ----------------------------------------------------------
 
     def begin(self) -> KvTransaction:
-        return KvTransaction(tid=next(TransactionalKv._tids))
+        return KvTransaction(tid=self.env.next_id("kv-txn"))
 
     def get(self, txn: KvTransaction, key: Hashable, default: Any = None) -> Generator:
         yield self.env.timeout(self.op_latency)

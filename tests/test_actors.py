@@ -175,6 +175,31 @@ class TestFailureTransparency:
 
         assert run(env, flow()) == 100  # the volatile 50 vanished
 
+    def test_stale_duplicate_activation_dropped_on_failback(self, env, runtime):
+        """The Orleans duplicate-activation hazard: placement moves to a
+        stand-in silo during a crash, back home after the restart, then to
+        the stand-in again on a second crash.  The stand-in's cached
+        activation missed every write committed at home in between, so
+        serving from it would resurrect stale state (found by chaos
+        fuzzing as a lost actor-transaction credit)."""
+        ref = runtime.ref("BankAccount", "alice")
+
+        def flow():
+            yield from ref.call("deposit", 100)
+            home = int(runtime.host_of("BankAccount", "alice").split("-")[1])
+            runtime.crash_silo(home)
+            # Re-activates on a stand-in silo, which caches an activation.
+            assert (yield from ref.call("balance", retries=2)) == 100
+            runtime.restart_silo(home)
+            # Placement is home again: this deposit commits there.
+            yield from ref.call("deposit", 10, retries=2)
+            runtime.crash_silo(home)
+            # Back on the stand-in: its cached activation is stale.
+            return (yield from ref.call("balance", retries=2))
+
+        assert run(env, flow()) == 110
+        assert runtime.stats.duplicates_dropped == 1
+
     def test_at_most_once_call_times_out_when_all_silos_down(self, env, runtime):
         for index in range(3):
             runtime.crash_silo(index)
@@ -280,6 +305,45 @@ class TestActorTransactions:
             return a + b
 
         assert run(env, check()) == 200  # conservation
+
+    def test_silo_crash_between_prepare_and_commit_stays_atomic(self, env, runtime):
+        # The participant's volatile tentative copy dies with its silo;
+        # the commit must recover it from the durable prepare record so
+        # the transaction applies on every participant or none.
+        coordinator = ActorTransactionCoordinator(runtime)
+
+        def flow():
+            yield from runtime.ref("BankAccount", "a").call("deposit", 100)
+            yield from runtime.ref("BankAccount", "b").call("deposit", 100)
+            host = runtime.host_of("BankAccount", "a")
+            index = int(host.split("-")[1])
+            # Crash a's silo mid-commit-phase: after prepare records exist,
+            # while the commit dispatches are in flight.
+            env.schedule(1.0, runtime.crash_silo, index)
+            env.schedule(60.0, runtime.restart_silo, index)
+            yield from coordinator.execute([
+                ("BankAccount", "a", "txn_withdraw", (30,)),
+                ("BankAccount", "b", "txn_deposit", (30,)),
+            ])
+            a = yield from runtime.ref("BankAccount", "a").call("balance", retries=2)
+            b = yield from runtime.ref("BankAccount", "b").call("balance", retries=2)
+            return a, b
+
+        a, b = run(env, flow())
+        assert a + b == 200  # conservation despite the crash
+        assert (a, b) == (70, 130)
+
+    def test_duplicate_txn_execute_applies_once(self, env, runtime):
+        coordinator = ActorTransactionCoordinator(runtime)
+        runtime.net.set_duplication(1.0)  # every message delivered twice
+
+        def flow():
+            yield from coordinator.execute([
+                ("BankAccount", "a", "txn_deposit", (10,)),
+            ])
+            return (yield from runtime.ref("BankAccount", "a").call("balance"))
+
+        assert run(env, flow()) == 10  # not 20
 
     def test_transaction_slower_than_plain_call(self, env, runtime):
         """The §4.2 penalty: a transactional op costs a multiple of a call."""

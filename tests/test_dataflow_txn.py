@@ -224,6 +224,42 @@ class TestExactlyOnceRecovery:
         assert engine.state_of("k") == 5
         assert engine.stats.replayed == 5
 
+    def test_submit_during_downtime_applies_once(self, env):
+        # A submit while the engine is down lands in the durable input log
+        # *and* the volatile pending queue; recovery replays the log, so the
+        # pending copy must be dropped or the effect applies twice.
+        engine = make_engine(env, epoch_interval=5.0, checkpoint_every=1000)
+        engine.start()
+        engine.submit("deposit", "a", 10, keys=["a"])
+        env.run(until=50)
+        engine.crash()
+        fut = engine.submit("deposit", "a", 10, keys=["a"])  # during downtime
+        run(env, engine.recover())
+        env.run(until=100)
+        assert fut.done and fut.result() == 20
+        assert engine.state_of("a") == 20  # exactly once, not 30
+
+    def test_recovered_engine_never_reissues_committed_tids(self, env):
+        # A recovered instance whose env lost the tid counter must seed it
+        # past the snapshot's committed_tids, or the exactly-once dedup
+        # would swallow the release of a fresh transaction.
+        engine = make_engine(env, epoch_interval=5.0, checkpoint_every=1)
+        engine.start()
+        engine.submit("deposit", "a", 10, keys=["a"])
+        env.run(until=50)
+        committed_before = set(engine._committed_tids)
+        assert committed_before
+        engine.crash()
+        # Simulate a fresh-process recovery: the counter state is gone.
+        env._counters.pop("dataflow-tid", None)
+        run(env, engine.recover())
+        fut = engine.submit("deposit", "b", 7, keys=["b"])
+        env.run(until=100)
+        assert fut.done and fut.result() == 7
+        assert engine.state_of("b") == 7
+        new_tid = max(engine._committed_tids)
+        assert new_tid > max(committed_before)
+
 
 class TestCosts:
     def test_cross_partition_calls_counted_and_charged(self, env):

@@ -30,12 +30,13 @@ class TestFaultPlanEdges:
     def test_plan_is_chainable_and_ordered(self, env):
         net = Network(env)
         net.add_node("n")
+        net.add_node("m")
         plan = (FaultPlan()
                 .loss(0.5, at=1.0)
                 .duplication(0.1, at=2.0)
                 .crash("n", at=3.0)
                 .restart("n", at=4.0)
-                .partition(["n"], ["n"], at=5.0, heal_at=6.0))
+                .partition(["n"], ["m"], at=5.0, heal_at=6.0))
         assert [e.at for e in plan.events] == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
 
 

@@ -1,0 +1,169 @@
+"""FaultPlan hardening: build/apply-time validation, bursts, serialization."""
+
+import pytest
+
+from repro.core import FaultEvent, FaultPlan, FaultPlanError
+from repro.net import Network
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment(seed=7)
+
+
+@pytest.fixture
+def net(env):
+    network = Network(env)
+    network.add_node("a")
+    network.add_node("b")
+    network.add_node("c")
+    return network
+
+
+class TestBuildTimeValidation:
+    def test_negative_at_rejected(self):
+        with pytest.raises(FaultPlanError, match="finite and >= 0"):
+            FaultPlan().crash("a", at=-1.0)
+
+    def test_nan_at_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan().loss(0.5, at=float("nan"))
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(FaultPlanError, match="rate"):
+            FaultPlan().loss(1.5, at=0.0)
+        with pytest.raises(FaultPlanError, match="rate"):
+            FaultPlan().duplication(-0.1, at=0.0)
+
+    def test_empty_node_name_rejected(self):
+        with pytest.raises(FaultPlanError, match="non-empty"):
+            FaultPlan().crash("", at=1.0)
+
+    def test_partition_overlapping_groups_rejected(self):
+        with pytest.raises(FaultPlanError, match="overlap"):
+            FaultPlan().partition(["a", "b"], ["b", "c"], at=1.0)
+
+    def test_partition_empty_group_rejected(self):
+        with pytest.raises(FaultPlanError, match="non-empty"):
+            FaultPlan().partition([], ["b"], at=1.0)
+
+    def test_partition_heal_before_cut_rejected(self):
+        with pytest.raises(FaultPlanError, match="heal_at"):
+            FaultPlan().partition(["a"], ["b"], at=5.0, heal_at=5.0)
+
+    def test_crash_restart_nonpositive_downtime_rejected(self):
+        with pytest.raises(FaultPlanError, match="downtime"):
+            FaultPlan().crash_restart("a", at=1.0, downtime=0.0)
+
+    def test_until_must_follow_at(self):
+        with pytest.raises(FaultPlanError, match="until"):
+            FaultPlan().loss(0.5, at=10.0, until=10.0)
+
+    def test_delay_negative_rejected(self):
+        with pytest.raises(FaultPlanError, match="extra_ms"):
+            FaultPlan().delay(-5.0, at=0.0)
+
+
+class TestPlanValidation:
+    def test_restart_before_crash_rejected(self):
+        plan = FaultPlan().restart("a", at=5.0)
+        with pytest.raises(FaultPlanError, match="precedes any crash"):
+            plan.validate()
+
+    def test_double_crash_rejected(self):
+        plan = FaultPlan().crash("a", at=1.0).crash("a", at=2.0)
+        with pytest.raises(FaultPlanError, match="already down"):
+            plan.validate()
+
+    def test_crash_restart_crash_again_ok(self):
+        plan = (FaultPlan()
+                .crash_restart("a", at=1.0, downtime=2.0)
+                .crash_restart("a", at=10.0, downtime=2.0))
+        plan.validate()  # no exception
+
+    def test_validation_uses_time_order_not_insertion_order(self):
+        # restart appended first but scheduled after the crash: valid.
+        plan = FaultPlan().restart("a", at=8.0).crash("a", at=2.0)
+        plan.validate()
+
+    def test_unknown_node_rejected_with_net(self, net):
+        plan = FaultPlan().crash("ghost", at=1.0)
+        plan.validate()  # fine without a network
+        with pytest.raises(FaultPlanError, match="unknown node 'ghost'"):
+            plan.validate(net)
+
+    def test_partition_unknown_node_rejected_with_net(self, net):
+        plan = FaultPlan().partition(["a"], ["ghost"], at=1.0)
+        with pytest.raises(FaultPlanError, match="unknown node"):
+            plan.validate(net)
+
+    def test_apply_validates(self, env, net):
+        plan = FaultPlan().restart("a", at=1.0)
+        with pytest.raises(FaultPlanError):
+            plan.apply(env, net)
+
+
+class TestAutoRestore:
+    def test_loss_burst_restores(self, env, net):
+        FaultPlan().loss(0.9, at=10.0, until=20.0).apply(env, net)
+        env.run(until=5.0)
+        assert net.loss_rate == 0.0
+        env.run(until=15.0)
+        assert net.loss_rate == 0.9
+        env.run(until=25.0)
+        assert net.loss_rate == 0.0
+
+    def test_duplication_burst_restores(self, env, net):
+        FaultPlan().duplication(0.5, at=1.0, until=2.0).apply(env, net)
+        env.run(until=1.5)
+        assert net.duplication_rate == 0.5
+        env.run(until=3.0)
+        assert net.duplication_rate == 0.0
+
+    def test_delay_spike_restores(self, env, net):
+        FaultPlan().delay(40.0, at=1.0, until=2.0).apply(env, net)
+        env.run(until=1.5)
+        assert net.extra_delay == 40.0
+        env.run(until=3.0)
+        assert net.extra_delay == 0.0
+
+    def test_loss_without_until_persists(self, env, net):
+        FaultPlan().loss(0.3, at=1.0).apply(env, net)
+        env.run(until=100.0)
+        assert net.loss_rate == 0.3
+
+
+class TestSerialization:
+    def _plan(self):
+        return (FaultPlan()
+                .crash_restart("a", at=5.0, downtime=10.0)
+                .partition(["a"], ["b", "c"], at=20.0, heal_at=30.0)
+                .loss(0.25, at=40.0, until=45.0)
+                .delay(15.0, at=50.0, until=55.0))
+
+    def test_round_trip_is_byte_identical(self):
+        text = self._plan().to_json()
+        assert FaultPlan.from_json(text).to_json() == text
+
+    def test_round_trip_preserves_events(self):
+        plan = FaultPlan.from_json(self._plan().to_json())
+        assert plan.events == self._plan().events
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan.from_dict({"events": [{"at": 1.0, "kind": "meteor"}]})
+
+    def test_from_dict_rejects_unknown_field(self):
+        with pytest.raises(FaultPlanError, match="unknown fault event fields"):
+            FaultPlan.from_dict({"events": [{"at": 1.0, "kind": "heal", "zap": 1}]})
+
+    def test_from_dict_validates_plan(self):
+        with pytest.raises(FaultPlanError, match="precedes any crash"):
+            FaultPlan.from_dict(
+                {"events": [{"at": 1.0, "kind": "restart", "target": "a"}]}
+            )
+
+    def test_event_round_trip(self):
+        event = FaultEvent(at=3.0, kind="loss", rate=0.5, until=9.0)
+        assert FaultEvent.from_dict(event.to_dict()) == event

@@ -88,6 +88,7 @@ class TestDelivery:
         net.send("a", "b", "nobody-listens", None)
         env.run()
         assert net.stats.dropped_dead == 1
+        assert net.stats.dropped_crashed_inflight == 0
         assert net.stats.delivered == 0
 
     def test_stats_count_delivered(self, env, net):
@@ -197,6 +198,19 @@ class TestNodeLifecycle:
         env.run()
         assert received == []
         assert net.stats.dropped_dead == 1
+        assert net.stats.dropped_crashed_inflight == 0
+
+    def test_crash_race_counted_separately(self, env, net):
+        # Receiver alive at send time but crashes while the message is in
+        # flight: that is a crash-race, not a send-to-dead.
+        received = collect(net, "b", "svc")
+        net.send("a", "b", "svc", None)  # in flight for 1ms
+        env.schedule(0.5, net.node("b").crash)
+        env.run()
+        assert received == []
+        assert net.stats.dropped_crashed_inflight == 1
+        assert net.stats.dropped_dead == 0
+        assert "dropped_crashed_inflight" in net.stats.as_dict()
 
     def test_spawn_on_dead_node_raises(self, env, net):
         node = net.node("a")

@@ -132,6 +132,97 @@ class TestTwoPhaseCommit:
         assert outcome.total_duration >= 25.0
 
 
+class TestParticipantFailureWindow:
+    """Participant crash after voting yes: the prepared "zombie" must keep
+    blocking conflicting work across the restart, or a writer can commit
+    over rows the in-doubt transaction installs at resolve time."""
+
+    def _prepare_zombie(self, env, db):
+        def flow():
+            txn = db.begin(SER)
+            yield from db.update(txn, "accounts", "acct", {"balance": 0})
+            yield from db.prepare(txn)
+            return txn
+
+        txn = run(env, flow())
+        db.crash()
+        db.recover()
+        assert db.in_doubt() == [txn.tid]
+        return txn
+
+    def _deposit(self, env, db, amount, log):
+        """A conflicting read-modify-write: final balance reveals whether
+        it observed the in-doubt commit or the pre-prepare state."""
+        txn = db.begin(SER)
+        row = yield from db.get(txn, "accounts", "acct")
+        yield from db.update(txn, "accounts", "acct",
+                             {"balance": row["balance"] + amount})
+        yield from db.commit(txn)
+        log.append(env.now)
+
+    def test_zombie_prepared_txn_blocks_writer_until_commit(self, env):
+        db = make_bank(env, "a")
+        zombie = self._prepare_zombie(env, db)
+        committed = []
+        env.process(self._deposit(env, db, 5, committed))
+        env.run(until=100)
+        assert committed == []  # recovered in-doubt txn still holds locks
+        db.resolve_in_doubt(zombie.tid, commit=True)
+        env.run(until=200)
+        assert committed  # decision released the locks
+        # Writer ran after the in-doubt commit: 0 + 5, not 100 + 5.
+        assert db.read_latest("accounts", "acct")["balance"] == 5
+
+    def test_zombie_prepared_txn_abort_discards_writes(self, env):
+        db = make_bank(env, "a")
+        zombie = self._prepare_zombie(env, db)
+        committed = []
+        env.process(self._deposit(env, db, 5, committed))
+        env.run(until=100)
+        assert committed == []
+        db.resolve_in_doubt(zombie.tid, commit=False)
+        env.run(until=200)
+        assert committed
+        # Aborted zombie left no trace: 100 + 5.
+        assert db.read_latest("accounts", "acct")["balance"] == 105
+
+    def test_resolved_in_doubt_commit_survives_second_crash(self, env):
+        db = make_bank(env, "a")
+        zombie = self._prepare_zombie(env, db)
+        db.resolve_in_doubt(zombie.tid, commit=True)
+        db.crash()
+        db.recover()
+        assert db.in_doubt() == []
+        assert db.read_latest("accounts", "acct")["balance"] == 0
+
+    def test_coordinator_and_participant_both_crash(self, env):
+        """The worst window: coordinator dies before the decision AND the
+        participant restarts while prepared.  Recovery on both sides must
+        still land the commit exactly once."""
+        db = make_bank(env, "a")
+        coordinator = TwoPhaseCommit(env)
+
+        def flow():
+            txn = db.begin(SER)
+            yield from db.update(txn, "accounts", "acct", {"balance": 0})
+            return (yield from coordinator.run([(db, txn)],
+                                               crash_before_decision=True))
+
+        outcome = run(env, flow())
+        assert outcome.decision == "in_doubt"
+        db.crash()
+        db.recover()
+        assert len(db.in_doubt()) == 1
+        committed = []
+        env.process(self._deposit(env, db, 5, committed))
+        env.run(until=100)
+        assert committed == []  # blocked through both failures
+        assert run(env, coordinator.recover(outcome.xid, commit=True))
+        env.run(until=200)
+        assert committed
+        assert db.read_latest("accounts", "acct")["balance"] == 5
+
+
 class TestVectorClock:
     def test_increment_and_get(self):
         vc = VectorClock().increment("a").increment("a").increment("b")
