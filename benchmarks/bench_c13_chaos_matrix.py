@@ -33,8 +33,10 @@ RUNTIME_ROWS = (
     ("actor", False, "actors (2pc)"),
     ("dataflow", False, "dataflow (ckpt+replay)"),
     ("faas", False, "faas (occ workflows)"),
+    ("cluster", False, "cluster (live rebalancing)"),
     ("microservice", True, "microservice (no compensation)"),
     ("actor", True, "actors (plain, no txn)"),
+    ("cluster", True, "cluster (flip w/o drain)"),
 )
 
 
@@ -96,5 +98,13 @@ def test_c13_chaos_matrix(benchmark):
     caught = sum(
         matrix[(broken_actor, kind)] or 0
         for kind in ("loss", "duplication", "mixed")
+    )
+    assert caught > 0, matrix
+    # ... and the undrained migration flip is caught even though the
+    # sound cluster configuration survives the same schedules.
+    broken_cluster = "cluster (flip w/o drain)"
+    caught = sum(
+        matrix[(broken_cluster, kind)] or 0
+        for kind in ("crash", "partition", "mixed")
     )
     assert caught > 0, matrix

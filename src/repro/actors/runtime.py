@@ -13,11 +13,11 @@ popular design choice"); per-call retries opt into at-least-once.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 from typing import Any, Generator, Optional, Type
 
 from repro.actors.actor import Actor, ActorError
+from repro.cluster import PlacementDirectory, rendezvous_owner
 from repro.messaging.rpc import RpcClient, RpcServer, RpcTimeout
 from repro.net.latency import Latency, Sampler
 from repro.net.network import Network
@@ -125,7 +125,7 @@ class _Silo:
         yield lock.acquire()  # turn-based concurrency (covers activation too)
         try:
             actor = self.activations.get(ident)
-            if actor is not None and self.runtime._last_host.get(ident) != self.name:
+            if actor is not None and self.runtime.directory.last_host(ident) != self.name:
                 # The directory says another silo activated this actor after
                 # us — placement moved away (we were presumed dead) and has
                 # now moved back.  Our cached activation missed every write
@@ -155,10 +155,9 @@ class _Silo:
         if saved is not None:
             actor.state = saved
         ident = (actor_type, key)
-        previous_host = self.runtime._last_host.get(ident)
+        previous_host = self.runtime.directory.record_activation(ident, self.name)
         if previous_host is not None and previous_host != self.name:
             self.runtime.stats.migrations += 1
-        self.runtime._last_host[ident] = self.name
         self.activations[ident] = actor
         self.runtime.stats.activations += 1
         actor.activation_count += 1
@@ -222,7 +221,10 @@ class ActorRuntime:
         self.provider = provider or StateStorageProvider(env)
         self._classes: dict[str, Type[Actor]] = {}
         self.silos = [_Silo(self, f"silo-{i}") for i in range(num_silos)]
-        self._last_host: dict[tuple[str, str], str] = {}
+        #: the cluster-wide activation registry (which silo last activated
+        #: each actor) — the same PlacementDirectory that backs shard
+        #: ownership in the storage and dataflow layers.
+        self.directory = PlacementDirectory(env)
         client_node = self.net.add_node("actor-client")
         self._client_rpc = RpcClient(self.net, client_node, service="actors")
         self._silo_rpc: dict[str, RpcClient] = {
@@ -252,16 +254,12 @@ class ActorRuntime:
     # -- placement -----------------------------------------------------------------
 
     def place(self, actor_type: str, key: str) -> _Silo:
-        """Rendezvous-hash the actor onto the alive silos."""
-        alive = [silo for silo in self.silos if silo.node.alive]
+        """Rendezvous-hash the actor onto the alive silos (repro.cluster)."""
+        alive = {silo.name: silo for silo in self.silos if silo.node.alive}
         if not alive:
             raise ActorError("no silo is alive")
-        return max(
-            alive,
-            key=lambda silo: zlib.crc32(
-                f"{silo.name}|{actor_type}|{key}".encode("utf-8")
-            ),
-        )
+        owner = rendezvous_owner(list(alive), f"{actor_type}|{key}")
+        return alive[owner]
 
     # -- dispatch ---------------------------------------------------------------------
 
@@ -363,4 +361,4 @@ class ActorRuntime:
 
     def host_of(self, actor_type: str, key: str) -> Optional[str]:
         """The silo that most recently activated this actor (tests)."""
-        return self._last_host.get((actor_type, key))
+        return self.directory.last_host((actor_type, key))

@@ -21,6 +21,9 @@ from typing import Any, Callable, Generator, Optional
 from repro.actors import ActorError, CommitUncertain, TransactionFailed
 from repro.apps import ActorBank, FaasBank, MicroserviceShop, TxnDataflowBank
 from repro.chaos.config import ChaosConfig
+from repro.cluster import ClusterError
+from repro.db import IsolationLevel, ShardedDatabase
+from repro.db.errors import TransactionAborted
 from repro.chaos.oracles import (
     ConservationOracle,
     Oracle,
@@ -333,6 +336,164 @@ class FaasScenario(Scenario):
         return "info"
 
 
+class NodeUnavailable(Exception):
+    """The key's owning node is down or unreachable from the client edge."""
+
+
+class ClusterScenario(Scenario):
+    """Transfers on the sharded DB while shards live-migrate between nodes.
+
+    The scenario for ``repro.cluster``: a seeded migration driver keeps
+    moving shards between the database's serving nodes (drain → copy →
+    flip) while the nemesis crashes those nodes and partitions them from
+    the client edge.  Shard state lives on durable storage — a crash
+    makes the owner *unavailable* (operations routed to it fail fast),
+    never lossy — so the oracles are judging the migration protocol:
+    no transfer may be torn by a rebalance racing the faults.
+
+    Broken mode flips ownership without the drain/bar phase: transactions
+    still in flight keep writing to the source engine after its rows were
+    copied, so their commits land in an engine nobody reads anymore — the
+    classic lost-update migration bug the harness must catch.
+    """
+
+    name = "cluster"
+    default_config = ChaosConfig(
+        fault_classes=("crash", "partition"),
+        crashable=("bank/node0", "bank/node1", "bank/node2", "bank/node3"),
+        partitionable=(
+            "bank-client",
+            "bank/node0", "bank/node1", "bank/node2", "bank/node3",
+        ),
+        downtime=(30.0, 90.0),
+    )
+
+    def __init__(self, env: Environment, broken: bool = False) -> None:
+        super().__init__(env, broken)
+        self.workload = TransferWorkload(
+            num_accounts=12, initial_balance=100, amount=10, theta=0.5
+        )
+        self.db = ShardedDatabase(
+            env, num_shards=8, num_nodes=4, name="bank",
+            rtt_ms=2.0, drain_timeout_ms=250.0,
+        )
+        self.db.create_table("accounts", primary_key="id")
+        self.net = Network(env)
+        self.net.add_node("bank-client")
+        for node in self.db.nodes:
+            self.net.add_node(node)
+        self._ops: dict[str, Any] = {}
+
+    def setup(self) -> Generator:
+        self.db.load("accounts", self.workload.initial_rows())
+        self.env.process(
+            self._migration_driver(), label="cluster.migration-driver"
+        )
+        return
+        yield  # pragma: no cover
+
+    def _migration_driver(self) -> Generator:
+        """Live-migrate a random shard toward a random alive node, forever.
+
+        Plays the rebalancer's role with a seeded schedule, so rebalances
+        deterministically overlap whatever faults the nemesis injected.
+        """
+        rng = self.env.stream("cluster-migrations")
+        while True:
+            yield self.env.timeout(30.0 + rng.random() * 30.0)
+            shard = rng.randrange(len(self.db.shards))
+            alive = [n for n in self.db.nodes if self.net.node(n).alive]
+            if not alive:
+                continue
+            dest = rng.choice(alive)
+            try:
+                if self.broken:
+                    yield from self._flip_without_drain(shard, dest)
+                else:
+                    yield from self.db.migrate_shard(shard, dest)
+            except ClusterError:
+                continue  # raced another migration, same owner, or no drain
+
+    def _flip_without_drain(self, shard: int, dest: str) -> Generator:
+        """The intentionally unsound migration: no quiesce, stale snapshot.
+
+        Snapshots the shard, streams the copy while transactions keep
+        committing against the source engine, then flips to the snapshot:
+        every write that landed during the copy window is silently lost.
+        """
+        from repro.db.engine import Database
+
+        db = self.db
+        db.directory.begin_migration(shard, dest)
+        try:
+            old_engine = db.shards[shard]
+            tables = [args for kind, args in db._schema if kind == "table"]
+            snapshot = {name: old_engine.all_rows(name) for name, _pk in tables}
+            yield self.env.timeout(25.0)  # the copy window — writes continue
+            new_engine = Database(self.env, name=f"{db.name}/shard{shard}")
+            for kind, args in db._schema:
+                if kind == "table":
+                    new_engine.create_table(*args)
+                else:
+                    new_engine.create_index(*args)
+            for name, rows in snapshot.items():
+                if rows:
+                    new_engine.load(name, rows)
+            db.shards[shard] = new_engine
+        except BaseException:
+            db.directory.abort_migration(shard)
+            raise
+        db.directory.complete_migration(shard)
+
+    def _check_route(self, key: str) -> None:
+        owner = self.db.owner_of(key)
+        node = self.net.node(owner)
+        if not node.alive or self.net.is_partitioned("bank-client", owner):
+            raise NodeUnavailable(owner)
+
+    def ops(self) -> list:
+        ops = list(self.workload.operations(self.env.stream("workload"), 18))
+        self._ops = {op.op_id: op for op in ops}
+        return ops
+
+    def execute(self, op) -> Generator:
+        txn = self.db.begin(IsolationLevel.SERIALIZABLE)
+        try:
+            self._check_route(op.src)
+            src = yield from self.db.get(txn, "accounts", op.src)
+            self._check_route(op.dst)
+            dst = yield from self.db.get(txn, "accounts", op.dst)
+            yield from self.db.put(txn, "accounts", op.src,
+                                   {**src, "balance": src["balance"] - op.amount})
+            yield from self.db.put(txn, "accounts", op.dst,
+                                   {**dst, "balance": dst["balance"] + op.amount})
+            self._check_route(op.src)
+            yield from self.db.commit(txn)
+            return True
+        finally:
+            if txn.status == "active":
+                self.db.abort(txn)
+
+    def final_state(self) -> Any:
+        return self.db.all_rows("accounts")
+
+    def oracles(self) -> list[Oracle]:
+        initial = {
+            row["id"]: row["balance"] for row in self.workload.initial_rows()
+        }
+        return [
+            ConservationOracle("balance", self.workload.expected_total),
+            TransferExactlyOnceOracle(initial, self._ops, kind=self.kind),
+        ]
+
+    def classify(self, exc: Exception) -> str:
+        # Aborts are definite (nothing prepared survives an abort), and a
+        # route check fails before the commit decision ever went out.
+        if isinstance(exc, (TransactionAborted, NodeUnavailable, ClusterError)):
+            return "fail"
+        return "info"
+
+
 def bind_engine_to_node(env: Environment, node, engine) -> None:
     """Tie a :class:`TransactionalDataflow` lifecycle to a network node.
 
@@ -361,6 +522,7 @@ _SCENARIOS = {
     "actor": ActorScenario,
     "dataflow": DataflowScenario,
     "faas": FaasScenario,
+    "cluster": ClusterScenario,
 }
 
 

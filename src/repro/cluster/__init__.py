@@ -1,0 +1,73 @@
+"""Unified cluster placement: rings, directory, router, live rebalancing.
+
+The paper's taxonomy turns on *who owns state partitioning*: actor
+runtimes place activations via a directory, dataflow engines hash keys to
+operator partitions, sharded databases route by primary key, brokers by
+record key.  Before this package each runtime in the repository carried
+its own copy of that logic; ``repro.cluster`` is the shared substrate
+they all consult instead:
+
+- :mod:`~repro.cluster.hashing` — the platform-stable hash formulas;
+- :mod:`~repro.cluster.ring` — key→shard strategies (mod-hash,
+  consistent-hash ring, explicit range maps);
+- :mod:`~repro.cluster.directory` — shard→node ownership with epochs,
+  plus the activation registry behind virtual-actor placement;
+- :mod:`~repro.cluster.router` — cached key→node resolution with
+  straggler forwarding;
+- :mod:`~repro.cluster.migration` — the live shard-migration protocol
+  (drain → copy → flip → forward), traced via ``repro.obs``;
+- :mod:`~repro.cluster.stats` / :mod:`~repro.cluster.rebalancer` — the
+  load signal and the control loop that moves hot shards to cold nodes.
+
+See ``docs/CLUSTER.md`` for the protocol and the determinism contract.
+"""
+
+from repro.cluster.directory import (
+    ClusterError,
+    DirectoryStats,
+    MigrationRecord,
+    PlacementDirectory,
+)
+from repro.cluster.hashing import (
+    rendezvous_owner,
+    rendezvous_score,
+    spread,
+    stable_hash,
+    stable_hash_text,
+)
+from repro.cluster.migration import MigrationStats, ShardMover, migrate_shard
+from repro.cluster.rebalancer import Move, Rebalancer, RebalancerStats
+from repro.cluster.ring import (
+    ConsistentHashRing,
+    ModHashRing,
+    PartitionStrategy,
+    RangeMap,
+)
+from repro.cluster.router import Route, Router, RouterStats
+from repro.cluster.stats import ShardStats
+
+__all__ = [
+    "ClusterError",
+    "ConsistentHashRing",
+    "DirectoryStats",
+    "MigrationRecord",
+    "MigrationStats",
+    "ModHashRing",
+    "Move",
+    "PartitionStrategy",
+    "PlacementDirectory",
+    "RangeMap",
+    "Rebalancer",
+    "RebalancerStats",
+    "Route",
+    "Router",
+    "RouterStats",
+    "ShardMover",
+    "ShardStats",
+    "migrate_shard",
+    "rendezvous_owner",
+    "rendezvous_score",
+    "spread",
+    "stable_hash",
+    "stable_hash_text",
+]

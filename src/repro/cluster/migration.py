@@ -1,0 +1,114 @@
+"""The live shard-migration protocol: drain → copy → flip → forward.
+
+One migration moves one shard between nodes without losing a write:
+
+1. **drain** — the directory marks the shard migrating; the owner bars
+   *new* transactions from starting branches on the shard and waits for
+   every in-flight transaction touching it (including distributed
+   transactions holding locks there) to commit or abort;
+2. **copy** — the shard's state streams to the destination through the
+   storage layer, charging virtual time per row;
+3. **flip** — ownership flips atomically in the
+   :class:`~repro.cluster.directory.PlacementDirectory` (one epoch bump);
+4. **forward** — the bar lifts; requests routed with a stale cached owner
+   pay one forward hop and repair their cache
+   (:class:`~repro.cluster.router.Router`).
+
+The protocol is runtime-agnostic: the runtime provides a *mover* with
+``quiesce`` / ``transfer`` / ``resume`` hooks, and this module sequences
+them, keeps the directory consistent on failure (an aborted migration
+leaves ownership untouched and the shard unbarred), and instruments the
+phases with ``repro.obs`` spans so rebalances are visible in Chrome trace
+exports (``cluster.migrate`` → ``migrate.drain`` / ``migrate.copy`` /
+``migrate.flip``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Protocol
+
+from repro.cluster.directory import ClusterError, PlacementDirectory
+from repro.sim import Environment
+
+
+class ShardMover(Protocol):
+    """What a runtime must provide to make its shards migratable."""
+
+    def quiesce(self, shard: int) -> Generator:
+        """Bar new work on ``shard`` and wait until in-flight work drains."""
+
+    def transfer(self, shard: int, source: str, dest: str) -> Generator:
+        """Copy the shard's state from ``source`` to ``dest``; returns the
+        number of rows (or state entries) moved."""
+
+    def resume(self, shard: int) -> None:
+        """Lift the bar (called on both successful flip and abort)."""
+
+
+@dataclass
+class MigrationStats:
+    started: int = 0
+    completed: int = 0
+    aborted: int = 0
+    rows_copied: int = 0
+    #: (shard, source, dest, virtual-ms duration) per completed migration.
+    completed_log: list[tuple[int, str, str, float]] = field(default_factory=list)
+
+
+def migrate_shard(
+    env: Environment,
+    directory: PlacementDirectory,
+    mover: ShardMover,
+    shard: int,
+    dest: str,
+    stats: MigrationStats,
+) -> Generator:
+    """Run one live migration of ``shard`` to ``dest``.
+
+    Raises :class:`~repro.cluster.directory.ClusterError` if the shard is
+    already migrating or already owned by ``dest``.  Any failure during
+    drain or copy aborts the migration: ownership is unchanged, the shard
+    is un-barred, and the error propagates to the caller (the rebalancer
+    counts it and moves on).
+    """
+    record = directory.begin_migration(shard, dest)  # rejects double-migration
+    stats.started += 1
+    started_at = env.now
+    tracer = env.tracer
+    span = tracer.begin(
+        "cluster.migrate", shard=shard, source=record.source, dest=dest
+    )
+    flipped = False
+    try:
+        phase = tracer.begin("migrate.drain", shard=shard)
+        record.phase = "drain"
+        yield from mover.quiesce(shard)
+        tracer.end(phase)
+
+        phase = tracer.begin("migrate.copy", shard=shard)
+        record.phase = "copy"
+        rows = yield from mover.transfer(shard, record.source, dest)
+        rows = int(rows or 0)
+        stats.rows_copied += rows
+        tracer.end(phase, rows=rows)
+
+        phase = tracer.begin("migrate.flip", shard=shard)
+        record.phase = "flip"
+        directory.complete_migration(shard)
+        flipped = True
+        tracer.end(phase, epoch=directory.epoch(shard))
+
+        stats.completed += 1
+        stats.completed_log.append(
+            (shard, record.source, dest, env.now - started_at)
+        )
+        return rows
+    except BaseException:
+        if not flipped:
+            directory.abort_migration(shard)
+            stats.aborted += 1
+        raise
+    finally:
+        mover.resume(shard)
+        tracer.end(span, outcome="flipped" if flipped else "aborted")

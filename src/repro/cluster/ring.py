@@ -1,0 +1,121 @@
+"""Key→shard partition strategies: hash rings and explicit range maps.
+
+A *partition strategy* answers one question — ``shard_of(key)`` — and is
+deliberately separated from *ownership* (shard→node), which lives in the
+:class:`~repro.cluster.directory.PlacementDirectory`.  Splitting the two
+is what makes live rebalancing possible: the key→shard mapping never
+changes during a migration, only the shard's owner does, so in-flight
+routing stays well-defined throughout.
+
+Three strategies cover the runtimes in this repository:
+
+- :class:`ModHashRing` — ``stable_hash(key) % num_shards``; byte-identical
+  to the historical per-runtime formulas (database shards, broker
+  partitions, dataflow key groups);
+- :class:`ConsistentHashRing` — a classic virtual-node ring for workloads
+  that change shard count and want minimal key movement;
+- :class:`RangeMap` — explicit split points over an orderable key space
+  (the sharded-DB design of range stores like Spanner/CockroachDB).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Hashable, Sequence
+
+from repro.cluster.hashing import stable_hash, stable_hash_text
+
+
+class PartitionStrategy:
+    """Interface: a total, deterministic ``key -> shard`` function."""
+
+    num_shards: int
+
+    def shard_of(self, key: Hashable) -> int:
+        raise NotImplementedError
+
+
+class ModHashRing(PartitionStrategy):
+    """``stable_hash(key) % num_shards`` — the historical default.
+
+    This is exactly the formula every runtime used before the cluster
+    layer existed; keeping it the default preserves byte-identical
+    routing (and therefore byte-identical benchmark tables) for every
+    non-rebalancing configuration.
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        self.num_shards = num_shards
+
+    def shard_of(self, key: Hashable) -> int:
+        return stable_hash(key) % self.num_shards
+
+    def __repr__(self) -> str:
+        return f"<ModHashRing shards={self.num_shards}>"
+
+
+class ConsistentHashRing(PartitionStrategy):
+    """A virtual-node consistent-hash ring over shard ids.
+
+    Each shard contributes ``vnodes`` points on a 2^32 ring; a key maps to
+    the first point clockwise of its hash.  Adding or removing one shard
+    moves only ~1/num_shards of the keys — the property mod-hashing lacks
+    and the reason resharding systems use rings.
+    """
+
+    def __init__(self, num_shards: int, vnodes: int = 64) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.num_shards = num_shards
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for shard in range(num_shards):
+            for replica in range(vnodes):
+                points.append((stable_hash_text(f"shard-{shard}#{replica}"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._shards = [s for _, s in points]
+
+    def shard_of(self, key: Hashable) -> int:
+        index = bisect.bisect_right(self._points, stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._shards[index]
+
+    def __repr__(self) -> str:
+        return f"<ConsistentHashRing shards={self.num_shards} vnodes={self.vnodes}>"
+
+
+class RangeMap(PartitionStrategy):
+    """Explicit range partitioning: sorted split points over the key space.
+
+    ``bounds`` are the *upper* bounds of each shard except the last, which
+    is unbounded: ``RangeMap(["g", "p"])`` maps keys ``< "g"`` to shard 0,
+    ``["g", "p")`` to shard 1, and the rest to shard 2.  Keys must be
+    mutually comparable with the bounds.
+    """
+
+    def __init__(self, bounds: Sequence) -> None:
+        ordered = list(bounds)
+        if any(ordered[i] >= ordered[i + 1] for i in range(len(ordered) - 1)):
+            raise ValueError("bounds must be strictly increasing")
+        self._bounds = ordered
+        self.num_shards = len(ordered) + 1
+
+    def shard_of(self, key: Hashable) -> int:
+        return bisect.bisect_right(self._bounds, key)
+
+    def split(self, bound) -> None:
+        """Introduce a new split point (a shard split), adding one shard."""
+        index = bisect.bisect_left(self._bounds, bound)
+        if index < len(self._bounds) and self._bounds[index] == bound:
+            raise ValueError(f"bound {bound!r} already exists")
+        self._bounds.insert(index, bound)
+        self.num_shards += 1
+
+    def __repr__(self) -> str:
+        return f"<RangeMap bounds={self._bounds!r}>"

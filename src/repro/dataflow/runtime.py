@@ -24,11 +24,11 @@ records, which benchmark C5/C4 count as duplicates.
 from __future__ import annotations
 
 import itertools
-import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
+from repro.cluster import stable_hash, stable_hash_text
 from repro.dataflow.graph import JobGraph, TaskState
 from repro.net.latency import Latency
 from repro.net.network import Network
@@ -368,7 +368,7 @@ class DataflowRuntime:
         return ids
 
     def _worker_for(self, task_id: str) -> "Node":  # noqa: F821
-        index = zlib.crc32(task_id.encode("utf-8")) % len(self._workers)
+        index = stable_hash_text(task_id) % len(self._workers)
         return self._workers[index]
 
     # -- lifecycle -----------------------------------------------------------------
@@ -449,7 +449,7 @@ class DataflowRuntime:
 
     @staticmethod
     def _partition(key: Any, parallelism: int) -> int:
-        return zlib.crc32(repr(key).encode("utf-8")) % parallelism
+        return stable_hash(key) % parallelism
 
     def _broadcast_barrier(self, producer_task: str, producer_stage: str, barrier: _Barrier) -> None:
         """Send this task's barrier to every task of every downstream stage."""

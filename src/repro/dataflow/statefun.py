@@ -24,10 +24,10 @@ Reproduced semantics:
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Hashable, Optional
 
+from repro.cluster import stable_hash
 from repro.net.latency import Latency
 from repro.sim import Environment, Lock
 from repro.storage.object_store import ObjectStore, ObjectStoreServer
@@ -134,7 +134,7 @@ class StatefunRuntime:
     # -- state --------------------------------------------------------------------
 
     def _partition(self, key: Hashable) -> int:
-        return zlib.crc32(repr(key).encode("utf-8")) % self.num_partitions
+        return stable_hash(key) % self.num_partitions
 
     def _state_of(self, fn_type: str, key: Hashable) -> dict:
         return self._states.setdefault((fn_type, key), {})

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Hashable, Optional
 
+from repro.cluster import stable_hash
 from repro.net.latency import Latency
 from repro.sim import Environment, Future, all_of
 from repro.storage.object_store import ObjectStore, ObjectStoreServer
@@ -202,9 +203,7 @@ class TransactionalDataflow:
     # -- state --------------------------------------------------------------------
 
     def _partition(self, key: Hashable) -> int:
-        import zlib
-
-        return zlib.crc32(repr(key).encode("utf-8")) % self.num_partitions
+        return stable_hash(key) % self.num_partitions
 
     def _read_state(self, key: Hashable) -> Any:
         return self._state[self._partition(key)].get(key)

@@ -1,26 +1,54 @@
-"""Hash-sharded database with cross-shard two-phase commit.
+"""Hash-sharded database with cross-shard 2PC and live shard rebalancing.
 
-Models the scale-out relational tier: each shard is a full
-:class:`~repro.db.engine.Database`; single-shard transactions commit
-locally, cross-shard transactions run 2PC over the shards' XA interface.
-This is the "cross-engine transactions ... at a lower level than the
-application" design the paper points to as promising (§5.2).
+Models the scale-out relational tier: each *logical shard* is a full
+:class:`~repro.db.engine.Database`, shards are placed on *nodes* through
+the shared cluster layer (:mod:`repro.cluster`), single-shard transactions
+commit locally, and cross-shard transactions run 2PC over the shards' XA
+interface.  This is the "cross-engine transactions ... at a lower level
+than the application" design the paper points to as promising (§5.2).
+
+Placement and elasticity:
+
+- routing is key → shard (``ModHashRing``, the historical crc32 formula)
+  → owning node (:class:`~repro.cluster.PlacementDirectory`);
+- :meth:`ShardedDatabase.migrate_shard` moves a shard between nodes live,
+  through the drain → copy → flip → forward protocol of
+  :mod:`repro.cluster.migration`: new transactions touching the shard
+  wait out the bar, in-flight ones (including distributed transactions
+  holding locks there) drain first, state copies row-by-row through the
+  storage layer, and ownership flips atomically in the directory;
+- after a flip, the first request per stale route pays one extra
+  round-trip (the straggler forward) and repairs its cache;
+- with ``service_ms > 0`` every operation also occupies one of the owning
+  node's ``node_concurrency`` service slots, which is what makes node
+  count a real capacity limit (benchmark C14's elasticity curve).
+
+The default configuration (one node per shard, no service gate, no
+migrations) is byte-identical to the pre-cluster implementation.
 """
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import Any, Generator, Hashable, Optional
 
+from repro.cluster import (
+    ClusterError,
+    MigrationStats,
+    ModHashRing,
+    PlacementDirectory,
+    Router,
+    stable_hash,
+)
+from repro.cluster import ShardStats as ClusterShardStats
+from repro.cluster.migration import migrate_shard as _run_migration
 from repro.db.engine import Database, IsolationLevel, Transaction
-from repro.sim import Environment
+from repro.sim import Environment, Future, Semaphore, any_of
 
 
 def shard_of(key: Hashable, num_shards: int) -> int:
-    """Deterministic, platform-stable shard routing."""
-    digest = zlib.crc32(repr(key).encode("utf-8"))
-    return digest % num_shards
+    """Deterministic, platform-stable shard routing (cluster formula)."""
+    return stable_hash(key) % num_shards
 
 
 @dataclass
@@ -29,6 +57,10 @@ class DistributedTransaction:
 
     isolation: IsolationLevel
     branches: dict[int, Transaction] = field(default_factory=dict)
+    #: the engine each branch was opened against — normally the shard's
+    #: current engine, but pinned here so a branch always settles where it
+    #: wrote (the drain bar makes the two identical in sound operation).
+    engines: dict[int, "Database"] = field(default_factory=dict)
     status: str = "active"
 
     @property
@@ -47,8 +79,62 @@ class ShardStats:
     distributed_aborts: int = 0
 
 
+class _ShardedMover:
+    """The :class:`~repro.cluster.migration.ShardMover` of the sharded DB."""
+
+    def __init__(self, db: "ShardedDatabase") -> None:
+        self.db = db
+
+    def quiesce(self, shard: int) -> Generator:
+        db = self.db
+        db._barriers[shard] = db.env.future(label=f"shard{shard}.barrier")
+        if db._active_branches.get(shard, 0) == 0:
+            return
+        drained = db.env.future(label=f"shard{shard}.drained")
+        db._drain_waiters[shard] = drained
+        winner = yield any_of(
+            db.env, [drained, db.env.timeout(db.drain_timeout_ms, "timeout")]
+        )
+        db._drain_waiters.pop(shard, None)
+        if winner[0] == 1:
+            raise ClusterError(
+                f"shard {shard} failed to drain within {db.drain_timeout_ms}ms "
+                f"({db._active_branches.get(shard, 0)} branch(es) still active)"
+            )
+
+    def transfer(self, shard: int, source: str, dest: str) -> Generator:
+        db = self.db
+        old_engine = db.shards[shard]
+        new_engine = Database(db.env, name=f"{db.name}/shard{shard}")
+        rows_moved = 0
+        for kind, args in db._schema:
+            if kind == "table":
+                new_engine.create_table(*args)
+            else:
+                new_engine.create_index(*args)
+        for kind, args in db._schema:
+            if kind != "table":
+                continue
+            table = args[0]
+            rows = old_engine.all_rows(table)
+            # One round trip to open the stream, then a per-row copy cost:
+            # the state moves through the storage layer, not by reference.
+            yield db.env.timeout(db.rtt_ms)
+            if rows:
+                yield db.env.timeout(db.copy_ms_per_row * len(rows))
+                new_engine.load(table, rows)
+                rows_moved += len(rows)
+        db.shards[shard] = new_engine
+        return rows_moved
+
+    def resume(self, shard: int) -> None:
+        barrier = self.db._barriers.pop(shard, None)
+        if barrier is not None:
+            barrier.try_succeed(None)
+
+
 class ShardedDatabase:
-    """N engine shards behind a routing layer with 2PC.
+    """N logical shards placed on nodes behind a routing layer with 2PC.
 
     The API mirrors :class:`~repro.db.engine.Database`; rows are routed by
     primary key.  ``commit`` runs one-phase for single-shard transactions
@@ -63,26 +149,89 @@ class ShardedDatabase:
         num_shards: int = 4,
         name: str = "sharded-db",
         rtt_ms: float = 1.0,
+        num_nodes: Optional[int] = None,
+        service_ms: float = 0.0,
+        node_concurrency: int = 8,
+        copy_ms_per_row: float = 0.05,
+        drain_timeout_ms: float = 500.0,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if num_nodes is not None and not (0 < num_nodes <= num_shards):
+            raise ValueError("num_nodes must be in [1, num_shards]")
         self.env = env
         self.name = name
         self.rtt_ms = rtt_ms
+        self.service_ms = service_ms
+        self.node_concurrency = node_concurrency
+        self.copy_ms_per_row = copy_ms_per_row
+        self.drain_timeout_ms = drain_timeout_ms
         self.shards = [Database(env, name=f"{name}/shard{i}") for i in range(num_shards)]
         self.stats = ShardStats()
+        # -- cluster placement ------------------------------------------------
+        self.directory = PlacementDirectory(env)
+        self.router = Router(ModHashRing(num_shards), self.directory)
+        self.shard_stats = ClusterShardStats(num_shards)
+        self.migration_stats = MigrationStats()
+        self.nodes: list[str] = []
+        self._gates: dict[str, Semaphore] = {}
+        count = num_nodes if num_nodes is not None else num_shards
+        for i in range(count):
+            self.add_node()
+        for shard in range(num_shards):
+            self.directory.assign(shard, self.nodes[shard % len(self.nodes)])
+        self._schema: list[tuple[str, tuple]] = []
+        self._active_branches: dict[int, int] = {}
+        self._drain_waiters: dict[int, Future] = {}
+        self._barriers: dict[int, Future] = {}
+        self._mover = _ShardedMover(self)
+
+    # -- topology -----------------------------------------------------------------
+
+    def add_node(self, name: Optional[str] = None) -> str:
+        """Provision a new (initially empty) node; returns its name."""
+        node = name or f"{self.name}/node{len(self.nodes)}"
+        if node in self.nodes:
+            raise ValueError(f"node {node!r} already exists")
+        self.nodes.append(node)
+        if self.service_ms > 0:
+            self._gates[node] = Semaphore(
+                self.env, self.node_concurrency, label=f"{node}.service"
+            )
+        return node
+
+    def cluster_nodes(self) -> list[str]:
+        """Nodes eligible to own shards (the RebalanceTarget view)."""
+        return list(self.nodes)
+
+    def migrate_shard(self, shard: int, dest: str) -> Generator:
+        """Live-migrate one shard to ``dest`` (drain → copy → flip)."""
+        if not (0 <= shard < len(self.shards)):
+            raise ClusterError(f"unknown shard {shard}")
+        if dest not in self.nodes:
+            raise ClusterError(f"unknown node {dest!r}")
+        rows = yield from _run_migration(
+            self.env, self.directory, self._mover, shard, dest, self.migration_stats
+        )
+        return rows
 
     # -- schema -----------------------------------------------------------------
 
     def create_table(self, name: str, primary_key: str = "id") -> None:
+        self._schema.append(("table", (name, primary_key)))
         for shard in self.shards:
             shard.create_table(name, primary_key)
+
+    def create_index(self, table: str, column: str, ordered: bool = False) -> None:
+        self._schema.append(("index", (table, column, ordered)))
+        for shard in self.shards:
+            shard.create_index(table, column, ordered=ordered)
 
     def load(self, table: str, rows: list[dict]) -> None:
         buckets: dict[int, list[dict]] = {}
         for row in rows:
             primary_key = self.shards[0]._table(table).primary_key
-            buckets.setdefault(shard_of(row[primary_key], len(self.shards)), []).append(row)
+            buckets.setdefault(self.router.shard_of(row[primary_key]), []).append(row)
         for index, shard_rows in buckets.items():
             self.shards[index].load(table, shard_rows)
 
@@ -91,84 +240,132 @@ class ShardedDatabase:
     def begin(self, isolation: IsolationLevel = IsolationLevel.SERIALIZABLE) -> DistributedTransaction:
         return DistributedTransaction(isolation=isolation)
 
-    def _branch(self, txn: DistributedTransaction, key: Hashable) -> tuple[Database, Transaction]:
-        index = shard_of(key, len(self.shards))
-        if index not in txn.branches:
-            txn.branches[index] = self.shards[index].begin(txn.isolation)
-        return self.shards[index], txn.branches[index]
+    def _branch(self, txn: DistributedTransaction, key: Hashable) -> Generator:
+        """Resolve the shard for ``key`` and open its branch if needed.
+
+        Opening a branch on a migrating shard waits out the migration bar
+        (drain + copy); operations on branches opened *before* the bar
+        proceed, which is what lets in-flight transactions drain.
+        """
+        shard = self.router.shard_of(key)
+        if shard not in txn.branches:
+            while shard in self._barriers:
+                yield self._barriers[shard]
+            txn.branches[shard] = self.shards[shard].begin(txn.isolation)
+            txn.engines[shard] = self.shards[shard]
+            self._active_branches[shard] = self._active_branches.get(shard, 0) + 1
+        return shard
+
+    def _close_branches(self, txn: DistributedTransaction) -> None:
+        """Release drain accounting once a transaction fully settles."""
+        for shard in txn.branches:
+            remaining = self._active_branches.get(shard, 1) - 1
+            self._active_branches[shard] = remaining
+            if remaining == 0:
+                waiter = self._drain_waiters.get(shard)
+                if waiter is not None:
+                    waiter.try_succeed(None)
+
+    def _hop(self, shard: int) -> Generator:
+        """Charge the route to the shard's owner: one round trip, plus a
+        forward hop when a cached route went stale, plus the owner's
+        service slot when node capacity is modeled."""
+        route = self.router.resolve_shard(shard)
+        yield self.env.timeout(self.rtt_ms)
+        if route.forwarded:
+            yield self.env.timeout(self.rtt_ms)
+        if self.service_ms > 0:
+            gate = self._gates[route.node]
+            yield gate.acquire()
+            try:
+                yield self.env.timeout(self.service_ms)
+            finally:
+                gate.release()
+        self.shard_stats.record(shard)
 
     def get(self, txn: DistributedTransaction, table: str, key: Hashable) -> Generator:
-        shard, branch = self._branch(txn, key)
-        yield self.env.timeout(self.rtt_ms)
-        return (yield from shard.get(branch, table, key))
+        shard = yield from self._branch(txn, key)
+        yield from self._hop(shard)
+        return (yield from txn.engines[shard].get(txn.branches[shard], table, key))
 
     def put(self, txn: DistributedTransaction, table: str, key: Hashable, row: dict) -> Generator:
-        shard, branch = self._branch(txn, key)
-        yield self.env.timeout(self.rtt_ms)
-        yield from shard.put(branch, table, key, row)
+        shard = yield from self._branch(txn, key)
+        yield from self._hop(shard)
+        yield from txn.engines[shard].put(txn.branches[shard], table, key, row)
 
     def insert(self, txn: DistributedTransaction, table: str, row: dict) -> Generator:
         primary_key = self.shards[0]._table(table).primary_key
-        shard, branch = self._branch(txn, row[primary_key])
-        yield self.env.timeout(self.rtt_ms)
-        yield from shard.insert(branch, table, row)
+        shard = yield from self._branch(txn, row[primary_key])
+        yield from self._hop(shard)
+        yield from txn.engines[shard].insert(txn.branches[shard], table, row)
 
     def update(self, txn: DistributedTransaction, table: str, key: Hashable, changes: dict) -> Generator:
-        shard, branch = self._branch(txn, key)
-        yield self.env.timeout(self.rtt_ms)
-        return (yield from shard.update(branch, table, key, changes))
+        shard = yield from self._branch(txn, key)
+        yield from self._hop(shard)
+        return (yield from txn.engines[shard].update(txn.branches[shard], table, key, changes))
 
     def delete(self, txn: DistributedTransaction, table: str, key: Hashable) -> Generator:
-        shard, branch = self._branch(txn, key)
-        yield self.env.timeout(self.rtt_ms)
-        yield from shard.delete(branch, table, key)
+        shard = yield from self._branch(txn, key)
+        yield from self._hop(shard)
+        yield from txn.engines[shard].delete(txn.branches[shard], table, key)
 
     def commit(self, txn: DistributedTransaction) -> Generator:
         """One-phase commit if local, else 2PC across touched shards."""
         if not txn.branches:
             txn.status = "committed"
             return
-        if not txn.is_distributed:
-            (index,) = txn.branches
-            yield self.env.timeout(self.rtt_ms)
-            yield from self.shards[index].commit(txn.branches[index])
-            txn.status = "committed"
-            self.stats.single_shard_commits += 1
-            return
-        # Phase 1: prepare every branch (each is a round trip + log flush).
-        prepared: list[int] = []
         try:
+            if not txn.is_distributed:
+                (index,) = txn.branches
+                yield self.env.timeout(self.rtt_ms)
+                yield from txn.engines[index].commit(txn.branches[index])
+                txn.status = "committed"
+                self.stats.single_shard_commits += 1
+                return
+            # Phase 1: prepare every branch (each is a round trip + log flush).
+            prepared: list[int] = []
+            try:
+                for index in txn.shards_touched:
+                    yield self.env.timeout(self.rtt_ms)
+                    yield from txn.engines[index].prepare(txn.branches[index])
+                    prepared.append(index)
+            except Exception:
+                for index in txn.shards_touched:
+                    yield self.env.timeout(self.rtt_ms)
+                    branch = txn.branches[index]
+                    if index in prepared:
+                        txn.engines[index].abort_prepared(branch)
+                    else:
+                        txn.engines[index].abort(branch)
+                txn.status = "aborted"
+                self.stats.distributed_aborts += 1
+                raise
+            # Phase 2: commit decision to every branch.
             for index in txn.shards_touched:
                 yield self.env.timeout(self.rtt_ms)
-                yield from self.shards[index].prepare(txn.branches[index])
-                prepared.append(index)
-        except Exception:
-            for index in txn.shards_touched:
-                yield self.env.timeout(self.rtt_ms)
-                branch = txn.branches[index]
-                if index in prepared:
-                    self.shards[index].abort_prepared(branch)
-                else:
-                    self.shards[index].abort(branch)
-            txn.status = "aborted"
-            self.stats.distributed_aborts += 1
-            raise
-        # Phase 2: commit decision to every branch.
-        for index in txn.shards_touched:
-            yield self.env.timeout(self.rtt_ms)
-            self.shards[index].commit_prepared(txn.branches[index])
-        txn.status = "committed"
-        self.stats.distributed_commits += 1
+                txn.engines[index].commit_prepared(txn.branches[index])
+            txn.status = "committed"
+            self.stats.distributed_commits += 1
+        finally:
+            if txn.status != "active":
+                self._close_branches(txn)
 
     def abort(self, txn: DistributedTransaction) -> None:
+        if txn.status != "active":
+            return
         for index, branch in txn.branches.items():
-            self.shards[index].abort(branch)
+            txn.engines[index].abort(branch)
         txn.status = "aborted"
+        self._close_branches(txn)
 
     # -- helpers --------------------------------------------------------------------
 
+    def owner_of(self, key: Hashable) -> str:
+        """The node currently owning ``key``'s shard (tests, scenarios)."""
+        return self.directory.owner_of(self.router.shard_of(key))
+
     def read_latest(self, table: str, key: Hashable) -> Optional[dict]:
-        return self.shards[shard_of(key, len(self.shards))].read_latest(table, key)
+        return self.shards[self.router.shard_of(key)].read_latest(table, key)
 
     def all_rows(self, table: str) -> list[dict]:
         rows: list[dict] = []

@@ -17,10 +17,10 @@ and consumers.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
+from repro.cluster import stable_hash
 from repro.sim import Environment, Future, any_of
 
 
@@ -117,7 +117,7 @@ class Broker:
     def partition_for(self, topic: str, key: Any) -> int:
         """Key-hash routing: equal keys always land in the same partition."""
         count = len(self._partitions(topic))
-        return zlib.crc32(repr(key).encode("utf-8")) % count
+        return stable_hash(key) % count
 
     def end_offsets(self, topic: str) -> list[int]:
         return [p.end_offset for p in self._partitions(topic)]

@@ -10,7 +10,6 @@ the benchmarks reproduce the double-charge anomalies the paper warns about.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
@@ -192,8 +191,6 @@ class RpcServer:
 class RpcClient:
     """Issues calls from a node, with timeout/retry and reply matching."""
 
-    _ids = itertools.count(1)
-
     def __init__(self, network: Network, node: Node, service: str = "rpc") -> None:
         self.network = network
         self.node = node
@@ -241,7 +238,7 @@ class RpcClient:
         try:
             while attempts <= retries:
                 attempts += 1
-                request_id = next(RpcClient._ids)
+                request_id = env.next_id("rpc-request")
                 request = _Request(
                     request_id=request_id,
                     method=method,

@@ -20,6 +20,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
+from repro.cluster import rendezvous_owner
 from repro.messaging.rpc import RpcClient, RpcServer, RpcTimeout
 from repro.net.network import Network
 from repro.sim import Environment
@@ -39,8 +40,6 @@ class ReplicaSet:
     every replica registers the same handlers (they share whatever state
     substrate the closures capture — typically a DatabaseServer, §4.1).
     """
-
-    _ids = itertools.count(1)
 
     def __init__(
         self,
@@ -111,11 +110,20 @@ class ReplicaSet:
 
     # -- client-side balancing ---------------------------------------------------------
 
-    def pick(self) -> str:
-        """Least-outstanding routing over alive replicas (round-robin ties)."""
+    def pick(self, affinity_key: Optional[str] = None) -> str:
+        """Least-outstanding routing over alive replicas (round-robin ties).
+
+        With ``affinity_key``, routing switches to rendezvous hashing over
+        the alive replicas (``repro.cluster``): equal keys stick to the
+        same replica for as long as it lives, and deterministically fail
+        over when membership changes — session/cache affinity without a
+        coordination service.
+        """
         alive = self.alive_replicas
         if not alive:
             raise RuntimeError(f"no alive replica of {self.name}")
+        if affinity_key is not None:
+            return rendezvous_owner(alive, f"{self.name}|{affinity_key}")
         self._rr += 1
         ordered = alive[self._rr % len(alive):] + alive[: self._rr % len(alive)]
         return min(ordered, key=lambda r: self._outstanding.get(r, 0))
@@ -128,11 +136,12 @@ class ReplicaSet:
         timeout: float = 50.0,
         failover_attempts: int = 2,
         idempotency_key: Optional[str] = None,
+        affinity_key: Optional[str] = None,
     ) -> Generator:
         """Invoke a replica; on timeout, fail over to a different one."""
         last_error: Exception | None = None
         for _ in range(1 + failover_attempts):
-            replica = self.pick()
+            replica = self.pick(affinity_key) if affinity_key is not None else self.pick()
             self._outstanding[replica] = self._outstanding.get(replica, 0) + 1
             try:
                 result = yield from client.call(

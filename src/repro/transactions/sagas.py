@@ -16,7 +16,6 @@ Two properties the benchmarks measure fall directly out of this design:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
@@ -106,8 +105,6 @@ class SagaOrchestrator:
     live, failure-prone services.
     """
 
-    _execution_ids = itertools.count(1)
-
     def __init__(self, env: Environment, compensation_retries: int = 3) -> None:
         self.env = env
         self.compensation_retries = compensation_retries
@@ -122,7 +119,7 @@ class SagaOrchestrator:
         repeatedly failing compensation yields a ``stuck`` outcome.
         """
         ctx = ctx if ctx is not None else {}
-        ctx.setdefault("saga_execution_id", next(SagaOrchestrator._execution_ids))
+        ctx.setdefault("saga_execution_id", self.env.next_id("saga-execution"))
         outcome = SagaOutcome(saga=saga.name, status="completed", started_at=self.env.now)
         self.stats.started += 1
         completed: list[SagaStep] = []

@@ -13,7 +13,6 @@ Participants are anything exposing the generator methods ``prepare(txn)``,
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
@@ -50,8 +49,6 @@ def _call(obj: Any, name: str, *args: Any) -> Generator:
 class TwoPhaseCommit:
     """The coordinator.  One instance can coordinate many transactions."""
 
-    _xids = itertools.count(1)
-
     def __init__(self, env: Environment, decision_delay: float = 0.0) -> None:
         self.env = env
         self.decision_delay = decision_delay
@@ -69,7 +66,7 @@ class TwoPhaseCommit:
         the coordinator "dies" after all prepares succeed: participants
         stay prepared (locks held!) until :meth:`recover` is called.
         """
-        xid = next(TwoPhaseCommit._xids)
+        xid = self.env.next_id("2pc-xid")
         started = self.env.now
         prepared: list[tuple[Any, Any]] = []
         outcome = TwoPhaseOutcome(xid=xid, decision="committed")

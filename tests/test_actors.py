@@ -200,6 +200,39 @@ class TestFailureTransparency:
         assert run(env, flow()) == 110
         assert runtime.stats.duplicates_dropped == 1
 
+    def test_activation_migration_races_silo_restart(self, env, runtime):
+        """The failback hazard, with the restart racing the migration: the
+        home silo comes back *while* the crash-displaced call is still in
+        flight, so the activation migrates to a stand-in even though home
+        is alive again by the time it completes.  The stand-in's cached
+        activation then misses the deposit committed at home and must be
+        dropped — not served — when placement returns to it."""
+        ref = runtime.ref("BankAccount", "alice")
+
+        def flow():
+            yield from ref.call("deposit", 100)
+            home = int(runtime.host_of("BankAccount", "alice").split("-")[1])
+            runtime.crash_silo(home)
+            # The restart lands mid-call: placement already sampled the
+            # stand-in (home was dead at dispatch), so the activation
+            # migrates anyway.
+            env.schedule(1.0, runtime.restart_silo, home)
+            assert (yield from ref.call("balance", timeout=10, retries=3)) == 100
+            standin = runtime.host_of("BankAccount", "alice")
+            assert standin != f"silo-{home}"
+            # Home is back and wins placement: this deposit commits there,
+            # making the stand-in's cached activation stale.
+            yield from ref.call("deposit", 10, retries=2)
+            assert runtime.host_of("BankAccount", "alice") == f"silo-{home}"
+            runtime.crash_silo(home)
+            # Placement returns to the stand-in; serving its cache would
+            # resurrect the pre-deposit balance.
+            return (yield from ref.call("balance", retries=2))
+
+        assert run(env, flow()) == 110
+        assert runtime.stats.duplicates_dropped == 1
+        assert runtime.stats.migrations >= 2
+
     def test_at_most_once_call_times_out_when_all_silos_down(self, env, runtime):
         for index in range(3):
             runtime.crash_silo(index)

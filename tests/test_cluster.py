@@ -1,0 +1,469 @@
+"""Tests for the unified cluster placement layer (``repro.cluster``).
+
+Covers the byte-compatibility contract (the ring must reproduce the
+historical per-runtime crc32 formulas exactly), directory/epoch
+semantics, router forwarding, rebalancer planning, and the resharding
+edge cases of the live-migration protocol: empty shards, a single hot
+key, a migration racing a distributed transaction that holds locks on
+the moving shard, and concurrent double-migration.
+"""
+
+import zlib
+
+import pytest
+
+from repro.chaos import run_trial
+from repro.cluster import (
+    ClusterError,
+    ConsistentHashRing,
+    ModHashRing,
+    PlacementDirectory,
+    RangeMap,
+    Rebalancer,
+    Router,
+    ShardStats,
+    rendezvous_owner,
+    spread,
+    stable_hash,
+    stable_hash_text,
+)
+from repro.db import IsolationLevel, ShardedDatabase
+from repro.db.sharding import shard_of
+from repro.sim import Environment
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+def run(env, gen, label="test"):
+    return env.run_until(env.process(gen, label=label))
+
+
+def key_on(shard, num_shards, start=0):
+    """The first integer key at/after ``start`` that routes to ``shard``."""
+    key = start
+    while shard_of(key, num_shards) != shard:
+        key += 1
+    return key
+
+
+class TestHashingByteCompat:
+    """The cluster formulas must match the historical per-runtime ones."""
+
+    def test_stable_hash_is_crc32_of_repr(self):
+        for key in [0, 7, "acct-12", ("k", 3), -1, 10**9]:
+            assert stable_hash(key) == zlib.crc32(repr(key).encode("utf-8"))
+
+    def test_stable_hash_text_is_crc32_raw(self):
+        for text in ["task-1", "silo-0|BankAccount|alice", ""]:
+            assert stable_hash_text(text) == zlib.crc32(text.encode("utf-8"))
+
+    def test_mod_ring_matches_legacy_shard_formula(self):
+        ring = ModHashRing(12)
+        for key in [0, 5, "x", ("k", 3), 999]:
+            assert ring.shard_of(key) == zlib.crc32(repr(key).encode()) % 12
+
+    def test_rendezvous_owner_matches_max_semantics(self):
+        nodes = ["silo-0", "silo-1", "silo-2"]
+        for key in [f"BankAccount|k{i}" for i in range(40)]:
+            expected = max(
+                nodes, key=lambda n: zlib.crc32(f"{n}|{key}".encode())
+            )
+            assert rendezvous_owner(nodes, key) == expected
+
+    def test_rendezvous_empty_and_spread(self):
+        assert rendezvous_owner([], "k") is None
+        histogram = spread(range(200), 8)
+        assert sum(histogram.values()) == 200
+        assert len(histogram) == 8  # every shard gets keys
+
+
+class TestRings:
+    def test_mod_ring_validates(self):
+        with pytest.raises(ValueError):
+            ModHashRing(0)
+
+    def test_consistent_ring_minimal_movement(self):
+        """Adding one shard to the ring moves only a small key fraction."""
+        before = ConsistentHashRing(8)
+        after = ConsistentHashRing(9)
+        keys = list(range(2000))
+        moved = sum(1 for k in keys if before.shard_of(k) != after.shard_of(k))
+        # Mod-hashing would move ~8/9 of the keys; the ring moves ~1/9.
+        assert moved / len(keys) < 0.35
+
+    def test_consistent_ring_covers_all_shards(self):
+        ring = ConsistentHashRing(8)
+        assert {ring.shard_of(k) for k in range(2000)} == set(range(8))
+
+    def test_range_map_bounds_and_split(self):
+        ranges = RangeMap(["g", "p"])
+        assert [ranges.shard_of(k) for k in ["a", "g", "o", "z"]] == [0, 1, 1, 2]
+        ranges.split("k")
+        assert ranges.num_shards == 4
+        assert ranges.shard_of("o") == 2  # "k" <= o < "p"
+        with pytest.raises(ValueError):
+            ranges.split("k")
+        with pytest.raises(ValueError):
+            RangeMap(["p", "g"])
+
+
+class TestDirectory:
+    @pytest.fixture
+    def directory(self):
+        directory = PlacementDirectory(Environment(seed=1))
+        directory.assign(0, "node0")
+        directory.assign(1, "node1")
+        return directory
+
+    def test_ownership_and_epochs(self, directory):
+        assert directory.owner_of(0) == "node0"
+        assert directory.epoch(0) == 0
+        assert directory.shards_on("node0") == [0]
+        assert directory.nodes() == ["node0", "node1"]
+        with pytest.raises(ClusterError):
+            directory.owner_of(9)
+
+    def test_migration_flip_bumps_epoch_once(self, directory):
+        record = directory.begin_migration(0, "node1")
+        assert record.source == "node0" and directory.is_migrating(0)
+        directory.complete_migration(0)
+        assert directory.owner_of(0) == "node1"
+        assert directory.epoch(0) == 1
+        assert not directory.is_migrating(0)
+
+    def test_abort_leaves_ownership_untouched(self, directory):
+        directory.begin_migration(0, "node1")
+        directory.abort_migration(0)
+        assert directory.owner_of(0) == "node0"
+        assert directory.epoch(0) == 0
+        assert directory.stats.migrations_aborted == 1
+
+    def test_double_migration_rejected(self, directory):
+        directory.begin_migration(0, "node1")
+        with pytest.raises(ClusterError):
+            directory.begin_migration(0, "node1")
+
+    def test_migration_to_current_owner_rejected(self, directory):
+        with pytest.raises(ClusterError):
+            directory.begin_migration(0, "node0")
+
+    def test_activation_registry_tracks_previous_host(self, directory):
+        ident = ("BankAccount", "alice")
+        assert directory.record_activation(ident, "silo-0") is None
+        assert directory.record_activation(ident, "silo-2") == "silo-0"
+        assert directory.last_host(ident) == "silo-2"
+        assert directory.activations_on("silo-2") == [ident]
+        directory.drop_activation(ident)
+        assert directory.last_host(ident) is None
+
+
+class TestRouter:
+    @pytest.fixture
+    def router(self):
+        directory = PlacementDirectory(Environment(seed=1))
+        for shard in range(4):
+            directory.assign(shard, f"node{shard % 2}")
+        return Router(ModHashRing(4), directory)
+
+    def test_cold_cache_does_not_forward(self, router):
+        first = router.resolve(7)
+        second = router.resolve(7)
+        assert not first.forwarded and not second.forwarded
+        assert router.stats.forwards == 0
+
+    def test_stale_cache_pays_exactly_one_forward(self, router):
+        shard = router.shard_of(7)
+        router.resolve(7)  # populate the cache
+        router.directory.begin_migration(shard, "node9")
+        router.directory.assign(99, "node9")  # make node9 known
+        router.directory.complete_migration(shard)
+        stale = router.resolve(7)
+        repaired = router.resolve(7)
+        assert stale.forwarded and stale.node == "node9"
+        assert not repaired.forwarded
+        assert router.stats.forwards == 1
+        assert router.directory.stats.stale_lookups == 1
+
+    def test_invalidate_resets_to_cold(self, router):
+        router.resolve(7)
+        router.invalidate(router.shard_of(7))
+        assert not router.resolve(7).forwarded
+
+
+class TestShardStats:
+    def test_ewma_folds_windows(self):
+        stats = ShardStats(2, alpha=0.5)
+        stats.record(0, 10.0)
+        assert stats.load_of(0) == 5.0  # live window counts at alpha weight
+        stats.roll_window()
+        assert stats.load_of(0) == 5.0
+        stats.roll_window()  # an idle window decays the signal
+        assert stats.load_of(0) == 2.5
+        assert stats.total[0] == 10.0
+
+    def test_hottest_and_grow(self):
+        stats = ShardStats(3)
+        stats.record(1, 4.0)
+        stats.record(2, 9.0)
+        assert stats.hottest() == 2
+        assert stats.hottest(among=[0, 1]) == 1
+        stats.grow(5)
+        assert stats.num_shards == 5 and stats.load_of(4) == 0.0
+        with pytest.raises(ValueError):
+            stats.grow(2)
+
+
+class TestRebalancerPlanning:
+    def make_db(self, env, **kwargs):
+        db = ShardedDatabase(env, num_shards=4, num_nodes=2, name="bank", **kwargs)
+        db.create_table("accounts", primary_key="id")
+        return db
+
+    def test_balanced_cluster_plans_nothing(self):
+        env = Environment(seed=5)
+        db = self.make_db(env)
+        rebalancer = Rebalancer(env, db)
+        for shard in range(4):
+            db.shard_stats.record(shard, 10.0)
+        db.shard_stats.roll_window()
+        assert rebalancer.plan() is None
+
+    def test_single_hot_key_moves_its_shard_to_the_cold_node(self):
+        """A sustained hot key drags its whole shard to the coldest node."""
+        env = Environment(seed=5)
+        db = self.make_db(env)
+        hot_key = key_on(0, 4)
+        db.load("accounts", [{"id": hot_key, "balance": 100}])
+        hot_shard = db.router.shard_of(hot_key)
+        source = db.directory.owner_of(hot_shard)
+        for _ in range(3):  # sustained, not a single spike
+            db.shard_stats.record(hot_shard, 50.0)
+            db.shard_stats.roll_window()
+        move = Rebalancer(env, db).plan()
+        assert move is not None
+        assert move.shard == hot_shard and move.source == source
+        assert move.dest != source
+
+    def test_run_cycle_executes_the_move(self):
+        env = Environment(seed=5)
+        db = self.make_db(env)
+        hot_key = key_on(0, 4)
+        db.load("accounts", [{"id": hot_key, "balance": 100}])
+        hot_shard = db.router.shard_of(hot_key)
+        source = db.directory.owner_of(hot_shard)
+        for _ in range(3):
+            db.shard_stats.record(hot_shard, 50.0)
+        rebalancer = Rebalancer(env, db)
+        move = run(env, rebalancer.run_cycle())
+        assert move is not None
+        assert db.directory.owner_of(hot_shard) != source
+        assert rebalancer.stats.completed == 1
+        assert db.migration_stats.rows_copied == 1
+
+    def test_quiet_cluster_below_min_load_plans_nothing(self):
+        env = Environment(seed=5)
+        db = self.make_db(env)
+        db.shard_stats.record(0, 0.5)  # noise, below min_load
+        db.shard_stats.roll_window()
+        assert Rebalancer(env, db).plan() is None
+
+    def test_parameter_validation(self):
+        env = Environment(seed=5)
+        db = self.make_db(env)
+        with pytest.raises(ValueError):
+            Rebalancer(env, db, interval=0)
+        with pytest.raises(ValueError):
+            Rebalancer(env, db, imbalance_factor=0.5)
+
+
+class TestLiveMigrationEdgeCases:
+    """Resharding edge cases of the drain → copy → flip protocol."""
+
+    def make_db(self, env, **kwargs):
+        db = ShardedDatabase(env, num_shards=4, num_nodes=2, name="bank", **kwargs)
+        db.create_table("accounts", primary_key="id")
+        return db
+
+    def test_empty_shard_migrates_clean(self):
+        env = Environment(seed=9)
+        db = self.make_db(env)
+        dest = db.nodes[1]
+        assert db.directory.owner_of(0) == db.nodes[0]
+        rows = run(env, db.migrate_shard(0, dest))
+        assert rows == 0
+        assert db.directory.owner_of(0) == dest
+        assert db.migration_stats.completed == 1
+        assert db.migration_stats.rows_copied == 0
+
+    def test_migration_waits_for_txn_holding_locks_on_moving_shard(self):
+        """A distributed transaction holding locks on the moving shard
+        drains before the copy starts; its writes land on the new owner,
+        and the next stale-routed access pays exactly one forward."""
+        env = Environment(seed=9)
+        db = self.make_db(env)
+        num = 4
+        key_a = key_on(0, num)            # on the moving shard
+        key_b = key_on(1, num)            # second shard: txn is distributed
+        db.load("accounts", [{"id": key_a, "balance": 100},
+                             {"id": key_b, "balance": 100}])
+        dest = db.nodes[1]
+        events = []
+
+        def writer():
+            txn = db.begin(SER)
+            row = yield from db.get(txn, "accounts", key_a)
+            yield from db.put(txn, "accounts", key_a,
+                              {**row, "balance": row["balance"] - 30})
+            row = yield from db.get(txn, "accounts", key_b)
+            yield from db.put(txn, "accounts", key_b,
+                              {**row, "balance": row["balance"] + 30})
+            yield env.timeout(50.0)  # hold the locks while the drain waits
+            yield from db.commit(txn)
+            events.append(("committed", env.now))
+
+        def mover():
+            yield env.timeout(5.0)  # start once the writer holds its locks
+            yield from db.migrate_shard(0, dest)
+            events.append(("migrated", env.now))
+
+        env.process(writer(), label="writer")
+        run(env, mover(), label="mover")
+
+        assert [name for name, _ in events] == ["committed", "migrated"]
+        assert db.directory.owner_of(0) == dest
+        assert db.directory.epoch(0) == 1
+        # The 2PC write landed on the engine that moved.
+        assert db.read_latest("accounts", key_a)["balance"] == 70
+        assert db.read_latest("accounts", key_b)["balance"] == 130
+
+        def reader():
+            txn = db.begin(SER)
+            row = yield from db.get(txn, "accounts", key_a)
+            yield from db.commit(txn)
+            return row["balance"]
+
+        forwards_before = db.router.stats.forwards
+        assert run(env, reader(), label="reader") == 70
+        assert db.router.stats.forwards == forwards_before + 1
+
+    def test_new_transactions_wait_out_the_migration_bar(self):
+        env = Environment(seed=9)
+        db = self.make_db(env, copy_ms_per_row=10.0)
+        key = key_on(0, 4)
+        db.load("accounts", [{"id": key, "balance": 100}])
+        timings = {}
+
+        def mover():
+            yield from db.migrate_shard(0, db.nodes[1])
+            timings["flip"] = env.now
+
+        def reader():
+            yield env.timeout(1.0)  # arrive mid-copy
+            txn = db.begin(SER)
+            row = yield from db.get(txn, "accounts", key)
+            yield from db.commit(txn)
+            timings["read"] = env.now
+            return row["balance"]
+
+        env.process(mover(), label="mover")
+        assert run(env, reader(), label="reader") == 100
+        assert timings["read"] > timings["flip"]  # barred until the flip
+
+    def test_drain_timeout_aborts_and_leaves_shard_usable(self):
+        env = Environment(seed=9)
+        db = self.make_db(env, drain_timeout_ms=20.0)
+        key = key_on(0, 4)
+        other = key_on(1, 4)
+        db.load("accounts", [{"id": key, "balance": 100},
+                             {"id": other, "balance": 100}])
+        errors = []
+
+        def writer():
+            txn = db.begin(SER)
+            row = yield from db.get(txn, "accounts", key)
+            yield from db.get(txn, "accounts", other)
+            yield env.timeout(100.0)  # far past the drain timeout
+            yield from db.put(txn, "accounts", key,
+                              {**row, "balance": 55})
+            yield from db.commit(txn)
+
+        def mover():
+            yield env.timeout(2.0)
+            try:
+                yield from db.migrate_shard(0, db.nodes[1])
+            except ClusterError as exc:
+                errors.append(exc)
+
+        mover_proc = env.process(mover(), label="mover")
+        writer_proc = env.process(writer(), label="writer")
+        env.run_until(mover_proc)
+        assert errors, "migration should time out while locks are held"
+        # Ownership is unchanged and the shard is un-barred: the writer
+        # commits normally after the aborted migration.
+        assert db.directory.owner_of(0) == db.nodes[0]
+        assert db.directory.epoch(0) == 0
+        assert db.migration_stats.aborted == 1
+        env.run_until(writer_proc)
+        assert db.read_latest("accounts", key)["balance"] == 55
+        # ... and a later migration of the same shard succeeds.
+        run(env, db.migrate_shard(0, db.nodes[1]), label="retry")
+        assert db.directory.owner_of(0) == db.nodes[1]
+
+    def test_concurrent_double_migration_rejected(self):
+        env = Environment(seed=9)
+        db = self.make_db(env, copy_ms_per_row=10.0)
+        key = key_on(0, 4)
+        db.load("accounts", [{"id": key, "balance": 100}])
+        errors = []
+
+        def first():
+            yield from db.migrate_shard(0, db.nodes[1])
+
+        def second():
+            yield env.timeout(1.0)  # while the first is mid-copy
+            try:
+                yield from db.migrate_shard(0, db.nodes[0])
+            except ClusterError as exc:
+                errors.append(exc)
+
+        first_proc = env.process(first(), label="first")
+        run(env, second(), label="second")
+        env.run_until(first_proc)
+        assert errors and "already migrating" in str(errors[0])
+        assert db.directory.owner_of(0) == db.nodes[1]
+        assert db.migration_stats.completed == 1
+        # The rejected attempt never entered the protocol.
+        assert db.migration_stats.started == 1
+        assert db.migration_stats.aborted == 0
+
+    def test_migrate_validates_shard_and_node(self):
+        env = Environment(seed=9)
+        db = self.make_db(env)
+        with pytest.raises(ClusterError):
+            run(env, db.migrate_shard(99, db.nodes[0]))
+        with pytest.raises(ClusterError):
+            run(env, db.migrate_shard(0, "no-such-node"))
+        with pytest.raises(ClusterError):
+            run(env, db.migrate_shard(0, db.directory.owner_of(0)))
+
+    def test_default_config_routing_is_byte_identical_to_legacy(self):
+        """Non-rebalancing configs must keep the historical key→shard→node
+        mapping: shard i lives on node i, keys route by crc32 mod."""
+        env = Environment(seed=9)
+        db = ShardedDatabase(env, num_shards=4)
+        db.create_table("accounts", primary_key="id")
+        for key in range(32):
+            shard = zlib.crc32(repr(key).encode()) % 4
+            assert db.router.shard_of(key) == shard
+            assert db.owner_of(key) == f"sharded-db/node{shard}"
+
+
+class TestClusterChaos:
+    def test_flip_without_drain_is_caught(self):
+        """The broken scenario variant (ownership flips from a stale
+        snapshot with no drain) must trip the conservation oracle under
+        the same schedules the sound variant survives."""
+        sound = run_trial("cluster", seed=1)
+        broken = run_trial("cluster", seed=1, broken=True)
+        assert not sound.violations
+        assert broken.violations
