@@ -34,12 +34,13 @@ REGRESSION_TOLERANCE = 0.20
 
 
 def collect(smoke: bool) -> dict:
-    from benchmarks.perf import bench_e2e, bench_kernel, bench_locks
+    from benchmarks.perf import bench_e2e, bench_kernel, bench_locks, bench_storage
 
     metrics: dict[str, float] = {}
     for name, module in (
         ("kernel", bench_kernel),
         ("locks", bench_locks),
+        ("storage", bench_storage),
         ("e2e", bench_e2e),
     ):
         print(f"[perfcheck] running {name} benches ...", flush=True)

@@ -23,7 +23,7 @@ from repro.db.errors import (
     TransactionError,
     WriteConflict,
 )
-from repro.db.engine import Database, IsolationLevel, Transaction, TxnStatus
+from repro.db.engine import Database, IsolationLevel, Row, Transaction, TxnStatus
 from repro.db.locks import LockManager, LockMode
 from repro.db.server import DatabaseServer
 from repro.db.sharding import ShardedDatabase
@@ -36,6 +36,7 @@ __all__ = [
     "IsolationLevel",
     "LockManager",
     "LockMode",
+    "Row",
     "ShardedDatabase",
     "Transaction",
     "TransactionAborted",

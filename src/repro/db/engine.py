@@ -17,6 +17,26 @@ The XA-style ``prepare``/``commit_prepared``/``abort_prepared`` methods make
 any database instance a two-phase-commit participant; between prepare and
 the decision the transaction's locks remain held — the blocking window the
 paper blames for 2PC's performance cost (§4.2).
+
+Three storage fast paths ride under the engine's semantics (see
+``docs/PERFORMANCE.md`` § "Storage engine"); each has a reference mode and
+all are proven behaviour-preserving by the golden-equivalence suite:
+
+- **version-chain GC** (``gc=True``): versions superseded at-or-below the
+  oldest active snapshot's ``begin_seq`` are pruned, bounding chain length
+  on hot keys.  The newest version at-or-below the horizon is always kept,
+  and keys are never dropped, so heap iteration order is identical with GC
+  on or off.
+- **group commit** (``group_commit=True``): commits landing in the same
+  virtual instant share one WAL ``flush()`` — the physical fsync is
+  deferred to an end-of-instant callback and the whole group rides on one
+  shared flush future (:meth:`Database.flush_barrier`).  A crash before
+  the group fsync loses the *whole* group (prefix-consistent), never an
+  interior subset.
+- **copy elision** (``copy_reads=False``): reads return the committed row
+  object itself instead of a defensive ``dict()`` copy.  Committed rows
+  are frozen as :class:`Row` at install time; callers must not mutate
+  returned rows (mutation raises ``TypeError``).
 """
 
 from __future__ import annotations
@@ -24,7 +44,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Hashable, Optional
+from typing import Any, Callable, Generator, Hashable, Iterable, KeysView, Optional
 
 from repro.db.errors import (
     DuplicateKey,
@@ -38,6 +58,37 @@ from repro.sim import Environment
 from repro.storage.wal import WriteAheadLog
 
 _DELETED = None  # a version with row=None is a deletion marker
+
+
+class Row(dict):
+    """A committed row: logically immutable once installed in the heap.
+
+    Installing frozen rows is what makes read-path copy elision safe — the
+    same object can be handed to every reader (and shared with the WAL
+    record that logged it) because nobody can change it in place.  Writers
+    are unaffected: ``put``/``update``/``insert`` already buffer fresh
+    dicts, and any caller who wants a mutable view takes ``dict(row)``.
+    """
+
+    __slots__ = ()
+
+    def _immutable(self, *args: Any, **kwargs: Any) -> Any:
+        raise TypeError(
+            "committed rows are immutable; copy with dict(row) before mutating"
+        )
+
+    __setitem__ = _immutable  # type: ignore[assignment]
+    __delitem__ = _immutable  # type: ignore[assignment]
+    __ior__ = _immutable  # type: ignore[assignment]
+    clear = _immutable  # type: ignore[assignment]
+    pop = _immutable  # type: ignore[assignment]
+    popitem = _immutable  # type: ignore[assignment]
+    setdefault = _immutable  # type: ignore[assignment]
+    update = _immutable  # type: ignore[assignment]
+
+    def __reduce__(self) -> tuple:
+        # Pickle/deepcopy as a plain dict: copies are for mutating.
+        return (dict, (dict(self),))
 
 
 class IsolationLevel(enum.Enum):
@@ -105,6 +156,8 @@ class _Table:
         return None
 
     def install(self, key: Hashable, row: Optional[dict], seq: int) -> None:
+        if row is not None and row.__class__ is not Row:
+            row = Row(row)
         old = self.latest(key)
         self.versions.setdefault(key, []).append((seq, row))
         for column, index in self.indexes.items():
@@ -120,6 +173,29 @@ class _Table:
                 if value not in index and column in self.ordered_indexes:
                     self._sorted_insert(column, value)
                 index.setdefault(value, set()).add(key)
+
+    def prune(self, key: Hashable, horizon: int) -> int:
+        """Drop versions superseded at-or-below ``horizon`` (MVCC GC).
+
+        Keeps the newest version at-or-below the horizon — exactly what the
+        oldest live snapshot reads — plus everything newer.  The key itself
+        is never dropped (even when only a tombstone remains), so heap
+        iteration order is identical with GC on or off.  Returns the number
+        of versions dropped.
+        """
+        chain = self.versions.get(key)
+        if not chain or len(chain) == 1:
+            return 0
+        cut = 0
+        for index, (version_seq, _row) in enumerate(chain):
+            if version_seq <= horizon:
+                cut = index
+            else:
+                break
+        if not cut:
+            return 0
+        del chain[:cut]
+        return cut
 
     def _sorted_insert(self, column: str, value: Any) -> None:
         import bisect
@@ -144,8 +220,13 @@ class _Table:
         stop = bisect.bisect_left(directory, high)
         return directory[start:stop]
 
-    def keys(self) -> list[Hashable]:
-        return list(self.versions.keys())
+    def keys(self) -> KeysView[Hashable]:
+        """Live key view (don't mutate the table while iterating)."""
+        return self.versions.keys()
+
+    def version_count(self) -> int:
+        """Total retained versions across every chain (GC accounting)."""
+        return sum(len(chain) for chain in self.versions.values())
 
     def create_index(self, column: str, ordered: bool = False) -> None:
         index: dict[Any, set[Hashable]] = {}
@@ -167,6 +248,30 @@ class DbStats:
     conflicts: int = 0
     reads: int = 0
     writes: int = 0
+    #: mirror of ``wal.flush_count`` — physical fsyncs issued by this engine
+    flush_count: int = 0
+    #: group-commit batches fsynced (each saved ``size - 1`` flushes)
+    group_flushes: int = 0
+    #: commits that rode a shared group fsync
+    grouped_commits: int = 0
+    #: versions dropped by the MVCC chain GC (inline + explicit passes)
+    gc_pruned_versions: int = 0
+    #: explicit :meth:`Database.gc` sweeps
+    gc_passes: int = 0
+    #: retained version tuples across all tables (gauge)
+    live_versions: int = 0
+
+
+class _CommitGroup:
+    """Commits from one virtual instant sharing a single WAL fsync."""
+
+    __slots__ = ("future", "size", "last_lsn", "crashed")
+
+    def __init__(self, future: Any) -> None:
+        self.future = future
+        self.size = 0
+        self.last_lsn = 0
+        self.crashed = False
 
 
 class Database:
@@ -179,9 +284,23 @@ class Database:
         row = yield from db.get(txn, "accounts", "alice")
         yield from db.put(txn, "accounts", "alice", {**row, "balance": 0})
         yield from db.commit(txn)
+
+    The keyword-only flags select the storage fast paths (see the module
+    docstring); each default is the optimized mode and each ``False``/
+    ``True`` flip is the reference mode the golden-equivalence suite
+    compares against.
     """
 
-    def __init__(self, env: Environment, name: str = "db") -> None:
+    def __init__(
+        self,
+        env: Environment,
+        name: str = "db",
+        *,
+        gc: bool = True,
+        gc_chain_threshold: int = 8,
+        group_commit: bool = True,
+        copy_reads: bool = False,
+    ) -> None:
         self.env = env
         self.name = name
         self.locks = LockManager(env)
@@ -191,6 +310,11 @@ class Database:
         self._commit_seq = 0
         self._active: dict[int, Transaction] = {}
         self._in_doubt: dict[int, dict[tuple[str, Hashable], Optional[dict]]] = {}
+        self._gc = gc
+        self._gc_chain_threshold = max(1, gc_chain_threshold)
+        self._group_commit = group_commit
+        self._copy_reads = copy_reads
+        self._group: Optional[_CommitGroup] = None
         self.stats = DbStats()
 
     # -- schema ---------------------------------------------------------------
@@ -201,7 +325,7 @@ class Database:
             raise ValueError(f"table {name!r} already exists")
         self._tables[name] = _Table(name, primary_key)
         self.wal.append("create_table", (name, primary_key))
-        self.wal.flush()
+        self._flush_wal()
 
     def create_index(self, table: str, column: str, ordered: bool = False) -> None:
         """Build a secondary index on ``column``.
@@ -211,7 +335,7 @@ class Database:
         """
         self._table(table).create_index(column, ordered=ordered)
         self.wal.append("create_index", (table, column, ordered))
-        self.wal.flush()
+        self._flush_wal()
 
     def _table(self, name: str) -> _Table:
         try:
@@ -264,14 +388,19 @@ class Database:
 
     # -- reads --------------------------------------------------------------------
 
+    def _out(self, row: Optional[dict]) -> Optional[dict]:
+        """Hand a row to the caller: a defensive copy only in reference mode."""
+        if row is None:
+            return None
+        return dict(row) if self._copy_reads else row
+
     def get(self, txn: Transaction, table: str, key: Hashable) -> Generator:
         """Read one row (or ``None``); blocks only under SERIALIZABLE."""
         txn.require(TxnStatus.ACTIVE)
         tbl = self._table(table)
         self.stats.reads += 1
         if (table, key) in txn.writes:
-            row = txn.writes[(table, key)]
-            return dict(row) if row is not None else None
+            return self._out(txn.writes[(table, key)])
         txn.reads.add((table, key))
         if txn.isolation is IsolationLevel.SERIALIZABLE:
             yield from self._lock(txn, ("table", table), LockMode.IS)
@@ -281,7 +410,7 @@ class Database:
             row = tbl.read_at(key, txn.begin_seq)
         else:  # READ_COMMITTED
             row = tbl.latest(key)
-        return dict(row) if row is not None else None
+        return self._out(row)
 
     def scan(
         self,
@@ -296,16 +425,42 @@ class Database:
         self.stats.reads += 1
         if txn.isolation is IsolationLevel.SERIALIZABLE:
             yield from self._lock(txn, ("table", table), LockMode.S)
-        rows: dict[Hashable, Optional[dict]] = {}
-        for key in tbl.keys():
-            if txn.isolation is IsolationLevel.SNAPSHOT:
-                rows[key] = tbl.read_at(key, txn.begin_seq)
-            else:
-                rows[key] = tbl.latest(key)
-        for (wtable, wkey), wrow in txn.writes.items():
-            if wtable == table:
-                rows[wkey] = wrow
-        result = [dict(r) for r in rows.values() if r is not None]
+        snapshot = txn.isolation is IsolationLevel.SNAPSHOT
+        begin_seq = txn.begin_seq
+        out = self._out
+        result: list[dict] = []
+        overrides: Optional[dict[Hashable, Optional[dict]]] = None
+        if txn.writes:
+            overrides = {
+                wkey: wrow
+                for (wtable, wkey), wrow in txn.writes.items()
+                if wtable == table
+            }
+        if overrides:
+            for key, chain in tbl.versions.items():
+                if key in overrides:
+                    row = overrides.pop(key)
+                elif snapshot:
+                    row = tbl.read_at(key, begin_seq)
+                else:
+                    row = chain[-1][1]
+                if row is not None:
+                    result.append(out(row))
+            for wrow in overrides.values():
+                if wrow is not None:
+                    result.append(out(wrow))
+        else:
+            for chain in tbl.versions.values():
+                if snapshot:
+                    for version_seq, row in reversed(chain):
+                        if version_seq <= begin_seq:
+                            break
+                    else:
+                        row = None
+                else:
+                    row = chain[-1][1]
+                if row is not None:
+                    result.append(out(row))
         if predicate is not None:
             result = [r for r in result if predicate(r)]
         return result
@@ -333,7 +488,7 @@ class Database:
         for (wtable, wkey), wrow in txn.writes.items():
             if wtable == table and wrow is not None and wrow.get(column) == value:
                 if wkey not in keys:
-                    rows.append(dict(wrow))
+                    rows.append(self._out(wrow))
         return rows
 
     def range_lookup(
@@ -362,7 +517,7 @@ class Database:
         for (wtable, wkey), wrow in txn.writes.items():
             if (wtable == table and wkey not in seen_keys and wrow is not None
                     and column in wrow and low <= wrow[column] < high):
-                rows.append(dict(wrow))
+                rows.append(self._out(wrow))
         return rows
 
     # -- writes -------------------------------------------------------------------
@@ -407,10 +562,11 @@ class Database:
         if current is None:
             self.abort(txn)
             raise KeyError(f"{table}[{key!r}] does not exist")
-        current.update(changes)
-        txn.writes[(table, key)] = current
+        merged = dict(current)
+        merged.update(changes)
+        txn.writes[(table, key)] = merged
         self.stats.writes += 1
-        return dict(current)
+        return self._out(merged)
 
     def delete(self, txn: Transaction, table: str, key: Hashable) -> Generator:
         """Delete a row (no-op if absent)."""
@@ -433,17 +589,94 @@ class Database:
                 self.abort(txn)
                 raise error
 
+    def _flush_wal(self) -> int:
+        """Physical fsync, mirrored into :class:`DbStats`."""
+        lsn = self.wal.flush()
+        self.stats.flush_count = self.wal.flush_count
+        return lsn
+
     def _log_writes(self, txn: Transaction, decision: str) -> None:
-        for (table, key), row in txn.writes.items():
-            self.wal.append("write", (txn.tid, table, key, row))
-        self.wal.append(decision, (txn.tid,))
-        self.wal.flush()
+        """Append the redo records; fsync now, or join the instant's group.
+
+        Rows are frozen (:class:`Row`) here so the WAL record and the heap
+        version installed moments later share one immutable object.
+        """
+        writes = txn.writes
+        wal = self.wal
+        for (table, key), row in writes.items():
+            if row is not None and row.__class__ is not Row:
+                row = Row(row)
+                writes[(table, key)] = row
+            wal.append("write", (txn.tid, table, key, row))
+        last_lsn = wal.append(decision, (txn.tid,))
+        if decision == "commit" and self._group_commit:
+            group = self._group
+            if group is None:
+                group = _CommitGroup(
+                    self.env.future(label=f"{self.name}.group-flush")
+                )
+                self._group = group
+                self.env.schedule(0.0, self._flush_group, group)
+            group.size += 1
+            group.last_lsn = last_lsn
+        else:
+            # Prepares (2PC votes) and reference mode fsync synchronously:
+            # a vote must be durable before it reaches the coordinator.
+            self._flush_wal()
+
+    def _flush_group(self, group: _CommitGroup) -> None:
+        """End-of-instant callback: one fsync for every commit that joined."""
+        if self._group is group:
+            self._group = None
+        if group.crashed:
+            return  # the crash already resolved the future; records are gone
+        if self.wal.flushed_lsn < group.last_lsn:
+            self._flush_wal()
+        if group.size > 1:
+            self.env.tracer.event(
+                "db.wal.group_flush",
+                db=self.name,
+                batch=group.size,
+                lsn=group.last_lsn,
+            )
+        self.stats.group_flushes += 1
+        self.stats.grouped_commits += group.size
+        group.future.succeed(group.last_lsn)
+
+    def flush_barrier(self):
+        """A future resolved once every acknowledged commit is durable.
+
+        With group commit, commits acknowledged in the current virtual
+        instant may still be waiting on the shared group fsync; all callers
+        in that instant park on the *same* future (the broker's shared-
+        wakeup-future pattern).  Resolves with the durable LSN, or ``None``
+        if a crash destroyed the pending group first.
+        """
+        if self._group is not None:
+            return self._group.future
+        done = self.env.future(label=f"{self.name}.group-flush")
+        done.succeed(self.wal.flushed_lsn)
+        return done
 
     def _install(self, writes: dict[tuple[str, Hashable], Optional[dict]]) -> int:
         self._commit_seq += 1
         seq = self._commit_seq
+        retained = len(writes)
+        threshold = self._gc_chain_threshold if self._gc else 0
+        horizon = -1
         for (table, key), row in writes.items():
-            self._table(table).install(key, row, seq)
+            tbl = self._table(table)
+            tbl.install(key, row, seq)
+            if threshold:
+                chain = tbl.versions[key]
+                if len(chain) > threshold:
+                    if horizon < 0:
+                        horizon = self.gc_horizon()
+                    dropped = tbl.prune(key, horizon)
+                    if dropped:
+                        self.stats.gc_pruned_versions += dropped
+                        retained -= dropped
+        self.stats.live_versions += retained
         return seq
 
     def commit(self, txn: Transaction) -> Generator:
@@ -471,6 +704,47 @@ class Database:
         self.locks.release_all(txn.tid)
         self._active.pop(txn.tid, None)
 
+    # -- version-chain GC ---------------------------------------------------------
+
+    def gc_horizon(self) -> int:
+        """Oldest ``begin_seq`` any live snapshot can read at.
+
+        Prepared (in-doubt) transactions stay in ``_active`` until decided,
+        so their snapshots are covered too.
+        """
+        active = self._active
+        if active:
+            return min(txn.begin_seq for txn in active.values())
+        return self._commit_seq
+
+    def gc(self) -> int:
+        """Prune every version chain against the snapshot horizon.
+
+        Never collects a version visible to the oldest active snapshot:
+        the newest version at-or-below the horizon is always kept.  Returns
+        the number of versions dropped.  No-op in ``gc=False`` reference
+        mode.
+        """
+        if not self._gc:
+            return 0
+        horizon = self.gc_horizon()
+        dropped = 0
+        for tbl in self._tables.values():
+            for key in tbl.versions:
+                dropped += tbl.prune(key, horizon)
+        if dropped:
+            self.stats.gc_pruned_versions += dropped
+            self.stats.live_versions -= dropped
+        self.stats.gc_passes += 1
+        self.env.tracer.event(
+            "db.gc", db=self.name, horizon=horizon, pruned=dropped
+        )
+        return dropped
+
+    def version_count(self) -> int:
+        """Retained versions across all tables (tests cross-check the gauge)."""
+        return sum(tbl.version_count() for tbl in self._tables.values())
+
     # -- XA participant interface (used by 2PC coordinators) ----------------------
 
     def prepare(self, txn: Transaction) -> Generator:
@@ -479,7 +753,9 @@ class Database:
         self._validate(txn)
         self._log_writes(txn, "prepare")
         txn.status = TxnStatus.PREPARED
-        self._in_doubt[txn.tid] = dict(txn.writes)
+        # The write set is shared by reference: _log_writes froze the rows,
+        # and a prepared transaction can never buffer another write.
+        self._in_doubt[txn.tid] = txn.writes
         return
         yield  # pragma: no cover
 
@@ -487,7 +763,7 @@ class Database:
         """Phase two, commit decision."""
         txn.require(TxnStatus.PREPARED)
         self.wal.append("commit", (txn.tid,))
-        self.wal.flush()
+        self._flush_wal()
         self._install(self._in_doubt.pop(txn.tid))
         txn.status = TxnStatus.COMMITTED
         self._finish(txn)
@@ -497,7 +773,7 @@ class Database:
         """Phase two, abort decision."""
         txn.require(TxnStatus.PREPARED)
         self.wal.append("abort", (txn.tid,))
-        self.wal.flush()
+        self._flush_wal()
         self._in_doubt.pop(txn.tid, None)
         txn.status = TxnStatus.ABORTED
         self._finish(txn)
@@ -507,25 +783,75 @@ class Database:
         """Transaction ids prepared but not yet decided (blocking!)."""
         return list(self._in_doubt)
 
-    # -- crash / recovery ----------------------------------------------------------
+    # -- checkpoint / crash / recovery ---------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Snapshot committed state into the WAL and truncate the prefix.
+
+        The checkpoint record carries the schema, the latest committed row
+        per key, and the in-doubt write sets, so recovery needs nothing
+        older than the record itself — the WAL prefix is dropped, bounding
+        log memory on long runs.  Old MVCC versions are *not* carried over:
+        a crash kills every active snapshot reader anyway.
+        """
+        self.gc()
+        tables: dict[str, dict] = {}
+        for name, tbl in self._tables.items():
+            rows: dict[Hashable, dict] = {}
+            for key in tbl.versions:
+                row = tbl.latest(key)
+                if row is not None:
+                    rows[key] = row
+            tables[name] = {
+                "primary_key": tbl.primary_key,
+                "indexes": [
+                    (column, column in tbl.ordered_indexes)
+                    for column in tbl.indexes
+                ],
+                "rows": rows,
+            }
+        payload = {
+            "tables": tables,
+            "in_doubt": {tid: dict(w) for tid, w in self._in_doubt.items()},
+        }
+        lsn = self.wal.append("checkpoint", payload)
+        self._flush_wal()
+        dropped = self.wal.truncate(before_lsn=lsn)
+        self.env.tracer.event(
+            "db.checkpoint", db=self.name, lsn=lsn, dropped_records=dropped
+        )
+        return {"lsn": lsn, "wal_records_dropped": dropped}
 
     def crash(self) -> None:
-        """Lose all volatile state; the WAL keeps its flushed prefix."""
+        """Lose all volatile state; the WAL keeps its flushed prefix.
+
+        A commit group still waiting on its shared fsync dies whole: its
+        records sit above the durability horizon, so recovery sees none of
+        them — the group is lost atomically, never an interior subset.
+        """
+        group = self._group
+        if group is not None:
+            self._group = None
+            group.crashed = True
+            group.future.succeed(None)  # barrier waiters learn durability failed
         self.wal.crash()
         self._tables.clear()
         self._active.clear()
         self._in_doubt.clear()
         self.locks = LockManager(self.env)
+        self.stats.live_versions = 0
 
     def recover(self) -> None:
         """Redo recovery: replay the durable WAL into fresh tables.
 
         Committed transactions are re-installed in log order; prepared-but-
         undecided transactions become in-doubt again, awaiting their
-        coordinator (:meth:`resolve_in_doubt`).
+        coordinator (:meth:`resolve_in_doubt`).  A checkpoint record resets
+        the slate to its snapshot before the tail replays.
         """
         self._tables.clear()
         self._commit_seq = 0
+        self.stats.live_versions = 0
         pending: dict[int, dict[tuple[str, Hashable], Optional[dict]]] = {}
         self._in_doubt.clear()
         for record in self.wal.durable_records():
@@ -552,6 +878,25 @@ class Database:
             elif record.kind == "prepare":
                 (tid,) = record.payload
                 self._in_doubt[tid] = pending.pop(tid, {})
+            elif record.kind == "checkpoint":
+                snapshot = record.payload
+                self._tables.clear()
+                self._commit_seq = 0
+                self.stats.live_versions = 0
+                pending.clear()
+                self._in_doubt.clear()
+                restored: dict[tuple[str, Hashable], Optional[dict]] = {}
+                for name, meta in snapshot["tables"].items():
+                    tbl = _Table(name, meta["primary_key"])
+                    self._tables[name] = tbl
+                    for column, ordered in meta["indexes"]:
+                        tbl.create_index(column, ordered=ordered)
+                    for key, row in meta["rows"].items():
+                        restored[(name, key)] = row
+                if restored:
+                    self._install(restored)
+                for tid, writes in snapshot["in_doubt"].items():
+                    self._in_doubt[tid] = dict(writes)
         # A prepared transaction voted yes: its writes stay latent and its
         # locks stay held until the coordinator's decision.  The lock table
         # died with the crash, so re-acquire here — otherwise a conflicting
@@ -570,30 +915,38 @@ class Database:
         if writes is None:
             return
         self.wal.append("commit" if commit else "abort", (tid,))
-        self.wal.flush()
+        self._flush_wal()
         if commit:
             self._install(writes)
         self.locks.release_all(tid)
 
     # -- non-transactional helpers (test/bench setup) -------------------------------
 
-    def load(self, table: str, rows: list[dict]) -> None:
+    def load(self, table: str, rows: Iterable[dict]) -> None:
         """Bulk-load committed rows outside any transaction (setup only)."""
         tbl = self._table(table)
         self._commit_seq += 1
+        loaded = 0
         for row in rows:
-            self.wal.append("write", (0, table, row[tbl.primary_key], dict(row)))
-            tbl.install(row[tbl.primary_key], dict(row), self._commit_seq)
+            frozen = row if row.__class__ is Row else Row(row)
+            key = frozen[tbl.primary_key]
+            self.wal.append("write", (0, table, key, frozen))
+            tbl.install(key, frozen, self._commit_seq)
+            loaded += 1
         self.wal.append("commit", (0,))
-        self.wal.flush()
+        self._flush_wal()
+        self.stats.live_versions += loaded
 
     def read_latest(self, table: str, key: Hashable) -> Optional[dict]:
         """Dirty read of the latest committed version (metrics/invariants)."""
-        row = self._table(table).latest(key)
-        return dict(row) if row is not None else None
+        return self._out(self._table(table).latest(key))
 
     def all_rows(self, table: str) -> list[dict]:
         """All live committed rows (invariant checking)."""
         tbl = self._table(table)
-        rows = (tbl.latest(key) for key in tbl.keys())
-        return [dict(r) for r in rows if r is not None]
+        out = self._out
+        return [
+            out(chain[-1][1])
+            for chain in tbl.versions.values()
+            if chain[-1][1] is not None
+        ]

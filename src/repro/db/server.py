@@ -31,6 +31,10 @@ class DatabaseServer:
     network_rtt:
         Sampler for the client's round trip to the database; charged once
         per operation, as for a remote (external-state) database.
+
+    The keyword-only ``gc``/``group_commit``/``copy_reads`` flags pass
+    through to the underlying :class:`~repro.db.engine.Database` (storage
+    fast paths and their reference modes).
     """
 
     def __init__(
@@ -40,9 +44,15 @@ class DatabaseServer:
         connections: int = 32,
         op_service_time: Optional[Sampler] = None,
         network_rtt: Optional[Sampler] = None,
+        *,
+        gc: bool = True,
+        group_commit: bool = True,
+        copy_reads: bool = False,
     ) -> None:
         self.env = env
-        self.engine = Database(env, name=name)
+        self.engine = Database(
+            env, name=name, gc=gc, group_commit=group_commit, copy_reads=copy_reads
+        )
         self.name = name
         self._pool = Semaphore(env, connections, label=f"{name}.pool")
         self._service = op_service_time or Latency.local_disk()

@@ -105,7 +105,9 @@ class _ShardedMover:
     def transfer(self, shard: int, source: str, dest: str) -> Generator:
         db = self.db
         old_engine = db.shards[shard]
-        new_engine = Database(db.env, name=f"{db.name}/shard{shard}")
+        new_engine = Database(
+            db.env, name=f"{db.name}/shard{shard}", **db.engine_options
+        )
         rows_moved = 0
         for kind, args in db._schema:
             if kind == "table":
@@ -154,6 +156,10 @@ class ShardedDatabase:
         node_concurrency: int = 8,
         copy_ms_per_row: float = 0.05,
         drain_timeout_ms: float = 500.0,
+        *,
+        gc: bool = True,
+        group_commit: bool = True,
+        copy_reads: bool = False,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -166,7 +172,15 @@ class ShardedDatabase:
         self.node_concurrency = node_concurrency
         self.copy_ms_per_row = copy_ms_per_row
         self.drain_timeout_ms = drain_timeout_ms
-        self.shards = [Database(env, name=f"{name}/shard{i}") for i in range(num_shards)]
+        #: storage fast-path flags, applied to every shard engine (including
+        #: replacement engines built during live migration)
+        self.engine_options = {
+            "gc": gc, "group_commit": group_commit, "copy_reads": copy_reads
+        }
+        self.shards = [
+            Database(env, name=f"{name}/shard{i}", **self.engine_options)
+            for i in range(num_shards)
+        ]
         self.stats = ShardStats()
         # -- cluster placement ------------------------------------------------
         self.directory = PlacementDirectory(env)

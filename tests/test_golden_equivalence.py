@@ -1,14 +1,17 @@
-"""Golden same-seed equivalence: the ready-queue fast path is invisible.
+"""Golden same-seed equivalence: the fast paths are invisible.
 
 ``Environment(fast_path=False)`` keeps the pre-optimization heap-only
-executor as a permanent reference implementation.  These tests run real
-claim-bench workloads in both modes and assert the *formatted result
-tables* and a *Chrome trace export* are byte-identical: the fast path may
-change wall-clock time only, never virtual-time behaviour.
+executor as a permanent reference implementation, and the storage engine
+keeps its own reference modes (``gc=False``, ``group_commit=False``,
+``copy_reads=True``).  These tests run real claim-bench workloads in both
+modes and assert the *formatted result tables* and a *Chrome trace export*
+are byte-identical: a fast path may change wall-clock time only, never
+virtual-time behaviour.
 """
 
 import pytest
 
+from repro.db.engine import Database
 from repro.harness import WorkloadDriver, format_rows
 from repro.obs import Tracer
 from repro.sim import Environment
@@ -23,6 +26,20 @@ def _force_fast_path(monkeypatch, value):
         original(self, seed=seed, tracer=tracer, fast_path=value)
 
     monkeypatch.setattr(Environment, "__init__", patched)
+
+
+def _force_storage_modes(monkeypatch, optimized):
+    """Route every Database construction through the storage fast paths
+    (``optimized=True``) or their reference modes (``optimized=False``)."""
+    original = Database.__init__
+
+    def patched(self, env, name="db", **kwargs):
+        kwargs.update(
+            gc=optimized, group_commit=optimized, copy_reads=not optimized
+        )
+        original(self, env, name, **kwargs)
+
+    monkeypatch.setattr(Database, "__init__", patched)
 
 
 def _b1_table():
@@ -80,3 +97,22 @@ def test_trace_export_identical_across_modes(monkeypatch):
     _force_fast_path(monkeypatch, False)
     heap_only = _traced_transfer_json()
     assert fast == heap_only
+
+
+@pytest.mark.parametrize("table_fn", [_b1_table, _c1_table],
+                         ids=["B1", "C1"])
+def test_result_tables_identical_across_storage_modes(monkeypatch, table_fn):
+    """GC + group commit + copy elision on vs. all reference modes."""
+    _force_storage_modes(monkeypatch, True)
+    optimized = table_fn()
+    _force_storage_modes(monkeypatch, False)
+    reference = table_fn()
+    assert optimized == reference
+
+
+def test_trace_export_identical_across_storage_modes(monkeypatch):
+    _force_storage_modes(monkeypatch, True)
+    optimized = _traced_transfer_json()
+    _force_storage_modes(monkeypatch, False)
+    reference = _traced_transfer_json()
+    assert optimized == reference
