@@ -34,6 +34,7 @@ REGRESSION_TOLERANCE = 0.20
 
 
 def collect(smoke: bool) -> dict:
+    from benchmarks import bench_c15_overload
     from benchmarks.perf import bench_e2e, bench_kernel, bench_locks, bench_storage
 
     metrics: dict[str, float] = {}
@@ -42,6 +43,7 @@ def collect(smoke: bool) -> dict:
         ("locks", bench_locks),
         ("storage", bench_storage),
         ("e2e", bench_e2e),
+        ("c15-overload", bench_c15_overload),
     ):
         print(f"[perfcheck] running {name} benches ...", flush=True)
         metrics.update(module.run(smoke=smoke))

@@ -25,7 +25,7 @@ from repro.sim import Environment, any_of
 from repro.transactions.anomalies import Violation
 
 #: The runtimes a trial can target.
-RUNTIMES = ("microservice", "actor", "dataflow", "faas", "cluster")
+RUNTIMES = ("microservice", "actor", "dataflow", "faas", "cluster", "overload")
 
 #: Concurrent client processes per trial.
 NUM_CLIENTS = 3

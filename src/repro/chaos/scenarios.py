@@ -22,8 +22,9 @@ from repro.actors import ActorError, CommitUncertain, TransactionFailed
 from repro.apps import ActorBank, FaasBank, MicroserviceShop, TxnDataflowBank
 from repro.chaos.config import ChaosConfig
 from repro.cluster import ClusterError
-from repro.db import IsolationLevel, ShardedDatabase
+from repro.db import Database, IsolationLevel, ShardedDatabase, TxnStatus
 from repro.db.errors import TransactionAborted
+from repro.flow import AdmissionController, PRIORITY_LOW, RetryBudget
 from repro.chaos.oracles import (
     ConservationOracle,
     Oracle,
@@ -33,7 +34,9 @@ from repro.chaos.oracles import (
 )
 from repro.dataflow import TxnAbort
 from repro.faas.workflows import WorkflowAborted
-from repro.messaging import RpcRemoteError, RpcTimeout
+from repro.messaging import RpcError, RpcRejected, RpcRemoteError, RpcTimeout
+from repro.messaging.idempotency import IdempotencyStore
+from repro.messaging.rpc import RpcClient, RpcServer
 from repro.net import Network, NodeCrashed
 from repro.sim import Environment, Interrupted
 from repro.workloads import MarketplaceWorkload, TransferWorkload
@@ -494,6 +497,200 @@ class ClusterScenario(Scenario):
         return "info"
 
 
+class OverloadScenario(Scenario):
+    """Transfers through a flooded RPC service guarded by ``repro.flow``.
+
+    One stateless service node executes transfers against a durable
+    database engine (the engine is *not* bound to the node — crashing the
+    service kills in-flight handlers, never committed state, like a pod in
+    front of a managed database).  A seeded background flood of
+    low-priority read-only queries pushes the service's admission
+    controller into shedding while the nemesis crashes and partitions the
+    service — overload and partial failure at once, the retry-storm recipe
+    of paper §3.
+
+    Sound mode runs the full defense stack: admission control with
+    priority classes, an idempotency store consulted *before* admission,
+    per-client retry budgets and propagated deadlines.  The oracle
+    contract is "no committed work is lost (or duplicated) while
+    shedding": sheds on a request's first attempt are definite negatives
+    (``fail``), everything uncertain stays ``info``, and the exactly-once
+    ledger must balance.
+
+    Broken mode strips the defenses: no admission, no dedup store, and
+    eager client-side retries on short timeouts — each timed-out transfer
+    is retried blind, so a lost *reply* (or a duplicated request) makes
+    the transfer apply twice.  That double-application is the §3.2
+    anomaly the harness must detect.
+    """
+
+    name = "overload"
+    default_config = ChaosConfig(
+        fault_classes=("crash", "partition"),
+        crashable=("bank-service",),
+        partitionable=("load-client", "bank-service"),
+        episodes=3,
+        downtime=(30.0, 90.0),
+        loss_rate=(0.03, 0.1),
+        duplication_rate=(0.03, 0.1),
+    )
+
+    #: service time per transfer / per background query (virtual ms)
+    TRANSFER_MS = 8.0
+    QUERY_MS = 6.0
+
+    def __init__(self, env: Environment, broken: bool = False) -> None:
+        super().__init__(env, broken)
+        self.workload = TransferWorkload(
+            num_accounts=12, initial_balance=100, amount=10, theta=0.5
+        )
+        self.db = Database(env, name="overload-db")
+        self.db.create_table("accounts", primary_key="id")
+        self.net = Network(env)
+        self.client_node = self.net.add_node("load-client")
+        self.bg_node = self.net.add_node("bg-client")
+        self.service_node = self.net.add_node("bank-service")
+        self.admission: Optional[AdmissionController] = (
+            None if broken
+            else AdmissionController(8, name="bank-service.admission")
+        )
+        dedup = None if broken else IdempotencyStore(clock=lambda: env.now)
+        self.server = RpcServer(
+            self.net, self.service_node,
+            dedup_store=dedup, admission=self.admission,
+        )
+        self.server.register("transfer", self._transfer)
+        self.server.register("report", self._report)
+        self.client = RpcClient(self.net, self.client_node)
+        self.bg_client = RpcClient(self.net, self.bg_node)
+        self.budget = RetryBudget(capacity=8.0, refund=0.2)
+        self.queries_sent = 0
+        self.queries_failed = 0
+        self._ops: dict[str, Any] = {}
+
+    # -- service handlers (run as processes on the crashable node) -------------
+
+    def _transfer(self, payload: tuple) -> Generator:
+        src_id, dst_id, amount = payload
+        yield self.env.timeout(self.TRANSFER_MS)
+        txn = self.db.begin(IsolationLevel.SNAPSHOT)
+        try:
+            src = yield from self.db.get(txn, "accounts", src_id)
+            dst = yield from self.db.get(txn, "accounts", dst_id)
+            yield from self.db.put(txn, "accounts", src_id,
+                                   {**src, "balance": src["balance"] - amount})
+            yield from self.db.put(txn, "accounts", dst_id,
+                                   {**dst, "balance": dst["balance"] + amount})
+            yield from self.db.commit(txn)
+            return True
+        finally:
+            # A node crash interrupts the handler at any yield; the abort is
+            # synchronous, so the engine never leaks locks or half-transfers.
+            if txn.status is TxnStatus.ACTIVE:
+                self.db.abort(txn)
+
+    def _report(self, account: str) -> Generator:
+        yield self.env.timeout(self.QUERY_MS)
+        row = self.db.read_latest("accounts", account)
+        return row["balance"] if row is not None else 0
+
+    # -- background flood -------------------------------------------------------
+
+    def _flood(self) -> Generator:
+        """Open-loop low-priority queries, fast enough to force shedding.
+
+        Demand (~1/ms at 6 ms service time) wants ~6 slots of the
+        admission limit of 8; the low-priority watermark caps it at 4, so
+        the flood sheds at the door while transfers keep their headroom —
+        unless transfers spike too, in which case they shed as well.
+        """
+        rng = self.env.stream("overload-flood")
+        accounts = [row["id"] for row in self.workload.initial_rows()]
+        while True:
+            yield self.env.timeout(0.6 + 0.8 * rng.random())
+            account = accounts[rng.randrange(len(accounts))]
+            self.queries_sent += 1
+            self.env.process(self._one_query(account), label="overload.query")
+
+    def _one_query(self, account: str) -> Generator:
+        try:
+            yield from self.bg_client.call(
+                "bank-service", "report", account,
+                timeout=30.0, retries=0, priority=PRIORITY_LOW,
+            )
+        except RpcError:
+            self.queries_failed += 1
+
+    # -- scenario interface ----------------------------------------------------
+
+    def setup(self) -> Generator:
+        self.db.load("accounts", self.workload.initial_rows())
+        self.env.process(self._flood(), label="overload.flood")
+        return
+        yield  # pragma: no cover
+
+    def ops(self) -> list:
+        ops = list(self.workload.operations(self.env.stream("workload"), 18))
+        self._ops = {op.op_id: op for op in ops}
+        return ops
+
+    def execute(self, op) -> Generator:
+        payload = (op.src, op.dst, op.amount)
+        if self.broken:
+            # The unprotected client: short timeout, blind retries, no
+            # dedup on the other end — the §3.2 duplicate generator.
+            result = yield from self.client.call(
+                "bank-service", "transfer", payload,
+                timeout=25.0, retries=4, idempotency_key=op.op_id,
+            )
+            return result
+        deadline = self.env.now + 300.0
+        attempts = 4
+        for attempt in range(attempts):
+            if attempt > 0 and not self.budget.try_spend():
+                raise RpcTimeout("bank-service", "transfer", attempt)
+            try:
+                result = yield from self.client.call(
+                    "bank-service", "transfer", payload,
+                    timeout=45.0, retries=0,
+                    idempotency_key=op.op_id, deadline=deadline,
+                )
+                self.budget.on_success()
+                return result
+            except RpcRejected:
+                if attempt == 0:
+                    raise  # nothing was ever sent that could have executed
+                # A retry got shed, but an earlier timed-out attempt may
+                # have executed (e.g. its reply was lost before the dedup
+                # record was consulted) — the outcome is unknown.
+                raise RpcTimeout("bank-service", "transfer", attempt + 1)
+            except RpcTimeout:
+                continue
+        raise RpcTimeout("bank-service", "transfer", attempts)
+
+    def final_state(self) -> Any:
+        return self.db.all_rows("accounts")
+
+    def oracles(self) -> list[Oracle]:
+        initial = {
+            row["id"]: row["balance"] for row in self.workload.initial_rows()
+        }
+        return [
+            ConservationOracle("balance", self.workload.expected_total),
+            TransferExactlyOnceOracle(initial, self._ops, kind=self.kind),
+        ]
+
+    def classify(self, exc: Exception) -> str:
+        # First-attempt sheds never executed; a remote error means the
+        # handler itself raised (transfer aborted) before any effect —
+        # with the dedup store consulted ahead of execution, a duplicate
+        # of completed work replays its recorded response instead of
+        # raising.  Timeouts (including budget exhaustion) stay unknown.
+        if isinstance(exc, (RpcRejected, RpcRemoteError)):
+            return "fail"
+        return "info"
+
+
 def bind_engine_to_node(env: Environment, node, engine) -> None:
     """Tie a :class:`TransactionalDataflow` lifecycle to a network node.
 
@@ -523,6 +720,7 @@ _SCENARIOS = {
     "dataflow": DataflowScenario,
     "faas": FaasScenario,
     "cluster": ClusterScenario,
+    "overload": OverloadScenario,
 }
 
 

@@ -34,7 +34,8 @@ class DatabaseServer:
 
     The keyword-only ``gc``/``group_commit``/``copy_reads`` flags pass
     through to the underlying :class:`~repro.db.engine.Database` (storage
-    fast paths and their reference modes).
+    fast paths and their reference modes), as do ``adaptive`` and
+    ``flush_window_ms`` (the load-adaptive group-commit/GC windows).
     """
 
     def __init__(
@@ -48,10 +49,18 @@ class DatabaseServer:
         gc: bool = True,
         group_commit: bool = True,
         copy_reads: bool = False,
+        adaptive: bool = False,
+        flush_window_ms: float = 2.0,
     ) -> None:
         self.env = env
         self.engine = Database(
-            env, name=name, gc=gc, group_commit=group_commit, copy_reads=copy_reads
+            env,
+            name=name,
+            gc=gc,
+            group_commit=group_commit,
+            copy_reads=copy_reads,
+            adaptive=adaptive,
+            flush_window_ms=flush_window_ms,
         )
         self.name = name
         self._pool = Semaphore(env, connections, label=f"{name}.pool")

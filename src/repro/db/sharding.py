@@ -160,6 +160,8 @@ class ShardedDatabase:
         gc: bool = True,
         group_commit: bool = True,
         copy_reads: bool = False,
+        adaptive: bool = False,
+        flush_window_ms: float = 2.0,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -175,7 +177,8 @@ class ShardedDatabase:
         #: storage fast-path flags, applied to every shard engine (including
         #: replacement engines built during live migration)
         self.engine_options = {
-            "gc": gc, "group_commit": group_commit, "copy_reads": copy_reads
+            "gc": gc, "group_commit": group_commit, "copy_reads": copy_reads,
+            "adaptive": adaptive, "flush_window_ms": flush_window_ms,
         }
         self.shards = [
             Database(env, name=f"{name}/shard{i}", **self.engine_options)

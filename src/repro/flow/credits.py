@@ -1,0 +1,80 @@
+"""Credit-based flow control: a bounded counter with FIFO waiters.
+
+The idiom (SNIPPETS.md's ray wordcount: a ``ray.wait``-bounded in-flight
+queue): a producer must hold a credit to push work downstream; credits are
+returned when the consumer finishes, so the producer *blocks* instead of
+growing an unbounded buffer.  Blocking the producer is the whole point —
+it propagates overload upstream to whoever can actually shed or slow down,
+instead of hiding it in a queue that turns into latency.
+
+Built on the same FIFO-granting pattern as :class:`repro.sim.Semaphore`,
+but with explicit multi-credit release (a consumer commit can free a whole
+batch at once) and non-blocking inspection for stats.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.sim import Environment, Future
+
+
+class CreditGate:
+    """``capacity`` credits; ``acquire`` blocks (FIFO) when none are left."""
+
+    def __init__(self, env: Environment, capacity: int, label: str = "credits") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.label = label
+        self.capacity = capacity
+        self._available = capacity
+        self._waiters: Deque[Future] = deque()
+        #: acquisitions that had to wait (backpressure visibility)
+        self.blocked = 0
+
+    @property
+    def available(self) -> int:
+        return self._available
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Future:
+        """A future resolving once one credit is held."""
+        fut = Future(self.env, label=f"{self.label}.acquire")
+        if self._available > 0:
+            self._available -= 1
+            fut.succeed(None)
+        else:
+            self.blocked += 1
+            self._waiters.append(fut)
+        return fut
+
+    def try_acquire(self) -> bool:
+        """Take a credit without blocking; ``False`` when none are left."""
+        if self._available > 0:
+            self._available -= 1
+            return True
+        return False
+
+    def release(self, credits: int = 1) -> None:
+        """Return ``credits`` credits, handing them to waiters FIFO."""
+        if credits < 0:
+            raise ValueError("credits must be >= 0")
+        for _ in range(credits):
+            granted = False
+            while self._waiters:
+                waiter = self._waiters.popleft()
+                if not waiter.done:  # skip waiters cancelled by interrupts
+                    waiter.succeed(None)
+                    granted = True
+                    break
+            if not granted:
+                if self._available >= self.capacity:
+                    raise RuntimeError(
+                        f"{self.label}: release() beyond capacity"
+                    )
+                self._available += 1

@@ -21,6 +21,7 @@ from repro.messaging.outbox import OutboxRelay, TransactionalOutbox
 from repro.messaging.rpc import (
     RpcClient,
     RpcError,
+    RpcRejected,
     RpcRemoteError,
     RpcServer,
     RpcTimeout,
@@ -36,6 +37,7 @@ __all__ = [
     "Record",
     "RpcClient",
     "RpcError",
+    "RpcRejected",
     "RpcRemoteError",
     "RpcServer",
     "RpcTimeout",

@@ -13,12 +13,20 @@ groups track a committed offset per partition.  Delivery semantics are a
 The broker itself is modeled as durable and highly available (as a
 replicated Kafka cluster is); the interesting failures live in producers
 and consumers.
+
+With ``max_backlog`` set, partitions are *bounded*: a producer must hold a
+credit to append, and credits only return when a consumer group commits
+past its records — the broker stops hiding overload in an ever-growing
+log and pushes it back to whoever can shed (paper §3.2's "buffering
+brokers amplify overload" failure mode, defended).  The default
+(``max_backlog=None``) keeps the historical unbounded behaviour.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Generator, Optional
+from typing import Any, Deque, Generator, Optional
 
 from repro.cluster import stable_hash
 from repro.sim import Environment, Future, any_of
@@ -42,6 +50,8 @@ class BrokerStats:
     polled: int = 0
     committed_offsets: int = 0
     redelivered: int = 0
+    #: publishes that had to wait for a producer credit (bounded partitions)
+    blocked_publishes: int = 0
 
 
 class _Partition:
@@ -54,6 +64,8 @@ class _Partition:
         # without bound on idle topics).  Callback order on the shared
         # future is registration order, exactly as the waiter list was.
         self._wakeup: Optional[Future] = None
+        # Producers waiting for a credit (bounded partitions only), FIFO.
+        self._credit_waiters: Deque[Future] = deque()
 
     @property
     def end_offset(self) -> int:
@@ -85,11 +97,15 @@ class Broker:
         name: str = "broker",
         publish_latency: float = 0.8,
         poll_latency: float = 0.5,
+        max_backlog: Optional[int] = None,
     ) -> None:
+        if max_backlog is not None and max_backlog < 1:
+            raise ValueError("max_backlog must be >= 1 (or None for unbounded)")
         self.env = env
         self.name = name
         self.publish_latency = publish_latency
         self.poll_latency = poll_latency
+        self.max_backlog = max_backlog
         self._topics: dict[str, list[_Partition]] = {}
         # committed offsets: (group, topic, partition) -> next offset to read
         self._offsets: dict[tuple[str, str, int], int] = {}
@@ -125,13 +141,32 @@ class Broker:
     # -- producing ----------------------------------------------------------------
 
     def publish(self, topic: str, key: Any, value: Any) -> Generator:
-        """Append durably; resolves once the broker has acked."""
+        """Append durably; resolves once the broker has acked.
+
+        With ``max_backlog`` set, blocks until the partition has a free
+        credit — i.e. until its uncommitted backlog (records past the
+        slowest group's committed offset) is below the bound.  The ack is
+        therefore backpressure: a slow consumer stalls its producers
+        instead of growing the log without limit.
+        """
         tracer = self.env.tracer
         span = tracer.begin("broker.publish", broker=self.name, topic=topic)
         try:
             partitions = self._partitions(topic)
             yield self.env.timeout(self.publish_latency)
             partition = partitions[self.partition_for(topic, key)]
+            if self.max_backlog is not None:
+                blocked = False
+                while self.backlog(topic, partition.index) >= self.max_backlog:
+                    blocked = True
+                    credit = self.env.future(
+                        label=f"{topic}/{partition.index}.credit"
+                    )
+                    partition._credit_waiters.append(credit)
+                    yield credit
+                if blocked:
+                    self.stats.blocked_publishes += 1
+                    span.annotate(blocked=True)
             record = partition.append(key, value, self.env.now)
             self.stats.published += 1
             span.annotate(partition=partition.index, offset=record.offset)
@@ -207,6 +242,29 @@ class Broker:
         key = (group, topic, partition)
         self._offsets[key] = max(self._offsets.get(key, 0), offset)
         self.stats.committed_offsets += 1
+        if self.max_backlog is not None:
+            # A commit may have freed producer credits: wake every waiter
+            # (in FIFO order); each re-checks the backlog before appending.
+            part = self._partitions(topic)[partition]
+            waiters, part._credit_waiters = part._credit_waiters, deque()
+            for waiter in waiters:
+                waiter.try_succeed(None)
+
+    def backlog(self, topic: str, partition: int) -> int:
+        """Records past the slowest consumer group's committed offset.
+
+        Partitions no group has ever committed count their whole log — a
+        bounded topic therefore *requires* a committing consumer before
+        producers can run ahead, which is the honest definition of a
+        bounded queue (there is no consumer to drain it yet).
+        """
+        part = self._partitions(topic)[partition]
+        floors = [
+            offset
+            for (group, t, p), offset in self._offsets.items()
+            if t == topic and p == partition
+        ]
+        return part.end_offset - (min(floors) if floors else 0)
 
     def _note_delivery(self, group: str, topic: str, partition: int, offsets: range) -> None:
         key = (group, topic, partition)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
+from repro.flow import AdmissionController, RetryBudget, PRIORITY_NORMAL
 from repro.messaging.idempotency import IdempotencyStore
 from repro.net.network import Message, Network
 from repro.net.node import Node
@@ -41,6 +42,20 @@ class RpcRemoteError(RpcError):
         self.remote_error = remote_error
 
 
+class RpcRejected(RpcError):
+    """The server shed the request at admission (it did NOT execute).
+
+    Distinct from :class:`RpcTimeout` on purpose: a rejection is a definite
+    negative — the handler never ran — so callers must not retry it through
+    the same overloaded server (that is how retry storms start) and chaos
+    oracles may count it as "definitely not applied".
+    """
+
+    def __init__(self, dst: str, method: str, detail: str) -> None:
+        super().__init__(f"rpc {dst}.{method} shed by admission control: {detail}")
+        self.detail = detail
+
+
 @dataclass
 class _Request:
     request_id: int
@@ -51,6 +66,11 @@ class _Request:
     idempotency_key: Optional[str]
     #: Caller's span id, carried across the wire for causal trace linking.
     trace_parent: Optional[int] = None
+    #: Absolute virtual-time deadline, propagated so downstream work can be
+    #: dropped once nobody is waiting for it (None = no deadline).
+    deadline: Optional[float] = None
+    #: Admission-control priority class (repro.flow PRIORITY_*).
+    priority: int = PRIORITY_NORMAL
 
 
 @dataclass
@@ -58,6 +78,8 @@ class _Reply:
     request_id: int
     ok: bool
     value: Any
+    #: Machine-readable failure class ("rejected" = shed at admission).
+    code: Optional[str] = None
 
 
 @dataclass
@@ -67,6 +89,16 @@ class RpcStats:
     timeouts: int = 0
     duplicate_executions: int = 0
     deduplicated: int = 0
+    #: client: calls that raised RpcRejected (server shed them)
+    rejected: int = 0
+    #: client: retry loops stopped early by an exhausted retry budget
+    budget_stopped: int = 0
+    #: server: requests dropped unexecuted because their deadline passed
+    expired_dropped: int = 0
+    #: server: requests shed by the admission controller
+    shed: int = 0
+    #: client: futures failed because the node restarted mid-call
+    restart_failed_calls: int = 0
 
 
 class RpcServer:
@@ -78,6 +110,12 @@ class RpcServer:
 
     If ``dedup_store`` is given, requests carrying an idempotency key are
     executed at most once: repeats return the recorded response.
+
+    If ``admission`` is given, requests are shed at the door when the
+    controller's in-flight limit for their priority class is reached
+    (reply code ``"rejected"`` → the client raises :class:`RpcRejected`),
+    and requests whose propagated deadline already passed are dropped
+    unexecuted — the two server-side overload defenses of ``repro.flow``.
     """
 
     def __init__(
@@ -86,11 +124,13 @@ class RpcServer:
         node: Node,
         service: str = "rpc",
         dedup_store: Optional[IdempotencyStore] = None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self.network = network
         self.node = node
         self.service = service
         self.dedup = dedup_store
+        self.admission = admission
         self._handlers: dict[str, Callable[[Any], Generator]] = {}
         self.stats = RpcStats()
         self._executed_keys: set[str] = set()
@@ -137,8 +177,21 @@ class RpcServer:
         if handler is None:
             self._reply(request, ok=False, value=f"no such method {request.method!r}")
             return
+        if (
+            request.deadline is not None
+            and self.network.env.now >= request.deadline
+        ):
+            # Nobody is waiting for this answer any more; executing it would
+            # only add load.  Drop it on the floor — the caller's timeout
+            # already fired (or will, from its own clock).
+            self.stats.expired_dropped += 1
+            span.annotate(outcome="expired")
+            return
         key = request.idempotency_key
         if key is not None and self.dedup is not None:
+            # Dedup *before* admission: serving a recorded response costs
+            # O(1), and shedding a retry of work that already executed would
+            # tell the caller "definitely not done" about work that is done.
             hit = self.dedup.lookup(key)
             if hit is not None:
                 self.stats.deduplicated += 1
@@ -148,12 +201,35 @@ class RpcServer:
             inflight = self._inflight.get(key)
             if inflight is not None:
                 # A duplicate arrived while the original still executes:
-                # piggyback on its outcome instead of re-executing.
+                # piggyback on its outcome instead of re-executing.  No
+                # admission slot is held while parked here.
                 self.stats.deduplicated += 1
                 span.annotate(dedup="inflight")
                 outcome = yield inflight
                 self._reply(request, ok=outcome[0], value=outcome[1])
                 return
+        if self.admission is not None and not self.admission.try_admit(
+            request.priority
+        ):
+            self.stats.shed += 1
+            span.annotate(outcome="shed")
+            self._reply(
+                request,
+                ok=False,
+                value=f"{self.service}@{self.node.name} over admission limit",
+                code="rejected",
+            )
+            return
+        try:
+            yield from self._execute(request, span)
+        finally:
+            if self.admission is not None:
+                self.admission.release()
+
+    def _execute(self, request: _Request, span: Any) -> Generator:
+        handler = self._handlers[request.method]
+        key = request.idempotency_key
+        if key is not None and self.dedup is not None:
             self._inflight[key] = self.network.env.future(label=f"inflight:{key}")
         if key is not None:
             if key in self._executed_keys:
@@ -179,12 +255,14 @@ class RpcServer:
         if fut is not None:
             fut.try_succeed((ok, value))
 
-    def _reply(self, request: _Request, ok: bool, value: Any) -> None:
+    def _reply(
+        self, request: _Request, ok: bool, value: Any, code: Optional[str] = None
+    ) -> None:
         self.network.send(
             self.node.name,
             request.reply_to,
             request.reply_port,
-            _Reply(request.request_id, ok, value),
+            _Reply(request.request_id, ok, value, code),
         )
 
 
@@ -198,7 +276,20 @@ class RpcClient:
         self.stats = RpcStats()
         self._pending: dict[int, Any] = {}
         self._reply_port = f"{service}-replies"
-        self.node.on_restart(lambda _node: self._start())
+        self.node.on_restart(lambda _node: self._on_restart())
+        self._start()
+
+    def _on_restart(self) -> None:
+        # The crash interrupted every caller and dropped the reply port, so
+        # no pending reply can ever be matched again.  Fail the futures and
+        # reset the table — leaving them in place leaks an entry per
+        # in-flight call on every crash, forever.
+        pending, self._pending = self._pending, {}
+        for request_id, fut in pending.items():
+            self.stats.restart_failed_calls += 1
+            fut.try_fail(
+                RpcError(f"node {self.node.name} restarted with call #{request_id} pending")
+            )
         self._start()
 
     def _start(self) -> None:
@@ -222,6 +313,9 @@ class RpcClient:
         timeout: float = 20.0,
         retries: int = 3,
         idempotency_key: Optional[str] = None,
+        deadline: Optional[float] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        priority: int = PRIORITY_NORMAL,
     ) -> Generator:
         """Invoke ``method`` on node ``dst``; returns the handler's result.
 
@@ -229,6 +323,20 @@ class RpcClient:
         retry is a *new network message with the same idempotency key* —
         the duplicate-generation mechanism of §3.2.  Raises
         :class:`RpcTimeout` or :class:`RpcRemoteError`.
+
+        Overload defenses (all optional, all off by default):
+
+        - ``deadline`` — absolute virtual-time deadline.  Propagated to the
+          server (which drops expired requests unexecuted) and enforced
+          locally: attempts never wait past it, and no retry is sent once
+          it has passed.
+        - ``retry_budget`` — a :class:`repro.flow.RetryBudget`; every retry
+          must buy a token, and a success refunds a fraction.  With the
+          budget empty, the call fails fast instead of amplifying load.
+        - ``priority`` — admission class carried to the server; low
+          priority is shed first under overload.  A shed reply raises
+          :class:`RpcRejected` and is never retried here — the server
+          explicitly refused, so hammering it again is the storm.
         """
         env = self.network.env
         tracer = env.tracer
@@ -237,6 +345,14 @@ class RpcClient:
         attempts = 0
         try:
             while attempts <= retries:
+                if deadline is not None and env.now >= deadline:
+                    break  # out of time — fall through to RpcTimeout
+                if attempts > 0:
+                    if retry_budget is not None and not retry_budget.try_spend():
+                        self.stats.budget_stopped += 1
+                        span.annotate(outcome="budget-exhausted")
+                        break
+                    self.stats.retries += 1
                 attempts += 1
                 request_id = env.next_id("rpc-request")
                 request = _Request(
@@ -247,24 +363,33 @@ class RpcClient:
                     reply_port=self._reply_port,
                     idempotency_key=idempotency_key,
                     trace_parent=span.span_id if tracer.enabled else None,
+                    deadline=deadline,
+                    priority=priority,
                 )
                 attempt_span = tracer.begin("rpc.attempt", attempt=attempts)
                 fut = env.future(label=f"rpc:{dst}.{method}#{request_id}")
                 self._pending[request_id] = fut
                 self.network.send(self.node.name, dst, self.service, request)
-                winner = yield any_of(env, [fut, env.timeout(timeout, "timeout")])
+                wait = timeout
+                if deadline is not None:
+                    wait = min(wait, deadline - env.now)
+                winner = yield any_of(env, [fut, env.timeout(wait, "timeout")])
                 index, value = winner
                 if index == 0:
                     tracer.end(attempt_span, outcome="reply")
                     reply: _Reply = value
                     span.annotate(attempts=attempts)
                     if reply.ok:
+                        if retry_budget is not None:
+                            retry_budget.on_success()
                         return reply.value
+                    if reply.code == "rejected":
+                        self.stats.rejected += 1
+                        span.annotate(outcome="rejected")
+                        raise RpcRejected(dst, method, reply.value)
                     raise RpcRemoteError(dst, method, reply.value)
                 tracer.end(attempt_span, outcome="timeout")
                 self._pending.pop(request_id, None)
-                if attempts <= retries:
-                    self.stats.retries += 1
             self.stats.timeouts += 1
             span.annotate(attempts=attempts, outcome="timeout")
             raise RpcTimeout(dst, method, attempts)

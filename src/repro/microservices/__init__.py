@@ -12,11 +12,12 @@ same database.
 
 from repro.microservices.app import MicroserviceApp
 from repro.microservices.service import Microservice, ServiceContext
-from repro.microservices.retry import RetryPolicy
+from repro.microservices.retry import RetryBudgetExhausted, RetryPolicy
 
 __all__ = [
     "Microservice",
     "MicroserviceApp",
+    "RetryBudgetExhausted",
     "RetryPolicy",
     "ServiceContext",
 ]

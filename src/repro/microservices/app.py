@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from repro.db.server import DatabaseServer
+from repro.flow import AdmissionController, PRIORITY_NORMAL, RetryBudget
 from repro.messaging.broker import Broker
 from repro.messaging.idempotency import IdempotencyStore
 from repro.messaging.rpc import RpcClient, RpcServer
@@ -28,7 +29,14 @@ from repro.sim import Environment
 
 
 class MicroserviceApp:
-    """A deployed set of microservices plus a client edge."""
+    """A deployed set of microservices plus a client edge.
+
+    ``admission_limit`` (per-service max in-flight requests) turns on
+    load-shedding admission control at every service's RPC server; the
+    controllers are exposed in :attr:`admission` for stats inspection.
+    Off by default — the unprotected configuration is the §3 status quo
+    the overload benchmark measures against.
+    """
 
     def __init__(
         self,
@@ -38,11 +46,13 @@ class MicroserviceApp:
         with_broker: bool = True,
         network_latency: Optional[Sampler] = None,
         dedup_requests: bool = False,
+        admission_limit: Optional[int] = None,
     ) -> None:
         self.env = env
         self.net = Network(env, default_latency=network_latency or Latency.intra_zone())
         self.shared_database = shared_database
         self.dedup_requests = dedup_requests
+        self.admission_limit = admission_limit
         self._db_connections = db_connections
         self._shared_db: Optional[DatabaseServer] = None
         if shared_database:
@@ -53,6 +63,8 @@ class MicroserviceApp:
         self.services: dict[str, Microservice] = {}
         self.databases: dict[str, DatabaseServer] = {}
         self.dedup_stores: dict[str, IdempotencyStore] = {}
+        self.admission: dict[str, AdmissionController] = {}
+        self.rpc_servers: dict[str, RpcServer] = {}
         self._service_nodes: dict[str, str] = {}
         self._contexts: dict[str, ServiceContext] = {}
         client_node = self.net.add_node("edge-client")
@@ -78,7 +90,14 @@ class MicroserviceApp:
         dedup = IdempotencyStore(clock=lambda: self.env.now) if self.dedup_requests else None
         if dedup is not None:
             self.dedup_stores[service.name] = dedup
-        rpc_server = RpcServer(self.net, node, dedup_store=dedup)
+        admission = None
+        if self.admission_limit is not None:
+            admission = AdmissionController(
+                self.admission_limit, name=f"{service.name}.admission"
+            )
+            self.admission[service.name] = admission
+        rpc_server = RpcServer(self.net, node, dedup_store=dedup, admission=admission)
+        self.rpc_servers[service.name] = rpc_server
         rpc_client = RpcClient(self.net, node)
         context = ServiceContext(
             env=self.env,
@@ -117,8 +136,16 @@ class MicroserviceApp:
         timeout: float = 50.0,
         retries: int = 2,
         idempotency_key: Optional[str] = None,
+        deadline: Optional[float] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        priority: int = PRIORITY_NORMAL,
     ) -> Generator:
-        """An external client request entering the application."""
+        """An external client request entering the application.
+
+        ``deadline`` (absolute virtual time), ``retry_budget`` and
+        ``priority`` opt this request into the repro.flow overload
+        defenses; all default off so existing callers are untouched.
+        """
         node = self._service_nodes[service]
         result = yield from self._client_rpc.call(
             node,
@@ -127,6 +154,9 @@ class MicroserviceApp:
             timeout=timeout,
             retries=retries,
             idempotency_key=idempotency_key,
+            deadline=deadline,
+            retry_budget=retry_budget,
+            priority=priority,
         )
         return result
 

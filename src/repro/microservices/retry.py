@@ -10,9 +10,18 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Generator
+from typing import Generator, Optional
 
+from repro.flow import RetryBudget
 from repro.sim import Environment
+
+
+class RetryBudgetExhausted(Exception):
+    """A retry budget ran dry; carries the error the retry would have fixed."""
+
+    def __init__(self, last_error: Exception) -> None:
+        super().__init__(f"retry budget exhausted after {last_error!r}")
+        self.last_error = last_error
 
 
 @dataclass(frozen=True)
@@ -34,25 +43,48 @@ class RetryPolicy:
             raise ValueError("jitter must be in [0, 1]")
 
     def delay(self, attempt: int, rng: random.Random) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
-        raw = min(self.base_delay * (self.factor ** (attempt - 1)), self.max_delay)
+        """Backoff before retry number ``attempt`` (1-based).
+
+        The cap applies *after* jittering: ``max_delay`` is a promise about
+        the worst case, and jittering a capped value would let delays exceed
+        it by up to ``jitter`` (a capped 60 s backoff with 20% jitter could
+        wait 72 s — past the cap it was supposed to honor).
+        """
+        raw = self.base_delay * (self.factor ** (attempt - 1))
         if self.jitter:
             raw *= 1 + rng.uniform(-self.jitter, self.jitter)
-        return max(0.0, raw)
+        return max(0.0, min(raw, self.max_delay))
 
-    def run(self, env: Environment, operation, *args, retry_on=(Exception,)) -> Generator:
+    def run(
+        self,
+        env: Environment,
+        operation,
+        *args,
+        retry_on=(Exception,),
+        budget: Optional[RetryBudget] = None,
+    ) -> Generator:
         """Drive generator-function ``operation(*args)`` with retries.
 
-        Re-raises the last error once attempts are exhausted.
+        Re-raises the last error once attempts are exhausted.  With a
+        ``budget``, each retry must buy a token first (successes refund a
+        fraction); an empty budget raises :class:`RetryBudgetExhausted`
+        instead of retrying — failing fast rather than joining the storm.
         """
-        rng = env.stream("retry-policy")
+        # Per-call substream: a shared stream would make one caller's jitter
+        # draws depend on how many other RetryPolicy calls ran before it,
+        # coupling unrelated components' schedules for no reason.
+        rng = env.stream(f"retry-policy:{env.next_id('retry-policy')}")
         last_error: Exception | None = None
         for attempt in range(1, self.max_attempts + 1):
             try:
                 result = yield from operation(*args)
+                if budget is not None:
+                    budget.on_success()
                 return result
             except retry_on as exc:  # noqa: PERF203 - retries are the point
                 last_error = exc
                 if attempt < self.max_attempts:
+                    if budget is not None and not budget.try_spend():
+                        raise RetryBudgetExhausted(last_error) from last_error
                     yield env.timeout(self.delay(attempt, rng))
         raise last_error

@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
 from repro.cluster import rendezvous_owner
-from repro.messaging.rpc import RpcClient, RpcServer, RpcTimeout
+from repro.flow import AdmissionController, PRIORITY_NORMAL, RetryBudget
+from repro.messaging.rpc import RpcClient, RpcRejected, RpcServer, RpcTimeout
 from repro.net.network import Network
 from repro.sim import Environment
 
@@ -49,6 +50,7 @@ class ReplicaSet:
         handlers: dict[str, Callable[[Any], Generator]],
         initial_replicas: int = 2,
         provision_delay: float = 120.0,
+        admission_limit: Optional[int] = None,
     ) -> None:
         if initial_replicas < 1:
             raise ValueError("need at least one replica")
@@ -57,6 +59,9 @@ class ReplicaSet:
         self.name = name
         self.handlers = dict(handlers)
         self.provision_delay = provision_delay
+        #: per-replica max in-flight before shedding (None = unprotected)
+        self.admission_limit = admission_limit
+        self.admission: dict[str, AdmissionController] = {}
         self._replica_seq = itertools.count(0)
         self._replicas: list[str] = []
         self._outstanding: dict[str, int] = {}
@@ -70,7 +75,13 @@ class ReplicaSet:
     def _add_replica_now(self) -> str:
         node_name = f"{self.name}-{next(self._replica_seq)}"
         node = self.net.add_node(node_name)
-        server = RpcServer(self.net, node)
+        admission = None
+        if self.admission_limit is not None:
+            admission = AdmissionController(
+                self.admission_limit, name=f"{node_name}.admission"
+            )
+            self.admission[node_name] = admission
+        server = RpcServer(self.net, node, admission=admission)
         for method, handler in self.handlers.items():
             server.register(method, handler)
         self._replicas.append(node_name)
@@ -137,10 +148,21 @@ class ReplicaSet:
         failover_attempts: int = 2,
         idempotency_key: Optional[str] = None,
         affinity_key: Optional[str] = None,
+        deadline: Optional[float] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        priority: int = PRIORITY_NORMAL,
     ) -> Generator:
-        """Invoke a replica; on timeout, fail over to a different one."""
+        """Invoke a replica; on timeout, fail over to a different one.
+
+        A shed reply (:class:`RpcRejected`) also fails over — a *different*
+        replica may still have admission headroom — but each shed failover
+        spends from ``retry_budget`` like a retry would, so a fleet-wide
+        overload still fails fast instead of sweeping every replica.
+        """
         last_error: Exception | None = None
-        for _ in range(1 + failover_attempts):
+        for attempt in range(1 + failover_attempts):
+            if attempt > 0 and retry_budget is not None and not retry_budget.try_spend():
+                break
             replica = self.pick(affinity_key) if affinity_key is not None else self.pick()
             self._outstanding[replica] = self._outstanding.get(replica, 0) + 1
             try:
@@ -148,9 +170,13 @@ class ReplicaSet:
                     replica, method, payload,
                     timeout=timeout, retries=0,
                     idempotency_key=idempotency_key,
+                    deadline=deadline,
+                    priority=priority,
                 )
+                if retry_budget is not None:
+                    retry_budget.on_success()
                 return result
-            except RpcTimeout as exc:
+            except (RpcTimeout, RpcRejected) as exc:
                 last_error = exc
             finally:
                 if replica in self._outstanding:
@@ -160,6 +186,11 @@ class ReplicaSet:
     @property
     def total_outstanding(self) -> int:
         return sum(self._outstanding.get(r, 0) for r in self.alive_replicas)
+
+    @property
+    def shed_total(self) -> int:
+        """Requests shed across all replicas' admission controllers."""
+        return sum(c.stats.shed_total for c in self.admission.values())
 
 
 class Autoscaler:

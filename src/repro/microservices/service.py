@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from repro.db.server import DatabaseServer
+from repro.flow import PRIORITY_NORMAL, RetryBudget
 from repro.messaging.broker import Broker
 from repro.messaging.rpc import RpcClient
 from repro.sim import Environment
@@ -75,8 +76,16 @@ class ServiceContext:
         timeout: float = 50.0,
         retries: int = 2,
         idempotency_key: Optional[str] = None,
+        deadline: Optional[float] = None,
+        retry_budget: Optional[RetryBudget] = None,
+        priority: int = PRIORITY_NORMAL,
     ) -> Generator:
-        """Synchronous RPC to a sibling service (§3.2 REST-style)."""
+        """Synchronous RPC to a sibling service (§3.2 REST-style).
+
+        ``deadline``/``retry_budget``/``priority`` thread the repro.flow
+        overload defenses through the call chain — pass the incoming
+        request's own deadline so downstream work inherits it.
+        """
         node = self._service_nodes[service]
         result = yield from self._rpc.call(
             node,
@@ -85,6 +94,9 @@ class ServiceContext:
             timeout=timeout,
             retries=retries,
             idempotency_key=idempotency_key,
+            deadline=deadline,
+            retry_budget=retry_budget,
+            priority=priority,
         )
         return result
 

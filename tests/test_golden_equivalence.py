@@ -116,3 +116,33 @@ def test_trace_export_identical_across_storage_modes(monkeypatch):
     _force_storage_modes(monkeypatch, False)
     reference = _traced_transfer_json()
     assert optimized == reference
+
+
+def _force_adaptive(monkeypatch, adaptive):
+    """Route every Database construction through ``adaptive=``."""
+    original = Database.__init__
+
+    def patched(self, env, name="db", **kwargs):
+        kwargs.update(adaptive=adaptive)
+        original(self, env, name, **kwargs)
+
+    monkeypatch.setattr(Database, "__init__", patched)
+
+
+@pytest.mark.parametrize("table_fn", [_b1_table, _c1_table],
+                         ids=["B1", "C1"])
+def test_result_tables_identical_across_adaptive_modes(monkeypatch, table_fn):
+    """Load-adaptive flush/GC windows move durability timing only: commit
+    acks stay synchronous, so client-visible results must not change.
+    (Traces are exempt: group-flush event timestamps legitimately shift.)"""
+    _force_adaptive(monkeypatch, True)
+    adaptive = table_fn()
+    _force_adaptive(monkeypatch, False)
+    reference = table_fn()
+    assert adaptive == reference
+
+
+def test_adaptive_mode_defaults_off():
+    """The golden contract requires the flag to be opt-in."""
+    db = Database(Environment(seed=1))
+    assert db.load_signal is None
