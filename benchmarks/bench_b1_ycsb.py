@@ -16,7 +16,7 @@ Expected shape:
 
 from repro.db import DatabaseServer, IsolationLevel
 from repro.db.errors import TransactionAborted
-from repro.harness import WorkloadDriver, format_rows
+from repro.harness import WorkloadDriver, format_rows, run_cells
 from repro.sim import Environment
 from repro.workloads import ClosedLoop, YcsbWorkload
 
@@ -103,13 +103,21 @@ def run_one(mix, level_name, isolation, seed):
     return result
 
 
-def run_all():
-    results = []
-    for mix in ("C", "A", "F"):
-        for index, (level_name, isolation) in enumerate(LEVELS):
-            results.append(run_one(mix, level_name, isolation,
-                                   seed=181 + index))
-    return results
+#: Every cell of the matrix: (mix, level_name, isolation, seed).  Cells are
+#: independent simulations, each a pure function of its seed — which is what
+#: lets ``run_all(workers=N)`` fan them out to real cores with byte-identical
+#: results (the golden-equivalence suite holds it to that).
+CELLS = [
+    (mix, level_name, isolation, 181 + index)
+    for mix in ("C", "A", "F")
+    for index, (level_name, isolation) in enumerate(LEVELS)
+]
+
+
+def run_all(workers: int = 0, pool=None):
+    return run_cells(
+        [(run_one, cell) for cell in CELLS], workers=workers, pool=pool
+    )
 
 
 def test_b1_ycsb_isolation_matrix(benchmark):

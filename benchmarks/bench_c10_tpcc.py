@@ -21,7 +21,7 @@ zero.
 """
 
 from repro.apps import DbTpcc, StyxTpcc, WorkflowTpcc
-from repro.harness import WorkloadDriver, format_rows
+from repro.harness import WorkloadDriver, format_rows, run_cells
 from repro.sim import Environment
 from repro.workloads import ClosedLoop, TpccLite
 
@@ -58,13 +58,23 @@ def run_impl(name, factory, warehouses, seed):
     return result
 
 
-def run_all():
-    results = []
-    for warehouses in (1, 4):
-        results.append(run_impl("monolith-db", DbTpcc, warehouses, 101))
-        results.append(run_impl("beldi-workflows", WorkflowTpcc, warehouses, 102))
-        results.append(run_impl("styx-dataflow", StyxTpcc, warehouses, 103))
-    return results
+#: Cells of the matrix: (name, factory, warehouses, seed).  The factories
+#: are module-level classes, so cells pickle cleanly to worker processes.
+CELLS = [
+    (name, factory, warehouses, seed)
+    for warehouses in (1, 4)
+    for name, factory, seed in (
+        ("monolith-db", DbTpcc, 101),
+        ("beldi-workflows", WorkflowTpcc, 102),
+        ("styx-dataflow", StyxTpcc, 103),
+    )
+]
+
+
+def run_all(workers: int = 0, pool=None):
+    return run_cells(
+        [(run_impl, cell) for cell in CELLS], workers=workers, pool=pool
+    )
 
 
 def test_c10_tpcc(benchmark):

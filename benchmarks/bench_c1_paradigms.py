@@ -22,7 +22,7 @@ from repro.apps import ActorBank, DbBank, FaasBank, TxnDataflowBank
 from repro.apps.banking import DurableWorkflowBank
 from repro.db import IsolationLevel
 from repro.sim import Environment
-from repro.harness import format_results
+from repro.harness import format_results, run_cells
 from repro.workloads import TransferWorkload
 
 from benchmarks.common import report, run_transfers
@@ -44,19 +44,25 @@ BUILDERS = [
 ]
 
 
-def run_all():
-    results = []
-    for index, (label, build) in enumerate(BUILDERS):
-        env = Environment(seed=1000 + index)
-        workload = TransferWorkload(num_accounts=40, theta=0.7)
-        bank, needs_setup = build(env, workload)
-        if isinstance(bank, TxnDataflowBank):
-            bank.start()
-        results.append(
-            run_transfers(env, bank, workload, label, ops_count=OPS,
-                          clients=CLIENTS, setup=needs_setup)
-        )
-    return results
+def run_one(index):
+    """One paradigm build end to end — module-level so cells can fan out
+    to worker processes (the builder lambdas themselves never cross the
+    process boundary, only the index does)."""
+    label, build = BUILDERS[index]
+    env = Environment(seed=1000 + index)
+    workload = TransferWorkload(num_accounts=40, theta=0.7)
+    bank, needs_setup = build(env, workload)
+    if isinstance(bank, TxnDataflowBank):
+        bank.start()
+    return run_transfers(env, bank, workload, label, ops_count=OPS,
+                         clients=CLIENTS, setup=needs_setup)
+
+
+def run_all(workers: int = 0, pool=None):
+    return run_cells(
+        [(run_one, (index,)) for index in range(len(BUILDERS))],
+        workers=workers, pool=pool,
+    )
 
 
 def test_c1_paradigm_comparison(benchmark):

@@ -23,6 +23,19 @@ BENCH_JSON = os.path.join(REPO_ROOT, "BENCH_perf.json")
 BASELINE_JSON = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline.json")
 
 
+def affinity_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine; containers and ``taskset`` can
+    pin the runner to fewer cores, and parallel-speedup numbers are only
+    comparable between hosts with the same *effective* core count.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
 def host_info() -> dict:
     """Identify the machine a result set was measured on."""
     return {
@@ -31,6 +44,7 @@ def host_info() -> dict:
         "platform": platform.platform(),
         "machine": platform.machine(),
         "cpus": os.cpu_count(),
+        "cpus_affinity": affinity_cpus(),
     }
 
 

@@ -1,0 +1,162 @@
+"""Wall-clock benchmarks for the queue-oriented parallel execution layer.
+
+Three views, one per phase of the epoch cycle (see ``repro.parallel``):
+
+- **planning** — ``parallel_plan_txns_per_sec`` times :func:`plan_epoch`
+  alone (queues + rounds over an already-sequenced batch), because QueCC's
+  planner is a serial stage and must stay cheap for the parallel phase to
+  ever pay off;
+- **epoch execution** — a CPU-bearing spec mix (``kv.rmw``/``kv.transfer``
+  with ``spin`` work) run through :class:`EpochExecutor` at ``workers=0``
+  (the inline reference) and ``workers=2``, with the speedup and the
+  pickled bytes per transaction reported.  Both runs must land the engine
+  in the same state — asserted here, not just in the test suite;
+- **end to end** — the real B1 claim suite via ``run_all(workers=...)``
+  against a warm pool, the number the ISSUE's >=1.7x target refers to.
+
+On hosts where the runner sees fewer cores than the committed baseline
+host, the ``*_w2_*`` and ``*_speedup`` numbers measure process overhead,
+not parallelism — ``scripts/perfcheck.py`` skips gating them (with a
+warning) in that case.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def _submit_mix(executor, txns, accounts, cross_every, work):
+    """A deterministic spec mix: mostly single-key RMWs, some transfers."""
+    from repro.parallel import TxnSpec
+
+    for i in range(txns):
+        if cross_every and i % cross_every == cross_every - 1:
+            src = f"acct-{(i * 5 + 2) % accounts}"
+            dst = f"acct-{(i * 7 + 3) % accounts}"
+            if src == dst:
+                dst = f"acct-{(i * 7 + 4) % accounts}"
+            executor.submit(TxnSpec(
+                proc="kv.transfer",
+                args=("kv", src, dst, 1, "balance", work),
+                keys=(("kv", src), ("kv", dst)),
+            ))
+        else:
+            key = f"acct-{(i * 13 + 1) % accounts}"
+            executor.submit(TxnSpec(
+                proc="kv.rmw",
+                args=("kv", key, "balance", 1, work),
+                keys=(("kv", key),),
+            ))
+
+
+def _epoch_run(workers, *, shards, txns, epochs, accounts, cross_every, work):
+    """Run the mix through a fresh engine; returns (elapsed, bytes, state)."""
+    from repro.db import Database
+    from repro.parallel import EpochExecutor
+    from repro.sim import Environment
+
+    env = Environment(seed=7)
+    db = Database(env, name=f"parallel-perf-w{workers}")
+    db.create_table("kv", primary_key="id")
+    db.load("kv", [{"id": f"acct-{i}", "balance": 0} for i in range(accounts)])
+    with EpochExecutor(db, num_shards=shards, workers=workers) as executor:
+        # One untimed warm-up epoch: pool start-up and first-touch costs
+        # are paid once per process lifetime, not per epoch.
+        _submit_mix(executor, min(txns, 32), accounts, cross_every, work=0)
+        executor.flush()
+        shipped = 0
+        start = time.perf_counter()
+        for _ in range(epochs):
+            _submit_mix(executor, txns, accounts, cross_every, work)
+            result = executor.flush()
+            shipped += result.bytes_sent + result.bytes_received
+        elapsed = time.perf_counter() - start
+    state = sorted(
+        (row["id"], row["balance"]) for row in db.all_rows("kv")
+    )
+    return elapsed, shipped, state
+
+
+def _plan_run(*, txns, shards, accounts, cross_every, reps):
+    """Time the planning phase alone over one sequenced batch."""
+    from repro.parallel import TxnSpec, plan_epoch
+    from repro.transactions.sequencer import Sequencer
+
+    sequencer = Sequencer()
+    for i in range(txns):
+        if cross_every and i % cross_every == cross_every - 1:
+            src, dst = f"acct-{i % accounts}", f"acct-{(i * 7 + 3) % accounts}"
+            sequencer.submit(TxnSpec(
+                proc="kv.transfer", args=("kv", src, dst, 1),
+                keys=(("kv", src), ("kv", dst)),
+            ))
+        else:
+            key = f"acct-{(i * 13 + 1) % accounts}"
+            sequencer.submit(TxnSpec(
+                proc="kv.rmw", args=("kv", key), keys=(("kv", key),),
+            ))
+    batch = sequencer.cut_epoch()
+    best = float("inf")
+    # Best-of-N passes: the planner is a sub-ms serial stage, so a single
+    # timing is at the mercy of scheduler noise; the minimum is stable.
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(reps):
+            plan = plan_epoch(batch, num_shards=shards)
+        best = min(best, time.perf_counter() - start)
+    assert plan.stats.txns == txns
+    return (txns * reps) / best
+
+
+def run(smoke: bool = False) -> dict:
+    from benchmarks import bench_b1_ycsb
+    from repro.parallel import WorkerPool
+
+    metrics: dict[str, float] = {}
+
+    plan_scale = dict(txns=500, reps=2) if smoke else dict(txns=4000, reps=5)
+    metrics["parallel_plan_txns_per_sec"] = round(_plan_run(
+        shards=8, accounts=256, cross_every=16, **plan_scale
+    ))
+
+    epoch_scale = (
+        dict(txns=120, epochs=1, work=60)
+        if smoke else dict(txns=600, epochs=3, work=400)
+    )
+    shape = dict(shards=8, accounts=64, cross_every=16, **epoch_scale)
+    total = epoch_scale["txns"] * epoch_scale["epochs"]
+    w0_elapsed, _, w0_state = _epoch_run(0, **shape)
+    w2_elapsed, shipped, w2_state = _epoch_run(2, **shape)
+    assert w0_state == w2_state, "workers=2 diverged from the inline reference"
+    metrics["parallel_epoch_w0_txns_per_sec"] = round(total / w0_elapsed)
+    metrics["parallel_epoch_w2_txns_per_sec"] = round(total / w2_elapsed)
+    metrics["parallel_epoch_speedup"] = round(w0_elapsed / w2_elapsed, 3)
+    metrics["parallel_epoch_bytes_per_txn"] = round(shipped / total)
+
+    # End to end: the B1 claim suite itself, single-process vs a warm pool.
+    b1_reps = 1 if smoke else 2
+    start = time.perf_counter()
+    for _ in range(b1_reps):
+        results = bench_b1_ycsb.run_all(workers=0)
+    w0_elapsed = time.perf_counter() - start
+    with WorkerPool(2) as pool:
+        pool.map_calls([(int, ("1",))] * 2)  # warm both pipes
+        start = time.perf_counter()
+        for _ in range(b1_reps):
+            bench_b1_ycsb.run_all(workers=2, pool=pool)
+        w2_elapsed = time.perf_counter() - start
+    txns = sum(
+        sum(r.count for r in result.metrics.recorders().values())
+        for result in results
+    ) * b1_reps
+    metrics["parallel_b1_w0_wall_sec"] = round(w0_elapsed, 4)
+    metrics["parallel_b1_w2_wall_sec"] = round(w2_elapsed, 4)
+    metrics["parallel_b1_speedup"] = round(w0_elapsed / w2_elapsed, 3)
+    metrics["parallel_b1_w2_txns_per_sec"] = round(txns / w2_elapsed)
+    return metrics
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(run(), indent=2, sort_keys=True))

@@ -5,6 +5,7 @@ Usage::
 
     PYTHONPATH=src python scripts/perfcheck.py            # full run + gate
     PYTHONPATH=src python scripts/perfcheck.py --smoke    # quick sanity run
+    PYTHONPATH=src python scripts/perfcheck.py --only parallel
     PYTHONPATH=src python scripts/perfcheck.py --update-baseline
 
 The full run writes ``BENCH_perf.json`` at the repo root and compares
@@ -33,29 +34,58 @@ if REPO_SRC not in sys.path:
 REGRESSION_TOLERANCE = 0.20
 
 
-def collect(smoke: bool) -> dict:
+def collect(smoke: bool, only: str | None = None) -> dict:
     from benchmarks import bench_c15_overload
-    from benchmarks.perf import bench_e2e, bench_kernel, bench_locks, bench_storage
+    from benchmarks.perf import (
+        bench_e2e,
+        bench_kernel,
+        bench_locks,
+        bench_parallel,
+        bench_storage,
+    )
 
-    metrics: dict[str, float] = {}
-    for name, module in (
+    benches = (
         ("kernel", bench_kernel),
         ("locks", bench_locks),
         ("storage", bench_storage),
         ("e2e", bench_e2e),
         ("c15-overload", bench_c15_overload),
-    ):
+        ("parallel", bench_parallel),
+    )
+    if only is not None:
+        known = [name for name, _module in benches]
+        if only not in known:
+            raise SystemExit(
+                f"perfcheck: unknown bench {only!r} (choose from {known})"
+            )
+        benches = tuple(b for b in benches if b[0] == only)
+
+    metrics: dict[str, float] = {}
+    for name, module in benches:
         print(f"[perfcheck] running {name} benches ...", flush=True)
         metrics.update(module.run(smoke=smoke))
     return metrics
 
 
-def compare(metrics: dict, baseline_metrics: dict) -> list[str]:
+def multicore_dependent(name: str) -> bool:
+    """Metrics that only mean "parallelism" when real cores back the pool.
+
+    On a runner with fewer effective cores than the baseline host these
+    measure process overhead instead, so the gate skips them (loudly).
+    """
+    return name.startswith("parallel_") and (
+        name.endswith("_speedup") or "_w2_" in name
+    )
+
+
+def compare(metrics: dict, baseline_metrics: dict, skip: set | None = None) -> list[str]:
     """Return a list of regression descriptions (empty = pass)."""
     regressions = []
     for name, base in sorted(baseline_metrics.items()):
         current = metrics.get(name)
         if current is None or not isinstance(base, (int, float)) or base <= 0:
+            continue
+        if skip and name in skip:
             continue
         if name.endswith("_per_sec") or name.endswith("_speedup"):
             floor = base * (1.0 - REGRESSION_TOLERANCE)
@@ -84,16 +114,31 @@ def main(argv=None) -> int:
         "--update-baseline", action="store_true",
         help="rewrite benchmarks/perf/baseline.json from this run",
     )
+    parser.add_argument(
+        "--only", metavar="BENCH", default=None,
+        help="run a single bench family (e.g. --only parallel); results "
+        "are merged into an existing BENCH_perf.json and the gate checks "
+        "only the metrics that ran",
+    )
     args = parser.parse_args(argv)
 
     from benchmarks.perf import (
         BASELINE_JSON,
+        BENCH_JSON,
+        affinity_cpus,
         host_info,
         load_baseline,
         write_results,
     )
 
-    metrics = collect(smoke=args.smoke)
+    metrics = collect(smoke=args.smoke, only=args.only)
+    fresh = set(metrics)
+    if args.only and os.path.exists(BENCH_JSON):
+        # Partial run: keep the other families' numbers in the artifact,
+        # but gate only on the metrics measured just now.
+        with open(BENCH_JSON) as handle:
+            previous = json.load(handle).get("metrics", {})
+        metrics = {**previous, **metrics}
     baseline = load_baseline()
     pre_change = baseline.get("pre_change", {}).get("kernel_events_per_sec")
     if not args.smoke and pre_change:
@@ -125,7 +170,24 @@ def main(argv=None) -> int:
     if not baseline:
         print("[perfcheck] no committed baseline; run with --update-baseline")
         return 0
-    regressions = compare(metrics, baseline.get("metrics", {}))
+    baseline_metrics = baseline.get("metrics", {})
+    skip = {name for name in baseline_metrics if name not in fresh}
+    baseline_host = baseline.get("host", {})
+    baseline_cores = baseline_host.get("cpus_affinity") or baseline_host.get("cpus")
+    current_cores = affinity_cpus()
+    if baseline_cores and current_cores < baseline_cores:
+        undersized = {
+            name for name in baseline_metrics
+            if multicore_dependent(name) and name in fresh
+        }
+        for name in sorted(undersized):
+            print(
+                f"[perfcheck] WARNING: skipping {name}: runner sees "
+                f"{current_cores} core(s), baseline host had {baseline_cores} "
+                "— parallel speedups are not comparable"
+            )
+        skip |= undersized
+    regressions = compare(metrics, baseline_metrics, skip=skip)
     if regressions:
         print(f"[perfcheck] FAIL: {len(regressions)} metric(s) regressed >20%:")
         for line in regressions:

@@ -375,6 +375,29 @@ class ShardedDatabase:
         txn.status = "aborted"
         self._close_branches(txn)
 
+    # -- parallel-epoch entry points (repro.parallel) --------------------------------
+
+    def export_shard_snapshot(
+        self, shard: int, tables: Optional[list[str]] = None
+    ) -> dict[tuple[str, Hashable], dict]:
+        """One shard engine's committed rows in worker-shipping format."""
+        if not (0 <= shard < len(self.shards)):
+            raise ClusterError(f"unknown shard {shard}")
+        return self.shards[shard].export_snapshot(tables)
+
+    def apply_shard_epoch(
+        self, shard: int, txn_writes: list, *, epoch: int = 0
+    ) -> int:
+        """Merge one shard's epoch results into its authoritative engine.
+
+        ``txn_writes`` must already be restricted to keys this shard owns
+        and sorted in TID order (the executor splits cross-shard
+        transactions' write sets per owning shard before calling this).
+        """
+        if not (0 <= shard < len(self.shards)):
+            raise ClusterError(f"unknown shard {shard}")
+        return self.shards[shard].apply_epoch(txn_writes, epoch=epoch)
+
     # -- helpers --------------------------------------------------------------------
 
     def owner_of(self, key: Hashable) -> str:

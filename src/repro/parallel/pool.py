@@ -1,0 +1,235 @@
+"""A persistent multiprocessing worker pool with visible serialization costs.
+
+The execution phase needs real cores, so this is the one corner of the
+repository that leaves the single-threaded simulation world: plain OS
+processes connected by pipes.  Design constraints:
+
+- **persistent** — workers live across epochs (and across benchmark
+  cells), so fork/spawn cost is paid once, not per dispatch;
+- **batched messages** — each dispatch sends one pickled message per
+  worker and reads one reply, so pipe buffers can never deadlock on
+  interleaved traffic;
+- **accounted** — every byte pickled in either direction lands in
+  :class:`PoolStats`; serialization is the tax queue-oriented execution
+  pays for shared-nothing parallelism and the perf bench reports it
+  instead of hiding it;
+- **deterministic** — task → worker assignment is a pure function of the
+  task index (round-robin) or the shard id, never of scheduling noise.
+
+The pool prefers the ``fork`` start method (cheap, inherits the procedure
+registry and ``sys.modules``); where only ``spawn`` exists the executor
+ships module names for the worker to import.  Everything here is plain
+wall-clock-free Python, so the no-wallclock determinism guard holds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+#: per-shard stores living in a worker process: shard -> {(table, key): row}
+_SLICES: dict[int, dict] = {}
+
+
+class WorkerError(RuntimeError):
+    """A task raised inside a worker; carries the remote traceback."""
+
+
+@dataclass
+class PoolStats:
+    workers: int = 0
+    messages: int = 0
+    tasks: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+def _handle(message: tuple) -> Any:
+    """Execute one parent → worker message; runs inside the worker."""
+    kind = message[0]
+    if kind == "calls":
+        results = []
+        for fn, args, kwargs in message[1]:
+            results.append(fn(*args, **(kwargs or {})))
+        return results
+    if kind == "exec":
+        from repro.parallel.procs import execute_entries
+
+        replies = []
+        for shard, patch, entries in message[1]:
+            store = _SLICES.setdefault(shard, {})
+            for ref, row in patch:
+                if row is None:
+                    store.pop(ref, None)
+                else:
+                    store[ref] = row
+            replies.append((shard, execute_entries(store, entries)))
+        return replies
+    if kind == "snapshot":
+        for shard, slice_ in message[1].items():
+            _SLICES[shard] = dict(slice_)
+        return len(message[1])
+    if kind == "import":
+        import importlib
+
+        for name in message[1]:
+            importlib.import_module(name)
+        return list(message[1])
+    raise ValueError(f"unknown pool message kind {kind!r}")
+
+
+def _worker_main(conn) -> None:
+    while True:
+        try:
+            data = conn.recv_bytes()
+        except EOFError:
+            return
+        message = pickle.loads(data)
+        if message[0] == "exit":
+            conn.close()
+            return
+        try:
+            reply: tuple = ("ok", _handle(message))
+        except BaseException as exc:  # noqa: BLE001 - marshalled to parent
+            reply = ("err", f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+        conn.send_bytes(pickle.dumps(reply, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def preferred_start_method() -> str:
+    """``fork`` where the platform offers it, else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class WorkerPool:
+    """N worker processes driven over pipes; see the module docstring."""
+
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        method = start_method or preferred_start_method()
+        context = multiprocessing.get_context(method)
+        self.start_method = method
+        self.stats = PoolStats(workers=workers)
+        self._conns = []
+        self._procs = []
+        try:
+            for index in range(workers):
+                parent, child = context.Pipe()
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(child,),
+                    name=f"repro-parallel-{index}",
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def workers(self) -> int:
+        return len(self._conns)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- messaging ----------------------------------------------------------
+
+    def _send(self, worker: int, message: tuple) -> None:
+        data = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        self.stats.messages += 1
+        self.stats.bytes_sent += len(data)
+        self._conns[worker].send_bytes(data)
+
+    def _recv(self, worker: int) -> Any:
+        data = self._conns[worker].recv_bytes()
+        self.stats.bytes_received += len(data)
+        status, payload = pickle.loads(data)
+        if status == "err":
+            raise WorkerError(f"worker {worker} failed:\n{payload}")
+        return payload
+
+    def request(self, assignments: dict[int, tuple]) -> dict[int, Any]:
+        """Send one message per assigned worker; collect every reply.
+
+        Sends complete before any receive (workers consume their pipe
+        eagerly), so a slow worker never blocks another's dispatch.
+        """
+        for worker in assignments:
+            self._send(worker, assignments[worker])
+        return {worker: self._recv(worker) for worker in assignments}
+
+    def broadcast(self, message: tuple) -> list[Any]:
+        return list(
+            self.request({w: message for w in range(self.workers)}).values()
+        )
+
+    # -- high-level helpers --------------------------------------------------
+
+    def import_modules(self, modules: Sequence[str]) -> None:
+        """Make procedure-registering modules importable in every worker."""
+        if modules:
+            self.broadcast(("import", tuple(modules)))
+
+    def map_calls(
+        self, calls: Sequence[tuple[Callable, tuple]], kwargs: Optional[dict] = None
+    ) -> list[Any]:
+        """Run ``fn(*args)`` tasks across the pool; results in task order.
+
+        Assignment is deterministic round-robin (task ``i`` → worker
+        ``i % workers``).  Functions must be picklable by reference
+        (module-level); results must be picklable values.
+        """
+        buckets: dict[int, list[int]] = {}
+        for index in range(len(calls)):
+            buckets.setdefault(index % self.workers, []).append(index)
+        assignments = {
+            worker: (
+                "calls",
+                [(calls[i][0], calls[i][1], kwargs) for i in indexes],
+            )
+            for worker, indexes in buckets.items()
+        }
+        self.stats.tasks += len(calls)
+        replies = self.request(assignments)
+        results: list[Any] = [None] * len(calls)
+        for worker, indexes in buckets.items():
+            for position, index in enumerate(indexes):
+                results[index] = replies[worker][position]
+        return results
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent."""
+        for conn in self._conns:
+            try:
+                conn.send_bytes(pickle.dumps(("exit",)))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conns = []
+        self._procs = []
+
+    def __del__(self) -> None:  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter shutdown
+            pass

@@ -42,10 +42,10 @@ def _force_storage_modes(monkeypatch, optimized):
     monkeypatch.setattr(Database, "__init__", patched)
 
 
-def _b1_table():
+def _b1_table(workers=0):
     from benchmarks import bench_b1_ycsb
 
-    results = bench_b1_ycsb.run_all()
+    results = bench_b1_ycsb.run_all(workers=workers)
     return format_rows(
         ["mix/level", "ops/s", "p50 ms", "p99 ms", "lost updates"],
         [[r.label, f"{r.throughput:.0f}", f"{r.p(50):.2f}",
@@ -53,14 +53,27 @@ def _b1_table():
     )
 
 
-def _c1_table():
+def _c1_table(workers=0):
     from benchmarks import bench_c1_paradigms
 
-    results = bench_c1_paradigms.run_all()
+    results = bench_c1_paradigms.run_all(workers=workers)
     return format_rows(
         ["paradigm", "ops/s", "p50 ms", "p99 ms"],
         [[r.label, f"{r.throughput:.0f}", f"{r.p(50):.2f}", f"{r.p(99):.2f}"]
          for r in results],
+    )
+
+
+def _c10_table(workers=0):
+    from benchmarks import bench_c10_tpcc
+
+    results = bench_c10_tpcc.run_all(workers=workers)
+    return format_rows(
+        ["build", "ops/s", "p50 ms", "p99 ms", "conflicts", "aborts",
+         "anomalies"],
+        [[r.label, f"{r.throughput:.0f}", f"{r.p(50):.1f}", f"{r.p(99):.1f}",
+          r.extra.get("conflicts"), r.extra.get("aborts"),
+          r.anomalies.summary()] for r in results],
     )
 
 
@@ -146,3 +159,29 @@ def test_adaptive_mode_defaults_off():
     """The golden contract requires the flag to be opt-in."""
     db = Database(Environment(seed=1))
     assert db.load_signal is None
+
+
+# -- parallel execution (repro.parallel): where cells run is invisible --------
+
+
+@pytest.mark.parametrize("table_fn", [_b1_table, _c1_table, _c10_table],
+                         ids=["B1", "C1", "C10"])
+def test_result_tables_identical_across_worker_counts(table_fn):
+    """``run_all(workers=2)`` fans benchmark cells out to OS worker
+    processes; each cell is a pure function of its seed, so the result
+    tables must be byte-identical to the single-process reference."""
+    assert table_fn(workers=0) == table_fn(workers=2)
+
+
+def test_trace_export_identical_through_workers():
+    """A traced run shipped home from a worker process must export the
+    same Chrome trace JSON as one produced inline — span ids, virtual
+    timestamps, and tags all cross the pickle boundary intact."""
+    from repro.harness import run_cells
+
+    inline = _traced_transfer_json()
+    via_workers = run_cells(
+        [(_traced_transfer_json, ()), (_traced_transfer_json, ())],
+        workers=2,
+    )
+    assert via_workers == [inline, inline]

@@ -1,0 +1,417 @@
+"""Queue-oriented parallel execution: planner, pool, executor, equivalence.
+
+The contract under test is the one ``repro.parallel`` states: planning is
+a pure function of the sequenced batch (hash-seed- and platform-stable),
+execution with ``workers=N`` lands the authoritative engines in exactly
+the state the inline ``workers=0`` reference produces, and every failure
+a worker raises surfaces in the coordinator.
+"""
+
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.db import Database, ShardedDatabase
+from repro.harness import run_cells
+from repro.obs import Tracer
+from repro.parallel import (
+    EpochExecutor,
+    TxnSpec,
+    TxnView,
+    UndeclaredKey,
+    UnknownProcedure,
+    WorkerError,
+    WorkerPool,
+    execute_entries,
+    plan_epoch,
+    spin,
+)
+from repro.sim import Environment
+from repro.transactions import Sequencer
+from repro.transactions.sequencer import partition_queues
+
+
+def _rmw(key, **kw):
+    return TxnSpec(proc="kv.rmw", args=("kv", key), keys=(("kv", key),), **kw)
+
+
+def _transfer(src, dst, amount=1):
+    return TxnSpec(
+        proc="kv.transfer",
+        args=("kv", src, dst, amount),
+        keys=(("kv", src), ("kv", dst)),
+    )
+
+
+def _sequence(specs):
+    sequencer = Sequencer()
+    return [sequencer.submit(spec) for spec in specs]
+
+
+# -- planning ----------------------------------------------------------------
+
+
+class TestPlanEpoch:
+    def test_empty_epoch(self):
+        plan = plan_epoch([], num_shards=4)
+        assert plan.queues == {}
+        assert plan.rounds == []
+        assert plan.stats.txns == 0
+        assert plan.stats.waves == 0
+
+    def test_single_shard_txns_fill_one_round(self):
+        route = lambda key: key % 4
+        batch = _sequence([_rmw(k) for k in (0, 1, 2, 3, 4)])
+        plan = plan_epoch(batch, num_shards=4, shard_of=route)
+        assert plan.stats.rounds == 1
+        assert plan.stats.cross_shard == 0
+        (rnd,) = plan.rounds
+        assert not rnd.rendezvous
+        # Queue order within a shard is TID order.
+        assert [t.tid for t in rnd.local[0]] == [1, 5]
+
+    def test_hot_key_serializes_into_one_queue(self):
+        batch = _sequence([_rmw("hot") for _ in range(6)])
+        plan = plan_epoch(batch, num_shards=8)
+        assert len(plan.queues) == 1
+        (queue,) = plan.queues.values()
+        assert [t.tid for t in queue] == [t.tid for t in batch]
+        # Every txn conflicts with every other: the wave count is the
+        # batch length — the planner reports the serialization it cannot
+        # avoid instead of hiding it.
+        assert plan.stats.waves == len(batch)
+        assert plan.stats.max_queue == len(batch)
+
+    def test_cross_shard_txn_in_every_owning_queue_exactly_once(self):
+        route = lambda key: key % 3
+        batch = _sequence([_rmw(0), _transfer(1, 2), _rmw(4)])
+        plan = plan_epoch(batch, num_shards=3, shard_of=route)
+        cross = batch[1].tid
+        owning = [s for s, q in plan.queues.items()
+                  if cross in [t.tid for t in q]]
+        assert owning == [1, 2]
+        for shard in owning:
+            assert [t.tid for t in plan.queues[shard]].count(cross) == 1
+
+    def test_rendezvous_cuts_rounds_in_tid_order(self):
+        route = lambda key: key % 2
+        batch = _sequence([
+            _rmw(0), _rmw(1),          # round 0 locals
+            _transfer(0, 1),           # round 0 rendezvous
+            _rmw(2), _rmw(3),          # round 1 locals
+            _transfer(2, 3),           # round 1 rendezvous
+            _rmw(4),                   # round 2
+        ])
+        plan = plan_epoch(batch, num_shards=2, shard_of=route)
+        assert plan.stats.rounds == 3
+        assert [len(r.rendezvous) for r in plan.rounds] == [1, 1, 0]
+        assert plan.rounds[0].rendezvous[0].tid == 3
+
+    def test_zero_key_txn_is_rendezvous(self):
+        # No declared keys means the planner cannot prove independence:
+        # it lands at the barrier, not in an arbitrary queue.
+        batch = _sequence([TxnSpec(proc="kv.read", args=("kv", "x"))])
+        plan = plan_epoch(batch, num_shards=4)
+        assert plan.rounds[0].rendezvous[0].tid == batch[0].tid
+
+    def test_partition_queues_sorted_and_complete(self):
+        batch = _sequence([_transfer("a", "b"), _rmw("c")])
+        queues = partition_queues(
+            batch,
+            keys_of=lambda spec: set(spec.keys),
+            shard_of=lambda ref: {"a": 2, "b": 0, "c": 1}[ref[1]],
+        )
+        assert list(queues) == sorted(queues)
+        assert [t.tid for t in queues[0]] == [1]
+        assert [t.tid for t in queues[2]] == [1]
+        assert [t.tid for t in queues[1]] == [2]
+
+
+_HASHSEED_PROBE = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.parallel import TxnSpec, plan_epoch
+from repro.transactions import Sequencer
+
+sequencer = Sequencer()
+for i in range(40):
+    if i % 5 == 4:
+        keys = (("kv", f"k{{i}}"), ("kv", f"k{{(i * 7) % 40}}"), ("kv", "hot"))
+        spec = TxnSpec(proc="kv.read", args=("kv", "hot"), keys=tuple(set(keys)))
+    else:
+        spec = TxnSpec(proc="kv.rmw", args=("kv", f"k{{i}}"),
+                       keys=(("kv", f"k{{i}}"),))
+    sequencer.submit(spec)
+plan = plan_epoch(sequencer.cut_epoch(), num_shards=5)
+digest = [
+    (shard, [t.tid for t in queue]) for shard, queue in plan.queues.items()
+]
+digest.append(("rounds", [
+    (sorted(r.local), [t.tid for t in r.rendezvous]) for r in plan.rounds
+]))
+print(digest)
+"""
+
+
+def test_plan_is_hash_seed_invariant(tmp_path):
+    """String keys through sets must not leak ``PYTHONHASHSEED`` into the
+    plan: the same batch must produce the same queues and rounds under
+    different hash randomization seeds (the benches pin seed 0; plans made
+    by unpinned processes must still agree)."""
+    import os
+
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    script = tmp_path / "probe.py"
+    script.write_text(_HASHSEED_PROBE.format(src=src))
+    digests = set()
+    for seed in ("0", "1", "424242"):
+        env = {**os.environ, "PYTHONHASHSEED": seed}
+        out = subprocess.run(
+            [sys.executable, str(script)], env=env,
+            capture_output=True, text=True, check=True,
+        )
+        digests.add(out.stdout)
+    assert len(digests) == 1
+
+
+# -- procedures and the execution kernel -------------------------------------
+
+
+class TestProcs:
+    def test_undeclared_access_raises(self):
+        ctx = TxnView({}, frozenset({("kv", "a")}))
+        with pytest.raises(UndeclaredKey):
+            ctx.get("kv", "b")
+        with pytest.raises(UndeclaredKey):
+            ctx.put("kv", "b", {"id": "b"})
+
+    def test_unknown_procedure(self):
+        entries = _sequence([TxnSpec(proc="no.such.proc",
+                                     keys=(("kv", "a"),))])
+        plan = plan_epoch(entries, num_shards=1)
+        with pytest.raises(UnknownProcedure):
+            execute_entries({}, plan.queues[0])
+
+    def test_later_txns_see_earlier_writes(self):
+        batch = _sequence([_rmw("a"), _rmw("a"), _rmw("a")])
+        plan = plan_epoch(batch, num_shards=1)
+        store = {}
+        results = execute_entries(store, plan.queues[0])
+        assert [tid for tid, _writes in results] == [1, 2, 3]
+        assert store[("kv", "a")]["counter"] == 3
+
+    def test_spin_is_deterministic(self):
+        assert spin(1000, salt=7) == spin(1000, salt=7)
+        assert spin(1000, salt=7) != spin(1000, salt=8)
+
+
+# -- the worker pool ---------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_map_calls_preserves_task_order(self):
+        with WorkerPool(2) as pool:
+            results = pool.map_calls([(_square, (i,)) for i in range(7)])
+        assert results == [i * i for i in range(7)]
+
+    def test_worker_error_carries_remote_traceback(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(WorkerError, match="boom"):
+                pool.map_calls([(_explode, ())])
+
+    def test_pool_survives_a_failed_task(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(WorkerError):
+                pool.map_calls([(_explode, ())])
+            assert pool.map_calls([(_square, (3,))]) == [9]
+
+    def test_serialization_is_accounted(self):
+        with WorkerPool(1) as pool:
+            pool.map_calls([(_square, (2,))])
+            assert pool.stats.bytes_sent > 0
+            assert pool.stats.bytes_received > 0
+            assert pool.stats.tasks == 1
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(1)
+        pool.close()
+        pool.close()
+        assert pool.workers == 0
+
+
+def _square(x):
+    return x * x
+
+
+def _explode():
+    raise ValueError("boom")
+
+
+# -- the epoch executor -------------------------------------------------------
+
+
+def _spec_mix(n=120, accounts=24, cross_every=6):
+    specs = []
+    for i in range(n):
+        if i % cross_every == cross_every - 1:
+            src = f"acct-{(i * 5 + 2) % accounts}"
+            dst = f"acct-{(i * 7 + 3) % accounts}"
+            if src == dst:
+                dst = f"acct-{(i * 7 + 4) % accounts}"
+            specs.append(_transfer(src, dst))
+        else:
+            specs.append(_rmw(f"acct-{(i * 13 + 1) % accounts}"))
+    return specs
+
+
+def _engine_state(db):
+    return sorted(
+        (row["id"], sorted(row.items())) for row in db.all_rows("kv")
+    )
+
+
+def _run_on_database(workers, specs, accounts=24):
+    env = Environment(seed=3)
+    db = Database(env, name=f"exec-w{workers}")
+    db.create_table("kv", primary_key="id")
+    db.load("kv", [{"id": f"acct-{i}", "counter": 0, "balance": 0}
+                   for i in range(accounts)])
+    with EpochExecutor(db, num_shards=4, workers=workers) as executor:
+        for spec in specs:
+            executor.submit(spec)
+        result = executor.flush()
+    return db, result
+
+
+class TestEpochExecutor:
+    def test_inline_and_workers_agree_on_database(self):
+        specs = _spec_mix()
+        db0, r0 = _run_on_database(0, specs)
+        db2, r2 = _run_on_database(2, specs)
+        assert _engine_state(db0) == _engine_state(db2)
+        assert db0._commit_seq == db2._commit_seq
+        assert r0.applied == r2.applied
+        assert r2.bytes_sent > 0 and r2.bytes_received > 0
+        assert r0.bytes_sent == 0
+
+    def test_inline_and_workers_agree_on_sharded_database(self):
+        specs = _spec_mix(n=80)
+        states = {}
+        for workers in (0, 2):
+            env = Environment(seed=4)
+            db = ShardedDatabase(env, num_shards=3, name=f"shexec-w{workers}")
+            db.create_table("kv", primary_key="id")
+            db.load("kv", [{"id": f"acct-{i}", "counter": 0, "balance": 0}
+                           for i in range(24)])
+            with EpochExecutor(db, workers=workers) as executor:
+                for spec in specs:
+                    executor.submit(spec)
+                executor.flush()
+            states[workers] = _engine_state(db)
+        assert states[0] == states[2]
+
+    def test_multiple_epochs_accumulate(self):
+        env = Environment(seed=5)
+        db = Database(env, name="epochs")
+        db.create_table("kv", primary_key="id")
+        db.load("kv", [{"id": "a", "counter": 0}])
+        with EpochExecutor(db, num_shards=2, workers=0) as executor:
+            for _ in range(2):
+                for _ in range(3):
+                    executor.submit(_rmw("a"))
+                executor.flush()
+            assert executor.epochs_run == 2
+        (row,) = db.all_rows("kv")
+        assert row["counter"] == 6
+
+    def test_epoch_writes_survive_crash_recovery(self):
+        env = Environment(seed=6)
+        db = Database(env, name="recov")
+        db.create_table("kv", primary_key="id")
+        with EpochExecutor(db, num_shards=2, workers=0) as executor:
+            executor.submit(TxnSpec(
+                proc="kv.put", args=("kv", "k1", {"id": "k1", "v": 7}),
+                keys=(("kv", "k1"),),
+            ))
+            executor.flush()
+        db.crash()
+        db.recover()
+        (row,) = db.all_rows("kv")
+        assert row["v"] == 7
+
+    def test_read_only_txns_consume_no_commit_seq(self):
+        env = Environment(seed=8)
+        db = Database(env, name="ro")
+        db.create_table("kv", primary_key="id")
+        db.load("kv", [{"id": "a", "counter": 0}])
+        before = db._commit_seq
+        with EpochExecutor(db, num_shards=2, workers=0) as executor:
+            executor.submit(TxnSpec(proc="kv.read", args=("kv", "a"),
+                                    keys=(("kv", "a"),)))
+            result = executor.flush()
+        assert result.applied == 0
+        assert db._commit_seq == before
+
+    def test_undeclared_key_surfaces_from_worker(self):
+        env = Environment(seed=9)
+        db = Database(env, name="undeclared")
+        db.create_table("kv", primary_key="id")
+        with EpochExecutor(db, num_shards=1, workers=1) as executor:
+            # Declares only "a" but transfers between "a" and "b".
+            executor.submit(TxnSpec(
+                proc="kv.transfer", args=("kv", "a", "b", 1),
+                keys=(("kv", "a"), ("kv", "b")),
+            ))
+            executor.submit(TxnSpec(
+                proc="kv.transfer", args=("kv", "a", "b", 1),
+                keys=(("kv", "a"),),
+            ))
+            with pytest.raises((WorkerError, UndeclaredKey)):
+                executor.flush()
+
+    def test_requires_shard_count_for_single_engine(self):
+        env = Environment(seed=10)
+        db = Database(env, name="noshards")
+        with pytest.raises(ValueError):
+            EpochExecutor(db)
+
+
+# -- run_cells and result pickling -------------------------------------------
+
+
+def _tiny_cell(seed):
+    env = Environment(seed=seed)
+    db = Database(env, name=f"cell-{seed}")
+    db.create_table("kv", primary_key="id")
+    db.load("kv", [{"id": "a", "counter": seed}])
+    return sorted((r["id"], r["counter"]) for r in db.all_rows("kv"))
+
+
+class TestRunCells:
+    def test_workers_zero_runs_inline(self):
+        cells = [(_tiny_cell, (s,)) for s in (1, 2, 3)]
+        assert run_cells(cells) == [_tiny_cell(1), _tiny_cell(2), _tiny_cell(3)]
+
+    def test_worker_results_match_inline_in_cell_order(self):
+        cells = [(_tiny_cell, (s,)) for s in (5, 6, 7, 8)]
+        assert run_cells(cells, workers=2) == run_cells(cells)
+
+    def test_warm_pool_is_reused_and_left_open(self):
+        cells = [(_tiny_cell, (s,)) for s in (1, 2)]
+        with WorkerPool(2) as pool:
+            first = run_cells(cells, workers=2, pool=pool)
+            second = run_cells(cells, workers=2, pool=pool)
+            assert first == second
+            assert pool.workers == 2
+
+
+def test_tracer_pickles_detached():
+    env = Environment(seed=11, tracer=Tracer())
+    span = env.tracer.begin("op:x")
+    env.tracer.end(span)
+    clone = pickle.loads(pickle.dumps(env.tracer))
+    assert len(clone) == 1
+    assert clone.spans[0].name == "op:x"
+    assert clone.clock() == 0.0
