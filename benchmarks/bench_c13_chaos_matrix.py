@@ -27,16 +27,18 @@ from repro.sim import Environment
 from benchmarks.common import report
 
 SEEDS = tuple(range(1, 7))
-COLUMNS = ("crash", "partition", "loss", "duplication", "delay", "mixed")
+COLUMNS = ("crash", "kill_leader", "partition", "loss", "duplication", "delay", "mixed")
 RUNTIME_ROWS = (
     ("microservice", False, "microservice (saga)"),
     ("actor", False, "actors (2pc)"),
     ("dataflow", False, "dataflow (ckpt+replay)"),
     ("faas", False, "faas (occ workflows)"),
     ("cluster", False, "cluster (live rebalancing)"),
+    ("replication", False, "replication (quorum+fencing)"),
     ("microservice", True, "microservice (no compensation)"),
     ("actor", True, "actors (plain, no txn)"),
     ("cluster", True, "cluster (flip w/o drain)"),
+    ("replication", True, "replication (no fencing)"),
 )
 
 
@@ -106,5 +108,14 @@ def test_c13_chaos_matrix(benchmark):
     caught = sum(
         matrix[(broken_cluster, kind)] or 0
         for kind in ("crash", "partition", "mixed")
+    )
+    assert caught > 0, matrix
+    # ... and unfenced replication loses updates once a deposed leader's
+    # stale acks slip through — caught under leader-targeted schedules
+    # while the fenced configuration above survives the very same ones.
+    broken_repl = "replication (no fencing)"
+    caught = sum(
+        matrix[(broken_repl, kind)] or 0
+        for kind in ("kill_leader", "crash", "partition", "mixed")
     )
     assert caught > 0, matrix

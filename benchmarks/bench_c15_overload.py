@@ -32,7 +32,12 @@ via pytest (``pytest benchmarks/bench_c15_overload.py``), or through
 from __future__ import annotations
 
 import argparse
+import os
+import sys
 import time
+
+if __package__ in (None, ""):  # direct script execution
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from repro.apps import DbBank
 from repro.flow import AdmissionController, RetryBudget
@@ -229,8 +234,4 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    import os
-    import sys
-
-    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     raise SystemExit(main())

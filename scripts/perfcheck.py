@@ -35,7 +35,7 @@ REGRESSION_TOLERANCE = 0.20
 
 
 def collect(smoke: bool, only: str | None = None) -> dict:
-    from benchmarks import bench_c15_overload
+    from benchmarks import bench_c15_overload, bench_c16_replication
     from benchmarks.perf import (
         bench_e2e,
         bench_kernel,
@@ -50,6 +50,7 @@ def collect(smoke: bool, only: str | None = None) -> dict:
         ("storage", bench_storage),
         ("e2e", bench_e2e),
         ("c15-overload", bench_c15_overload),
+        ("c16-replication", bench_c16_replication),
         ("parallel", bench_parallel),
     )
     if only is not None:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 
 #: Fault classes a nemesis knows how to generate.
-FAULT_CLASSES = ("crash", "partition", "loss", "duplication", "delay")
+FAULT_CLASSES = ("crash", "partition", "loss", "duplication", "delay", "kill_leader")
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,9 @@ class ChaosConfig:
     fault_classes: tuple[str, ...] = FAULT_CLASSES
     crashable: tuple[str, ...] = ()
     partitionable: tuple[str, ...] = ()
+    #: replica-group labels whose *current leader* kill_leader episodes
+    #: target (resolved at fire time by the scenario's leader resolver)
+    leader_groups: tuple[str, ...] = ()
     max_concurrent_faults: int = 1
     min_heal_window: float = 60.0
     downtime: tuple[float, float] = (30.0, 100.0)
@@ -68,6 +71,8 @@ class ChaosConfig:
             if kind == "crash" and not self.crashable:
                 continue
             if kind == "partition" and len(self.partitionable) < 2:
+                continue
+            if kind == "kill_leader" and not self.leader_groups:
                 continue
             out.append(kind)
         return tuple(out)

@@ -19,8 +19,8 @@ from typing import Optional
 from repro.chaos.config import ChaosConfig
 from repro.core.faults import FaultPlan
 
-#: Episode kinds that are exclusive per target node.
-_NODE_KINDS = ("crash",)
+#: Episode kinds that are exclusive per target (node or group label).
+_NODE_KINDS = ("crash", "kill_leader")
 
 
 @dataclass(frozen=True)
@@ -99,13 +99,20 @@ class Nemesis:
     def _sample(self, rng: random.Random, classes: tuple[str, ...]) -> Optional[Episode]:
         config = self.config
         kind = classes[rng.randrange(len(classes))]
-        lo, hi = config.downtime if kind in ("crash", "partition") else config.burst
+        lo, hi = (
+            config.downtime
+            if kind in ("crash", "partition", "kill_leader")
+            else config.burst
+        )
         if lo >= config.horizon:
             return None
         start = round(rng.uniform(0.0, config.horizon - lo), 3)
         duration = round(rng.uniform(lo, min(hi, config.horizon - start)), 3)
         if kind == "crash":
             target = config.crashable[rng.randrange(len(config.crashable))]
+            return Episode(kind=kind, start=start, duration=duration, target=target)
+        if kind == "kill_leader":
+            target = config.leader_groups[rng.randrange(len(config.leader_groups))]
             return Episode(kind=kind, start=start, duration=duration, target=target)
         if kind == "partition":
             nodes = list(config.partitionable)
@@ -151,6 +158,9 @@ def compile_plan(episodes: list[Episode]) -> FaultPlan:
         if episode.kind == "crash":
             plan.crash_restart(episode.target, at=episode.start,
                                downtime=episode.duration)
+        elif episode.kind == "kill_leader":
+            plan.kill_leader(episode.target, at=episode.start,
+                             until=episode.end)
         elif episode.kind == "partition":
             plan.partition(list(episode.group_a), list(episode.group_b),
                            at=episode.start, heal_at=episode.end)

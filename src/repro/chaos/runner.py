@@ -25,7 +25,10 @@ from repro.sim import Environment, any_of
 from repro.transactions.anomalies import Violation
 
 #: The runtimes a trial can target.
-RUNTIMES = ("microservice", "actor", "dataflow", "faas", "cluster", "overload")
+RUNTIMES = (
+    "microservice", "actor", "dataflow", "faas", "cluster", "overload",
+    "replication",
+)
 
 #: Concurrent client processes per trial.
 NUM_CLIENTS = 3
@@ -104,7 +107,8 @@ def run_trial(
     elif episodes is None:
         episodes = []
     # Plan times are relative to workload start == now (post-setup).
-    plan.apply(env, scenario.net)
+    plan.apply(env, scenario.net,
+               resolver=getattr(scenario, "resolve_leader", None))
 
     history = History()
     ops = scenario.ops()

@@ -38,6 +38,13 @@ from repro.messaging import RpcError, RpcRejected, RpcRemoteError, RpcTimeout
 from repro.messaging.idempotency import IdempotencyStore
 from repro.messaging.rpc import RpcClient, RpcServer
 from repro.net import Network, NodeCrashed
+from repro.replication import (
+    FencedOut,
+    NoLeader,
+    NotLeader,
+    ReplicaUnavailable,
+    ReplicationConfig,
+)
 from repro.sim import Environment, Interrupted
 from repro.workloads import MarketplaceWorkload, TransferWorkload
 
@@ -497,6 +504,112 @@ class ClusterScenario(Scenario):
         return "info"
 
 
+class ReplicationScenario(Scenario):
+    """Transfers on quorum-replicated shards under leader-targeted chaos.
+
+    Two shards, each a factor-3 replica group over three nodes.  The
+    nemesis gets the full availability gauntlet: ``kill_leader`` episodes
+    crash whichever node *currently* leads a group (resolved at fire
+    time, so re-elections move the target), plain crashes take out
+    followers too, and partitions split the replica set — including the
+    minority-leader case where a deposed leader keeps serving until
+    fenced.
+
+    Sound mode commits through the replicated log: quorum
+    acknowledgements, epoch-fenced applies, pinned proposals (a deposed
+    leader yields a definite ``NotLeader``, never a silent re-route).
+    Broken mode (``fencing=False``) is the classic unfenced primary:
+    leaders acknowledge after *local* apply without waiting for a
+    quorum, and a deposed leader ignores higher terms — so a minority
+    leader keeps acking writes that the healed group's log then
+    overwrites.  Those acknowledged-then-lost transfers are what the
+    exactly-once/conservation oracles must catch.
+    """
+
+    name = "replication"
+    default_config = ChaosConfig(
+        fault_classes=("kill_leader", "crash", "partition"),
+        crashable=("bank/node0", "bank/node1", "bank/node2"),
+        partitionable=("bank/node0", "bank/node1", "bank/node2"),
+        leader_groups=("shard0", "shard1"),
+        downtime=(40.0, 100.0),
+    )
+
+    def __init__(self, env: Environment, broken: bool = False) -> None:
+        super().__init__(env, broken)
+        self.workload = TransferWorkload(
+            num_accounts=12, initial_balance=100, amount=10, theta=0.5
+        )
+        self.db = ShardedDatabase(
+            env, num_shards=2, num_nodes=3, name="bank",
+            rtt_ms=1.0, drain_timeout_ms=250.0,
+            replication=ReplicationConfig(factor=3, fencing=not broken),
+        )
+        self.db.create_table("accounts", primary_key="id")
+        self.net = self.db.repl_net
+        self._ops: dict[str, Any] = {}
+
+    def resolve_leader(self, label: str) -> Optional[str]:
+        """Map a ``kill_leader`` group label to its current leader node."""
+        shard = int(label.removeprefix("shard"))
+        return self.db.replica_group(shard).leader_name()
+
+    def setup(self) -> Generator:
+        self.db.load("accounts", self.workload.initial_rows())
+        return
+        yield  # pragma: no cover
+
+    def ops(self) -> list:
+        ops = list(self.workload.operations(self.env.stream("workload"), 18))
+        self._ops = {op.op_id: op for op in ops}
+        return ops
+
+    def execute(self, op) -> Generator:
+        txn = self.db.begin(IsolationLevel.SERIALIZABLE)
+        try:
+            src = yield from self.db.get(txn, "accounts", op.src)
+            dst = yield from self.db.get(txn, "accounts", op.dst)
+            yield from self.db.put(txn, "accounts", op.src,
+                                   {**src, "balance": src["balance"] - op.amount})
+            yield from self.db.put(txn, "accounts", op.dst,
+                                   {**dst, "balance": dst["balance"] + op.amount})
+            yield from self.db.commit(txn)
+            return True
+        finally:
+            # Replicated commits leave status "uncertain"/"aborted" on
+            # failure; only a branch that never reached commit is ours to
+            # roll back here.
+            if txn.status == "active":
+                self.db.abort(txn)
+
+    def final_state(self) -> Any:
+        return self.db.all_rows("accounts")
+
+    def oracles(self) -> list[Oracle]:
+        initial = {
+            row["id"]: row["balance"] for row in self.workload.initial_rows()
+        }
+        return [
+            ConservationOracle("balance", self.workload.expected_total),
+            TransferExactlyOnceOracle(initial, self._ops, kind=self.kind),
+        ]
+
+    def classify(self, exc: Exception) -> str:
+        # Definite failures: the engine rolled the branch back
+        # (TransactionAborted covers deadlock/conflict), the proposal was
+        # refused before reaching any log (NotLeader/NoLeader), or the
+        # pinned replica was deposed mid-transaction.  A FencedOut ack,
+        # quorum timeout, or any other uncertainty stays unknown — the
+        # entry may commit through a later leader.
+        if isinstance(
+            exc,
+            (TransactionAborted, NotLeader, NoLeader,
+             ReplicaUnavailable, ClusterError),
+        ):
+            return "fail"
+        return "info"
+
+
 class OverloadScenario(Scenario):
     """Transfers through a flooded RPC service guarded by ``repro.flow``.
 
@@ -721,6 +834,7 @@ _SCENARIOS = {
     "faas": FaasScenario,
     "cluster": ClusterScenario,
     "overload": OverloadScenario,
+    "replication": ReplicationScenario,
 }
 
 

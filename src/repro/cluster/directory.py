@@ -58,6 +58,7 @@ class PlacementDirectory:
         self.env = env
         self._owners: dict[int, str] = {}
         self._epochs: dict[int, int] = {}
+        self._groups: dict[int, tuple[str, ...]] = {}
         self._migrating: dict[int, MigrationRecord] = {}
         self._activations: dict[Hashable, str] = {}
         self.stats = DirectoryStats()
@@ -87,6 +88,34 @@ class PlacementDirectory:
 
     def nodes(self) -> list[str]:
         return sorted(set(self._owners.values()))
+
+    # -- replica groups -----------------------------------------------------
+
+    def assign_group(self, shard: int, nodes: tuple[str, ...]) -> None:
+        """Record the replica-group membership backing ``shard``.
+
+        The shard's *owner* remains the single routing target — under
+        replication it is the group's current leader, maintained via
+        :meth:`set_group_leader`.
+        """
+        self._groups[shard] = tuple(nodes)
+
+    def group_of(self, shard: int) -> tuple[str, ...]:
+        """Replica-group membership of ``shard`` (empty if unreplicated)."""
+        return self._groups.get(shard, ())
+
+    def set_group_leader(self, shard: int, node: str) -> None:
+        """Point the shard's ownership at its group's new leader.
+
+        An election is an ownership flip like any other: the epoch bumps
+        so routers with the old leader cached detect staleness and
+        forward, exactly as after a migration.
+        """
+        if self._owners.get(shard) == node:
+            return
+        self._owners[shard] = node
+        self._epochs[shard] = self._epochs.get(shard, 0) + 1
+        self.stats.ownership_flips += 1
 
     # -- migration lifecycle ------------------------------------------------
 

@@ -51,6 +51,9 @@ class Move:
     source: str
     dest: str
     reason: str
+    #: full membership of the relocated replica group (empty when the
+    #: target is unreplicated: the shard is a single engine)
+    dest_nodes: tuple[str, ...] = ()
 
 
 class Rebalancer:
@@ -115,7 +118,31 @@ class Rebalancer:
                 f"node load {loads[hot_node]:.1f} > "
                 f"{self.imbalance_factor:g}x {loads[cold_node]:.1f}"
             ),
+            dest_nodes=self._plan_dest_nodes(shard, cold_node, loads),
         )
+
+    def _plan_dest_nodes(
+        self, shard: int, dest: str, loads: dict[str, float]
+    ) -> tuple[str, ...]:
+        """New replica-group membership for a group-backed shard.
+
+        The coldest node leads the new group; the rest of the membership
+        is filled coldest-first from the remaining nodes so the follower
+        load spreads too.  Empty when the target is unreplicated.
+        """
+        current = self.target.directory.group_of(shard)
+        if not current:
+            return ()
+        members = [dest]
+        for node in sorted(
+            (n for n in loads if n != dest), key=lambda n: (loads[n], n)
+        ):
+            if len(members) == len(current):
+                break
+            members.append(node)
+        if len(members) < len(current):
+            return ()  # not enough nodes to rebuild the group elsewhere
+        return tuple(members)
 
     # -- the control loop ---------------------------------------------------
 
@@ -144,7 +171,12 @@ class Rebalancer:
             return None
         self.stats.planned += 1
         try:
-            yield from self.target.migrate_shard(move.shard, move.dest)
+            if move.dest_nodes:
+                yield from self.target.migrate_shard(
+                    move.shard, move.dest, list(move.dest_nodes)
+                )
+            else:
+                yield from self.target.migrate_shard(move.shard, move.dest)
             self.stats.completed += 1
         except ClusterError:
             self.stats.failed += 1  # raced another migration or a topology change

@@ -25,7 +25,10 @@ from repro.net.network import Network
 from repro.sim import Environment
 
 #: Fault kinds a plan may contain, in canonical order.
-FAULT_KINDS = ("crash", "restart", "partition", "heal", "loss", "duplication", "delay")
+FAULT_KINDS = (
+    "crash", "restart", "partition", "heal", "loss", "duplication", "delay",
+    "kill_leader",
+)
 
 
 class FaultPlanError(ValueError):
@@ -192,6 +195,24 @@ class FaultPlan:
         self.events.append(FaultEvent(at=at, kind="delay", rate=extra_ms, until=until))
         return self
 
+    def kill_leader(self, group: str, at: float, until: float) -> "FaultPlan":
+        """Crash whichever node *leads* ``group`` when the event fires.
+
+        ``group`` is a replica-group label resolved at execution time by
+        the scenario's leader resolver (see :meth:`apply`), not a node
+        name — the whole point is to target leadership wherever the
+        elections have moved it.  The killed node restarts at ``until``.
+        """
+        _check_node(group, "kill_leader")
+        _check_at(at, f"kill_leader({group!r})")
+        _check_until(at, until, f"kill_leader({group!r})")
+        if until is None:
+            raise FaultPlanError(f"kill_leader({group!r}): until is required")
+        self.events.append(
+            FaultEvent(at=at, kind="kill_leader", target=group, until=until)
+        )
+        return self
+
     # -- validation -----------------------------------------------------------
 
     def validate(self, net: Optional[Network] = None) -> None:
@@ -211,6 +232,14 @@ class FaultPlan:
             if event.kind not in FAULT_KINDS:
                 raise FaultPlanError(f"unknown fault kind {event.kind!r}")
             _check_at(event.at, event.kind)
+            if event.kind == "kill_leader":
+                if not event.target:
+                    raise FaultPlanError("kill_leader: missing target group")
+                if event.until is None:
+                    raise FaultPlanError("kill_leader: missing until (restart time)")
+                # target is a group label, resolved at execution time —
+                # deliberately outside the node-state machine below
+                continue
             if event.kind in ("crash", "restart"):
                 if not event.target:
                     raise FaultPlanError(f"{event.kind}: missing target node")
@@ -269,25 +298,44 @@ class FaultPlan:
 
     # -- execution ------------------------------------------------------------
 
-    def apply(self, env: Environment, net: Network) -> None:
+    def apply(self, env: Environment, net: Network, resolver=None) -> None:
         """Validate, then schedule every event against the environment.
 
         Offsets are relative to ``env.now`` at apply time, so a plan built
         for "workload time" applies unchanged after a setup phase.
+
+        ``resolver`` maps a ``kill_leader`` event's group label to the
+        node name currently leading that group (returning ``None`` when
+        there is no leader to kill); plans containing ``kill_leader``
+        events require it.
         """
         self.validate(net)
         for event in self.events:
-            env.schedule(event.at, self._execute, net, event)
+            if event.kind == "kill_leader" and resolver is None:
+                raise FaultPlanError(
+                    "plan contains kill_leader events but apply() got no "
+                    "leader resolver"
+                )
+        for event in self.events:
+            env.schedule(event.at, self._execute, net, event, resolver, env)
             if event.until is not None and event.kind in ("loss", "duplication", "delay"):
                 restore = FaultEvent(at=event.until, kind=event.kind, rate=0.0)
                 env.schedule(event.until, self._execute, net, restore)
 
     @staticmethod
-    def _execute(net: Network, event: FaultEvent) -> None:
+    def _execute(net: Network, event: FaultEvent, resolver=None, env=None) -> None:
         if event.kind == "crash":
             net.node(event.target).crash("fault-plan")
         elif event.kind == "restart":
             net.node(event.target).restart()
+        elif event.kind == "kill_leader":
+            # Resolved at fire time: kill whoever leads the group *now*.
+            name = resolver(event.target)
+            node = net.nodes.get(name) if name is not None else None
+            if node is None or not node.alive:
+                return  # leaderless (mid-election) or already down: no-op
+            node.crash("kill-leader")
+            env.schedule(event.until - event.at, node.restart)
         elif event.kind == "partition":
             net.partition(list(event.group_a), list(event.group_b))
         elif event.kind == "heal":

@@ -19,6 +19,7 @@ provides:
 from repro.db.errors import (
     DeadlockAbort,
     DuplicateKey,
+    FencedOut,
     TransactionAborted,
     TransactionError,
     WriteConflict,
@@ -33,6 +34,7 @@ __all__ = [
     "DatabaseServer",
     "DeadlockAbort",
     "DuplicateKey",
+    "FencedOut",
     "IsolationLevel",
     "LockManager",
     "LockMode",

@@ -58,6 +58,7 @@ from typing import Any, Callable, Generator, Hashable, Iterable, KeysView, Optio
 
 from repro.db.errors import (
     DuplicateKey,
+    FencedOut,
     InvalidTransactionState,
     NoSuchTable,
     TransactionAborted,
@@ -273,6 +274,10 @@ class DbStats:
     live_versions: int = 0
     #: group fsyncs deferred past end-of-instant by the adaptive window
     adaptive_deferrals: int = 0
+    #: replicated-apply acks refused because the proposal term was fenced
+    fenced_acks: int = 0
+    #: replicated commands (commit/prepare/decide entries) applied
+    replicated_applies: int = 0
 
 
 class _CommitGroup:
@@ -343,6 +348,11 @@ class Database:
             LoadSignal(env, window_ms=10.0, alpha=0.5) if adaptive else None
         )
         self._group: Optional[_CommitGroup] = None
+        #: highest replication term observed (fencing token watermark)
+        self._fence = 0
+        #: replicated proposals staged on this engine, awaiting their log
+        #: entry's fate; keyed by the globally unique gid
+        self._repl_pending: dict[Hashable, Transaction] = {}
         self.stats = DbStats()
 
     # -- schema ---------------------------------------------------------------
@@ -908,6 +918,7 @@ class Database:
         self._tables.clear()
         self._active.clear()
         self._in_doubt.clear()
+        self._repl_pending.clear()
         self.locks = LockManager(self.env)
         self.stats.live_versions = 0
 
@@ -989,6 +1000,209 @@ class Database:
         if commit:
             self._install(writes)
         self.locks.release_all(tid)
+
+    # -- replication entry points (repro.replication) -------------------------------
+
+    @property
+    def fence_token(self) -> int:
+        """Highest replication term this engine has observed."""
+        return self._fence
+
+    def raise_fence(self, token: int) -> None:
+        """Monotonically raise the fencing watermark (survives crashes:
+        the replica re-raises its durable term on recovery)."""
+        if token > self._fence:
+            self._fence = token
+
+    def stage_replicated(
+        self, txn: Transaction, gid: Hashable, *, prepared: bool = False
+    ) -> tuple:
+        """Freeze a transaction's writes for proposal to a replicated log.
+
+        Validates (snapshot first-committer-wins; aborts and raises on
+        conflict), freezes the write set, and parks the transaction in
+        ``_repl_pending`` — *keeping its locks held* — until the log entry
+        carrying the writes either applies here (:meth:`apply_replicated`
+        settles it) or is discarded (:meth:`discard_replicated`).  Holding
+        the locks across the quorum round is what keeps a concurrent
+        writer from sneaking between validation and install.
+        """
+        txn.require(TxnStatus.ACTIVE)
+        self._validate(txn)
+        writes = txn.writes
+        for (table, key), row in writes.items():
+            if row is not None and row.__class__ is not Row:
+                writes[(table, key)] = Row(row)
+        self._repl_pending[gid] = txn
+        if prepared:
+            txn.status = TxnStatus.PREPARED
+        return tuple(writes.items())
+
+    def apply_replicated(
+        self,
+        kind: str,
+        gid: Hashable,
+        writes: Optional[tuple] = None,
+        *,
+        token: Optional[int] = None,
+        ack: Optional[Any] = None,
+        ack_value: Optional[int] = None,
+        decision: bool = True,
+    ) -> None:
+        """Apply one committed log entry; the fencing check lives here.
+
+        A committed entry ALWAYS installs — committedness was decided by
+        the quorum, not by this engine — but the *acknowledgement* is
+        refused when the entry's proposal term (``token``) is below the
+        engine's fence: the proposing leader was deposed before it could
+        learn the outcome, so it must not report success
+        (:class:`FencedOut`).  ``token=None`` disables the check (the
+        broken no-fencing variant the chaos oracles catch).
+
+        Synchronous and WAL-durable per entry, so a replica's
+        ``applied_index`` and its engine's recovered state always agree.
+        """
+        fenced = token is not None and token < self._fence
+        if kind == "commit":
+            buffered: dict[tuple[str, Hashable], Optional[dict]] = dict(writes)
+            for (table, key), row in buffered.items():
+                self.wal.append("write", (gid, table, key, row))
+            self.wal.append("commit", (gid,))
+            self._flush_wal()
+            self._install(buffered)
+            self.stats.committed += 1
+            pending = self._repl_pending.pop(gid, None)
+            if pending is not None:
+                pending.status = TxnStatus.COMMITTED
+                self._finish(pending)
+        elif kind == "prepare":
+            buffered = dict(writes)
+            for (table, key), row in buffered.items():
+                self.wal.append("write", (gid, table, key, row))
+            self.wal.append("prepare", (gid,))
+            self._flush_wal()
+            self._in_doubt[gid] = buffered
+            if gid not in self._repl_pending:
+                # Follower apply: no interactive branch holds these locks,
+                # so take them under the gid (recovery-style) to keep
+                # post-failover writers off the in-doubt rows.
+                for table, key in buffered:
+                    self.locks.acquire(gid, ("table", table), LockMode.IX)
+                    self.locks.acquire(gid, ("row", table, key), LockMode.X)
+        elif kind == "decide":
+            buffered = self._in_doubt.pop(gid, None)
+            pending = self._repl_pending.pop(gid, None)
+            if buffered is not None:
+                self.wal.append("commit" if decision else "abort", (gid,))
+                self._flush_wal()
+                if decision:
+                    self._install(buffered)
+                    self.stats.committed += 1
+                else:
+                    self.stats.aborted += 1
+                if pending is not None:
+                    pending.status = (
+                        TxnStatus.COMMITTED if decision else TxnStatus.ABORTED
+                    )
+                    self._finish(pending)
+                else:
+                    self.locks.release_all(gid)
+            # else: duplicate decide (idempotent retry) — nothing to do
+        else:
+            raise ValueError(f"unknown replicated command kind {kind!r}")
+        self.stats.replicated_applies += 1
+        if ack is not None:
+            if fenced:
+                self.stats.fenced_acks += 1
+                ack.try_succeed(("err", FencedOut(gid, token, self._fence)))
+            else:
+                ack.try_succeed(("ok", ack_value))
+
+    def discard_replicated(self, gid: Hashable) -> None:
+        """A staged proposal's entry will never commit: roll it back."""
+        txn = self._repl_pending.pop(gid, None)
+        if txn is not None and txn.status in (
+            TxnStatus.ACTIVE, TxnStatus.PREPARED
+        ):
+            self.wal.append("abort", (txn.tid,))
+            txn.status = TxnStatus.ABORTED
+            self._finish(txn)
+            self.stats.aborted += 1
+        if self._in_doubt.pop(gid, None) is not None:
+            self.locks.release_all(gid)
+
+    def snapshot_payload(self) -> dict:
+        """Committed state in checkpoint format, for InstallSnapshot.
+
+        Same structure :meth:`checkpoint` logs, but without touching this
+        engine's WAL — the *receiver* makes it durable on install.
+        """
+        tables: dict[str, dict] = {}
+        for name, tbl in self._tables.items():
+            rows: dict[Hashable, dict] = {}
+            for key in tbl.versions:
+                row = tbl.latest(key)
+                if row is not None:
+                    rows[key] = row
+            tables[name] = {
+                "primary_key": tbl.primary_key,
+                "indexes": [
+                    (column, column in tbl.ordered_indexes)
+                    for column in tbl.indexes
+                ],
+                "rows": rows,
+            }
+        return {
+            "tables": tables,
+            "in_doubt": {tid: dict(w) for tid, w in self._in_doubt.items()},
+        }
+
+    def install_snapshot(self, payload: dict) -> None:
+        """Replace all state with a leader's snapshot, durably.
+
+        Used when the log alone cannot catch a replica up (compaction, or
+        broken-mode divergence below the applied prefix).  The snapshot is
+        logged as a checkpoint record and the WAL truncated behind it, so
+        a later crash recovers to exactly the installed state.  Any state
+        the snapshot does not contain — including writes a broken leader
+        applied without quorum — is erased.
+        """
+        group = self._group
+        if group is not None:
+            self._group = None
+            group.crashed = True
+            group.future.succeed(None)
+        self._tables.clear()
+        self._active.clear()
+        self._commit_seq = 0
+        self.stats.live_versions = 0
+        self.locks = LockManager(self.env)
+        for gid, txn in list(self._repl_pending.items()):
+            # Stale staged proposals cannot survive a resync.
+            del self._repl_pending[gid]
+            txn.status = TxnStatus.ABORTED
+        self._in_doubt.clear()
+        lsn = self.wal.append("checkpoint", payload)
+        self._flush_wal()
+        self.wal.truncate(before_lsn=lsn)
+        restored: dict[tuple[str, Hashable], Optional[dict]] = {}
+        for name, meta in payload["tables"].items():
+            tbl = _Table(name, meta["primary_key"])
+            self._tables[name] = tbl
+            for column, ordered in meta["indexes"]:
+                tbl.create_index(column, ordered=ordered)
+            for key, row in meta["rows"].items():
+                restored[(name, key)] = row
+        if restored:
+            self._install(restored)
+        for tid, writes in payload["in_doubt"].items():
+            self._in_doubt[tid] = dict(writes)
+            for table, key in writes:
+                self.locks.acquire(tid, ("table", table), LockMode.IX)
+                self.locks.acquire(tid, ("row", table, key), LockMode.X)
+        self.env.tracer.event(
+            "db.install_snapshot", db=self.name, lsn=lsn
+        )
 
     # -- parallel-epoch entry points (repro.parallel) -------------------------------
 

@@ -43,7 +43,21 @@ from repro.cluster import (
 from repro.cluster import ShardStats as ClusterShardStats
 from repro.cluster.migration import migrate_shard as _run_migration
 from repro.db.engine import Database, IsolationLevel, Transaction
+from repro.db.errors import FencedOut
+from repro.replication.config import ReplicationConfig
+from repro.replication.errors import (
+    NoLeader,
+    NotLeader,
+    ReplicationError,
+    ReplicaUnavailable,
+)
 from repro.sim import Environment, Future, Semaphore, any_of
+
+#: Effectively-unbounded deadline for 2PC decision entries: a decided
+#: transaction's outcome must reach every participant group no matter how
+#: many elections happen in between, or atomicity tears (conservation
+#: violation).  The decide keeps retrying through whichever leader emerges.
+_DECIDE_TIMEOUT_MS = 1e9
 
 
 def shard_of(key: Hashable, num_shards: int) -> int:
@@ -61,6 +75,13 @@ class DistributedTransaction:
     #: current engine, but pinned here so a branch always settles where it
     #: wrote (the drain bar makes the two identical in sound operation).
     engines: dict[int, "Database"] = field(default_factory=dict)
+    #: under replication, the leader replica each branch executed on —
+    #: proposals pin to it so a deposed leader yields a definite NotLeader
+    #: instead of silently re-routing half-executed state.
+    replicas: dict[int, Any] = field(default_factory=dict)
+    #: log index each shard's commit/decide entry applied at (read-your-writes
+    #: session tokens for follower reads).
+    applied: dict[int, int] = field(default_factory=dict)
     status: str = "active"
 
     @property
@@ -135,6 +156,118 @@ class _ShardedMover:
             barrier.try_succeed(None)
 
 
+class _LeaderView:
+    """Sequence façade: ``db.shards[i]`` is shard *i*'s current leader engine.
+
+    Keeps the unreplicated code paths (schema helpers, ``read_latest``,
+    parallel-epoch hooks) working unchanged when a shard is a replica
+    group rather than a single engine.  Mid-election, falls back to the
+    most advanced live replica so final-state reads stay serviceable.
+    """
+
+    def __init__(self, db: "ShardedDatabase") -> None:
+        self.db = db
+
+    def __len__(self) -> int:
+        return self.db.num_shards
+
+    def _engine(self, shard: int) -> Database:
+        group = self.db._groups[shard]
+        leader = group.leader_replica()
+        if leader is not None:
+            return leader.engine
+        live = [
+            r for r in group.replicas
+            if r.node.alive and r.role != "stopped"
+        ]
+        if live:
+            return max(live, key=lambda r: (r.term, r.applied_index)).engine
+        return group.replicas[0].engine
+
+    def __getitem__(self, shard: int) -> Database:
+        return self._engine(shard)
+
+    def __iter__(self):
+        for shard in range(len(self)):
+            yield self._engine(shard)
+
+
+class _ReplicatedMover(_ShardedMover):
+    """Shard mover that migrates a whole replica group atomically.
+
+    Quiescence additionally waits for the group's log to be fully applied
+    with no outstanding acknowledgements or in-doubt transactions; the
+    copy re-checks leadership after every yield so a migration racing a
+    leader election (or a leader crash) aborts cleanly with
+    :class:`ClusterError` instead of flipping ownership to a group built
+    from a deposed leader's state.
+    """
+
+    def __init__(self, db: "ShardedDatabase", members: list[str]) -> None:
+        super().__init__(db)
+        self.members = members
+
+    def quiesce(self, shard: int) -> Generator:
+        yield from super().quiesce(shard)
+        db = self.db
+        group = db._groups[shard]
+        deadline = db.env.now + db.drain_timeout_ms
+        while not group.quiescent():
+            if db.env.now >= deadline:
+                raise ClusterError(
+                    f"shard {shard} replica group failed to quiesce within "
+                    f"{db.drain_timeout_ms}ms"
+                )
+            yield db.env.timeout(db.replication.heartbeat_ms)
+
+    def transfer(self, shard: int, source: str, dest: str) -> Generator:
+        db = self.db
+        group = db._groups[shard]
+        leader = group.leader_replica()
+        if leader is None or not leader.node.alive:
+            raise ClusterError(f"shard {shard} has no leader to copy from")
+        start_index = leader.applied_index
+        copied: dict[str, list] = {}
+        rows_moved = 0
+        for kind, args in db._schema:
+            if kind != "table":
+                continue
+            table = args[0]
+            rows = leader.engine.all_rows(table)
+            yield db.env.timeout(db.rtt_ms)
+            if rows:
+                yield db.env.timeout(db.copy_ms_per_row * len(rows))
+            if (
+                not leader.node.alive
+                or leader.role != "leader"
+                or group.leader_replica() is not leader
+            ):
+                raise ClusterError(
+                    f"shard {shard} leadership changed mid-copy; "
+                    "migration aborted"
+                )
+            copied[table] = rows
+            rows_moved += len(rows)
+        for member in self.members:
+            node = db.repl_net.nodes.get(member)
+            if node is not None and not node.alive:
+                raise ClusterError(
+                    f"shard {shard} migration member {member!r} is down; "
+                    "migration aborted"
+                )
+        generation = db._group_generation[shard] + 1
+        new_group = db._build_group(
+            shard, self.members, generation,
+            start_index=start_index, preload=copied,
+        )
+        db._group_generation[shard] = generation
+        old_group = db._groups[shard]
+        db._groups[shard] = new_group
+        db.directory.assign_group(shard, tuple(self.members))
+        old_group.stop()
+        return rows_moved
+
+
 class ShardedDatabase:
     """N logical shards placed on nodes behind a routing layer with 2PC.
 
@@ -162,28 +295,35 @@ class ShardedDatabase:
         copy_reads: bool = False,
         adaptive: bool = False,
         flush_window_ms: float = 2.0,
+        replication: Optional[ReplicationConfig] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
-        if num_nodes is not None and not (0 < num_nodes <= num_shards):
-            raise ValueError("num_nodes must be in [1, num_shards]")
+        if replication is None:
+            if num_nodes is not None and not (0 < num_nodes <= num_shards):
+                raise ValueError("num_nodes must be in [1, num_shards]")
+        elif num_nodes is not None and num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
         self.env = env
         self.name = name
+        self.num_shards = num_shards
         self.rtt_ms = rtt_ms
         self.service_ms = service_ms
         self.node_concurrency = node_concurrency
         self.copy_ms_per_row = copy_ms_per_row
         self.drain_timeout_ms = drain_timeout_ms
+        self.replication = replication
         #: storage fast-path flags, applied to every shard engine (including
         #: replacement engines built during live migration)
         self.engine_options = {
             "gc": gc, "group_commit": group_commit, "copy_reads": copy_reads,
             "adaptive": adaptive, "flush_window_ms": flush_window_ms,
         }
-        self.shards = [
-            Database(env, name=f"{name}/shard{i}", **self.engine_options)
-            for i in range(num_shards)
-        ]
+        if replication is None:
+            self.shards = [
+                Database(env, name=f"{name}/shard{i}", **self.engine_options)
+                for i in range(num_shards)
+            ]
         self.stats = ShardStats()
         # -- cluster placement ------------------------------------------------
         self.directory = PlacementDirectory(env)
@@ -195,9 +335,35 @@ class ShardedDatabase:
         count = num_nodes if num_nodes is not None else num_shards
         for i in range(count):
             self.add_node()
-        for shard in range(num_shards):
-            self.directory.assign(shard, self.nodes[shard % len(self.nodes)])
         self._schema: list[tuple[str, tuple]] = []
+        if replication is None:
+            for shard in range(num_shards):
+                self.directory.assign(shard, self.nodes[shard % len(self.nodes)])
+        else:
+            if len(self.nodes) < replication.factor:
+                raise ValueError(
+                    f"replication factor {replication.factor} needs at "
+                    f"least {replication.factor} nodes, have {len(self.nodes)}"
+                )
+            from repro.net import Network
+
+            #: replica traffic runs over its own network so the replication
+            #: RPCs share fault injection (partitions, crashes) with the
+            #: chaos layer without disturbing the unreplicated model
+            self.repl_net = Network(env)
+            self._groups: dict[int, Any] = {}
+            self._group_generation: dict[int, int] = {}
+            for shard in range(num_shards):
+                members = [
+                    self.nodes[(shard + j) % len(self.nodes)]
+                    for j in range(replication.factor)
+                ]
+                group = self._build_group(shard, members, 0)
+                self._groups[shard] = group
+                self._group_generation[shard] = 0
+                self.directory.assign_group(shard, tuple(members))
+                self.directory.assign(shard, members[0])
+            self.shards = _LeaderView(self)
         self._active_branches: dict[int, int] = {}
         self._drain_waiters: dict[int, Future] = {}
         self._barriers: dict[int, Future] = {}
@@ -221,28 +387,147 @@ class ShardedDatabase:
         """Nodes eligible to own shards (the RebalanceTarget view)."""
         return list(self.nodes)
 
-    def migrate_shard(self, shard: int, dest: str) -> Generator:
-        """Live-migrate one shard to ``dest`` (drain → copy → flip)."""
+    def _build_group(
+        self,
+        shard: int,
+        members: list[str],
+        generation: int,
+        start_index: int = 0,
+        preload: Optional[dict[str, list]] = None,
+    ) -> Any:
+        """One shard's replica group: fresh engines on ``members``, schema
+        replayed, optionally preloaded with migrated rows.  The service
+        name carries a generation counter so a rebuilt group never
+        collides with its retired predecessor's RPC ports."""
+        from repro.replication.group import ReplicaGroup
+
+        def factory(node_name: str) -> Database:
+            engine = Database(
+                self.env,
+                name=f"{self.name}/shard{shard}@{node_name}",
+                **self.engine_options,
+            )
+            for kind, args in self._schema:
+                if kind == "table":
+                    engine.create_table(*args)
+                else:
+                    engine.create_index(*args)
+            if preload:
+                for table, rows in preload.items():
+                    if rows:
+                        engine.load(table, rows)
+            return engine
+
+        group = ReplicaGroup(
+            self.env,
+            self.repl_net,
+            name=f"{self.name}/s{shard}",
+            config=self.replication,
+            engine_factory=factory,
+            node_names=list(members),
+            service=f"{self.name}-s{shard}g{generation}",
+            start_index=start_index,
+        )
+        group._on_leader_ext = (
+            lambda node, s=shard, g=group: self._on_group_leader(s, g, node)
+        )
+        return group
+
+    def _on_group_leader(self, shard: int, group: Any, node: str) -> None:
+        """A replica group elected a new leader: flip the shard's owner.
+
+        Callbacks from retired (pre-migration) groups are ignored — only
+        the group currently backing the shard routes traffic."""
+        if self._groups.get(shard) is not group:
+            return
+        self.directory.set_group_leader(shard, node)
+
+    def replica_group(self, shard: int) -> Any:
+        """The replica group currently backing ``shard`` (replicated mode)."""
+        if self.replication is None:
+            raise ClusterError(f"{self.name} is not replicated")
+        return self._groups[shard]
+
+    def _plan_group_members(
+        self, dest: str, dest_nodes: Optional[list[str]]
+    ) -> list[str]:
+        factor = self.replication.factor
+        if dest_nodes is not None:
+            members = list(dest_nodes)
+            if not members or members[0] != dest:
+                raise ClusterError(
+                    "dest_nodes must start with the migration destination "
+                    "(the new group's bootstrap leader)"
+                )
+        else:
+            members = [dest]
+            for node in self.nodes:
+                if len(members) == factor:
+                    break
+                if node != dest:
+                    members.append(node)
+        if len(members) != factor or len(set(members)) != len(members):
+            raise ClusterError(
+                f"replica group needs {factor} distinct nodes, got {members}"
+            )
+        for node in members:
+            if node not in self.nodes:
+                raise ClusterError(f"unknown node {node!r}")
+        return members
+
+    def migrate_shard(
+        self,
+        shard: int,
+        dest: str,
+        dest_nodes: Optional[list[str]] = None,
+    ) -> Generator:
+        """Live-migrate one shard to ``dest`` (drain → copy → flip).
+
+        Under replication the whole replica group moves atomically:
+        ``dest`` becomes the new group's bootstrap leader and
+        ``dest_nodes`` (default: ``dest`` plus enough existing nodes)
+        names the full new membership.  The old group is retired at the
+        flip; the new log starts at the old leader's applied index so
+        session read-your-writes tokens stay monotone across the move.
+        """
         if not (0 <= shard < len(self.shards)):
             raise ClusterError(f"unknown shard {shard}")
         if dest not in self.nodes:
             raise ClusterError(f"unknown node {dest!r}")
+        if self.replication is None:
+            if dest_nodes is not None:
+                raise ClusterError("dest_nodes requires replication")
+            rows = yield from _run_migration(
+                self.env, self.directory, self._mover, shard, dest,
+                self.migration_stats,
+            )
+            return rows
+        members = self._plan_group_members(dest, dest_nodes)
+        mover = _ReplicatedMover(self, members)
         rows = yield from _run_migration(
-            self.env, self.directory, self._mover, shard, dest, self.migration_stats
+            self.env, self.directory, mover, shard, dest, self.migration_stats
         )
         return rows
 
     # -- schema -----------------------------------------------------------------
 
+    def _schema_engines(self) -> Generator:
+        """Every engine a DDL statement must reach (all replicas, if any)."""
+        if self.replication is not None:
+            for shard in range(self.num_shards):
+                yield from self._groups[shard].engines()
+        else:
+            yield from self.shards
+
     def create_table(self, name: str, primary_key: str = "id") -> None:
         self._schema.append(("table", (name, primary_key)))
-        for shard in self.shards:
-            shard.create_table(name, primary_key)
+        for engine in self._schema_engines():
+            engine.create_table(name, primary_key)
 
     def create_index(self, table: str, column: str, ordered: bool = False) -> None:
         self._schema.append(("index", (table, column, ordered)))
-        for shard in self.shards:
-            shard.create_index(table, column, ordered=ordered)
+        for engine in self._schema_engines():
+            engine.create_index(table, column, ordered=ordered)
 
     def load(self, table: str, rows: list[dict]) -> None:
         buckets: dict[int, list[dict]] = {}
@@ -250,7 +535,13 @@ class ShardedDatabase:
             primary_key = self.shards[0]._table(table).primary_key
             buckets.setdefault(self.router.shard_of(row[primary_key]), []).append(row)
         for index, shard_rows in buckets.items():
-            self.shards[index].load(table, shard_rows)
+            if self.replication is not None:
+                # Setup-time load sits below the log: every replica gets
+                # the same rows directly, like a restored base snapshot.
+                for engine in self._groups[index].engines():
+                    engine.load(table, shard_rows)
+            else:
+                self.shards[index].load(table, shard_rows)
 
     # -- transactions --------------------------------------------------------------
 
@@ -266,12 +557,42 @@ class ShardedDatabase:
         """
         shard = self.router.shard_of(key)
         if shard not in txn.branches:
-            while shard in self._barriers:
-                yield self._barriers[shard]
-            txn.branches[shard] = self.shards[shard].begin(txn.isolation)
-            txn.engines[shard] = self.shards[shard]
+            while True:
+                while shard in self._barriers:
+                    yield self._barriers[shard]
+                if self.replication is None:
+                    txn.branches[shard] = self.shards[shard].begin(txn.isolation)
+                    txn.engines[shard] = self.shards[shard]
+                    break
+                leader = yield from self._groups[shard].wait_leader()
+                if shard in self._barriers:
+                    # a migration raised its bar while we waited for a
+                    # leader — wait it out rather than dodging the drain
+                    continue
+                txn.branches[shard] = leader.engine.begin(txn.isolation)
+                txn.engines[shard] = leader.engine
+                txn.replicas[shard] = leader
+                break
             self._active_branches[shard] = self._active_branches.get(shard, 0) + 1
+        elif self.replication is not None:
+            self._check_replica(txn, shard)
         return shard
+
+    def _check_replica(self, txn: DistributedTransaction, shard: int) -> None:
+        """Refuse further work on a branch whose leader was deposed.
+
+        The branch's buffered state lives on one specific replica's
+        engine; once that replica stops leading (crash, election) the
+        transaction cannot commit there, so fail fast and definitely."""
+        replica = txn.replicas.get(shard)
+        if replica is None:
+            return
+        if (
+            not replica.node.alive
+            or replica.role != "leader"
+            or replica.engine is not txn.engines[shard]
+        ):
+            raise ReplicaUnavailable(self._groups[shard].name, replica.node.name)
 
     def _close_branches(self, txn: DistributedTransaction) -> None:
         """Release drain accounting once a transaction fully settles."""
@@ -328,6 +649,9 @@ class ShardedDatabase:
 
     def commit(self, txn: DistributedTransaction) -> Generator:
         """One-phase commit if local, else 2PC across touched shards."""
+        if self.replication is not None:
+            yield from self._commit_replicated(txn)
+            return
         if not txn.branches:
             txn.status = "committed"
             return
@@ -361,6 +685,127 @@ class ShardedDatabase:
             for index in txn.shards_touched:
                 yield self.env.timeout(self.rtt_ms)
                 txn.engines[index].commit_prepared(txn.branches[index])
+            txn.status = "committed"
+            self.stats.distributed_commits += 1
+        finally:
+            if txn.status != "active":
+                self._close_branches(txn)
+
+    def _commit_replicated(self, txn: DistributedTransaction) -> Generator:
+        """Commit through the replica groups' logs.
+
+        Single-shard writes replicate one ``commit`` entry and wait for
+        its quorum acknowledgement — pinned to the leader the transaction
+        executed on, so a deposed leader yields a definite
+        :class:`NotLeader` (clean abort) before proposing and an
+        *uncertain* outcome after (the log settles the branch: apply,
+        truncate-discard, or crash).  Cross-shard transactions run 2PC
+        where both phases are log entries: ``prepare`` per touched shard,
+        then an idempotent ``decide`` retried through whichever leader
+        emerges until it lands, because a torn decision is an atomicity
+        violation the conservation oracle would catch.
+        """
+        if not txn.branches:
+            txn.status = "committed"
+            return
+        try:
+            if not txn.is_distributed:
+                (index,) = txn.branches
+                engine = txn.engines[index]
+                branch = txn.branches[index]
+                yield self.env.timeout(self.rtt_ms)
+                if not branch.writes:
+                    # read-only: nothing to replicate, settle locally
+                    yield from engine.commit(branch)
+                    txn.status = "committed"
+                    self.stats.single_shard_commits += 1
+                    return
+                self._check_replica(txn, index)
+                gid = ("repl", self.env.next_id("repl-gid"))
+                writes = engine.stage_replicated(branch, gid)
+                try:
+                    applied = yield from self._groups[index].replicate(
+                        ("commit", gid, writes), replica=txn.replicas[index]
+                    )
+                except (NotLeader, NoLeader):
+                    # definitely never proposed: unstage and report a
+                    # clean abort (caller's abort() finishes the rollback)
+                    engine.discard_replicated(gid)
+                    raise
+                except (ReplicationError, FencedOut):
+                    # proposed: the log settles the branch (a FencedOut
+                    # entry in fact installed — but the deposed leader
+                    # must not report success it could not verify)
+                    txn.status = "uncertain"
+                    raise
+                txn.applied[index] = applied
+                txn.status = "committed"
+                self.stats.single_shard_commits += 1
+                return
+            # -- replicated 2PC ------------------------------------------
+            gid = ("repl", self.env.next_id("repl-gid"))
+            write_shards = [
+                index for index in txn.shards_touched
+                if txn.branches[index].writes
+            ]
+            proposed: list[int] = []
+            try:
+                for index in write_shards:
+                    engine = txn.engines[index]
+                    yield self.env.timeout(self.rtt_ms)
+                    self._check_replica(txn, index)
+                    writes = engine.stage_replicated(
+                        txn.branches[index], gid, prepared=True
+                    )
+                    try:
+                        yield from self._groups[index].replicate(
+                            ("prepare", gid, writes),
+                            replica=txn.replicas[index],
+                        )
+                    except (NotLeader, NoLeader):
+                        engine.discard_replicated(gid)
+                        raise
+                    except (ReplicationError, FencedOut):
+                        proposed.append(index)
+                        raise
+                    proposed.append(index)
+            except Exception:
+                # An abort decision is always safe while no commit
+                # decision replicated: shards whose prepare did (or will)
+                # land see the abort next; shards where it never landed
+                # settle by truncation-discard or crash.  Mark the
+                # outcome first so a concurrent abort() won't touch
+                # staged branches while the decides are in flight.
+                txn.status = "aborted"
+                self.stats.distributed_aborts += 1
+                for index in proposed:
+                    yield self.env.timeout(self.rtt_ms)
+                    yield from self._groups[index].replicate(
+                        ("decide", gid, False),
+                        retry=True, timeout=_DECIDE_TIMEOUT_MS,
+                    )
+                for index, branch in txn.branches.items():
+                    if index not in proposed:
+                        txn.engines[index].abort(branch)
+                raise
+            # Phase 2: the decision is now determined — drive it to every
+            # participant group no matter how leadership churns.
+            txn.status = "uncertain"
+            for index in write_shards:
+                yield self.env.timeout(self.rtt_ms)
+                applied = yield from self._groups[index].replicate(
+                    ("decide", gid, True),
+                    retry=True, timeout=_DECIDE_TIMEOUT_MS,
+                )
+                txn.applied[index] = applied
+            for index in txn.shards_touched:
+                branch = txn.branches[index]
+                if not branch.writes:
+                    yield self.env.timeout(self.rtt_ms)
+                    try:
+                        yield from txn.engines[index].commit(branch)
+                    except Exception:
+                        pass  # read-only branch on a dead replica
             txn.status = "committed"
             self.stats.distributed_commits += 1
         finally:

@@ -60,6 +60,12 @@ class TestChaosConfig:
         config = ChaosConfig(crashable=(), partitionable=())
         assert config.effective_classes() == ("loss", "duplication", "delay")
         config = ChaosConfig(crashable=("a",), partitionable=("a", "b"))
+        assert config.effective_classes() == (
+            "crash", "partition", "loss", "duplication", "delay"
+        )
+        config = ChaosConfig(
+            crashable=("a",), partitionable=("a", "b"), leader_groups=("g0",)
+        )
         assert config.effective_classes() == ChaosConfig.__dataclass_fields__[
             "fault_classes"
         ].default

@@ -1,0 +1,577 @@
+"""Tests for quorum-replicated shards (``repro.replication``).
+
+Covers the replica-group protocol (deterministic bootstrap, quorum
+commits, elections after leader loss, split votes), the fencing rule (a
+deposed leader's in-flight commit is installed by the quorum but its
+acknowledgement is refused), snapshot + log-suffix catch-up after a
+follower restart, consistency levels (linearizable leader reads,
+bounded-stale follower reads with read-your-writes sessions), the
+replicated :class:`~repro.db.sharding.ShardedDatabase` (single-shard and
+2PC commits, whole-group migration, a migration racing a leader
+election), the ``kill_leader`` fault class, follower-mode
+:class:`~repro.db.server.DatabaseServer`, and hash-seed invariance of
+the whole election/replication path.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.chaos import run_trial
+from repro.cluster import ClusterError, Rebalancer
+from repro.core.faults import FaultPlan, FaultPlanError
+from repro.db import FencedOut, IsolationLevel, ShardedDatabase
+from repro.db.engine import Database
+from repro.db.errors import InvalidTransactionState
+from repro.db.server import DatabaseServer
+from repro.db.sharding import shard_of
+from repro.net import Network
+from repro.replication import (
+    NoLeader,
+    QuorumTimeout,
+    ReplicaGroup,
+    ReplicationConfig,
+    Session,
+)
+from repro.sim import Environment
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+def run(env, gen, label="test"):
+    return env.run_until(env.process(gen, label=label))
+
+
+def make_group(env, config=None, name="g", nodes=("n0", "n1", "n2")):
+    net = Network(env)
+
+    def factory(node_name):
+        engine = Database(env, name=f"{name}@{node_name}")
+        engine.create_table("kv")
+        return engine
+
+    group = ReplicaGroup(
+        env, net, name=name, config=config or ReplicationConfig(),
+        engine_factory=factory, node_names=list(nodes),
+    )
+    return net, group
+
+
+def commit_row(env, group, key, value, replica=None, gid=None):
+    """Stage one write on the leader engine and replicate it to quorum."""
+    leader = replica or group.leader_replica()
+    engine = leader.engine
+    txn = engine.begin(SER)
+    yield from engine.put(txn, "kv", key, {"id": key, "value": value})
+    gid = gid or ("t", env.next_id("test-gid"))
+    writes = engine.stage_replicated(txn, gid)
+    index = yield from group.replicate(("commit", gid, writes), replica=leader)
+    return index
+
+
+def key_on(shard, num_shards, start=0):
+    """The first integer key at/after ``start`` that routes to ``shard``."""
+    key = start
+    while shard_of(key, num_shards) != shard:
+        key += 1
+    return key
+
+
+class TestReplicaGroup:
+    def test_deterministic_bootstrap_and_quorum_commit(self):
+        env = Environment(seed=1)
+        _net, group = make_group(env)
+        leader = group.leader_replica()
+        assert leader is group.replicas[0] and leader.term == 1
+
+        index = run(env, commit_row(env, group, "a", 7))
+        assert index == 2  # index 1 is the term-start no-op
+        env.run(until=env.now + 100.0)
+        for replica in group.replicas:
+            assert replica.applied_index == 2
+            assert replica.engine.read_latest("kv", "a") == {"id": "a", "value": 7}
+
+    def test_commit_requires_quorum(self):
+        env = Environment(seed=2)
+        net, group = make_group(env)
+        leader = group.leader_replica()
+        # Cut the leader off from both followers: nothing can commit.
+        net.partition(["n0"], ["n1", "n2"])
+
+        with pytest.raises(QuorumTimeout):
+            run(env, commit_row(env, group, "a", 1, replica=leader))
+        assert leader.engine.read_latest("kv", "a") is None  # never committed
+        for follower in group.replicas[1:]:
+            assert follower.engine.read_latest("kv", "a") is None
+
+        # The followers elected a fresh leader behind the partition; on
+        # heal the new leadership truncates the never-replicated entry —
+        # the timeout meant "unknown", and the outcome resolved to abort,
+        # consistently on every replica.
+        net.heal()
+        env.run(until=env.now + 300.0)
+        new_leader = group.leader_replica()
+        assert new_leader is not None and new_leader.term >= 2
+        for replica in group.replicas:
+            assert replica.engine.read_latest("kv", "a") is None
+        assert leader.engine.stats.aborted == 1  # the staged txn rolled back
+
+
+class TestElections:
+    def test_failover_elects_new_leader_and_catches_up_crashed_node(self):
+        env = Environment(seed=3)
+        net, group = make_group(env)
+        run(env, commit_row(env, group, "a", 1))
+
+        net.nodes["n0"].crash("test")
+        env.run(until=env.now + 400.0)
+        leader = group.leader_replica()
+        assert leader is not None and leader.node.name in ("n1", "n2")
+        assert leader.term >= 2
+
+        index = run(env, commit_row(env, group, "b", 2, replica=leader))
+        net.nodes["n0"].restart()
+        env.run(until=env.now + 300.0)
+        n0 = group.replica_on("n0")
+        assert n0.role == "follower"
+        assert n0.applied_index >= index
+        assert n0.engine.read_latest("kv", "b") == {"id": "b", "value": 2}
+
+    def test_split_vote_then_reelection(self):
+        env = Environment(seed=4)
+        net, group = make_group(env)
+        net.nodes["n0"].crash("test")
+        # Both survivors start an election in the same instant: each votes
+        # for itself, denies the other, and the round yields no leader.
+        group.replica_on("n1").force_election()
+        group.replica_on("n2").force_election()
+        env.run(until=env.now + 1.0)
+        assert group.replica_on("n1").role == "candidate"
+        assert group.replica_on("n2").role == "candidate"
+        assert group.replica_on("n1").term == 2
+        assert group.replica_on("n2").term == 2
+        assert group.leader_replica() is None
+
+        # The randomized timers break the tie in a later term.
+        env.run(until=env.now + 600.0)
+        leader = group.leader_replica()
+        assert leader is not None and leader.term >= 3
+        others = [r for r in group.replicas[1:] if r is not leader]
+        assert all(r.role != "leader" for r in others)
+        run(env, commit_row(env, group, "a", 1, replica=leader))
+
+
+class TestFencing:
+    def test_stale_leader_is_fenced_mid_commit(self):
+        """A leader that proposes, replicates, then gets deposed must not
+        acknowledge: the entry commits under the new leadership, but the
+        old leader's engine refuses the ack (FencedOut)."""
+        env = Environment(seed=5)
+        net, group = make_group(env)
+        leader = group.leader_replica()
+
+        def scenario():
+            engine = leader.engine
+            txn = engine.begin(SER)
+            yield from engine.put(txn, "kv", "k", {"id": "k", "value": 7})
+            writes = engine.stage_replicated(txn, ("t", 1))
+            # The entry reaches the followers, but every reply back to the
+            # leader is lost — it can never learn the quorum outcome.
+            net.set_loss(1.0, src="n1", dst="n0")
+            net.set_loss(1.0, src="n2", dst="n0")
+            yield from group.replicate(("commit", ("t", 1), writes),
+                                       replica=leader)
+
+        outcome = env.future(label="fence-outcome")
+
+        def guarded():
+            try:
+                yield from scenario()
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                outcome.try_succeed(exc)
+                return
+            outcome.try_succeed(None)
+
+        def heal():
+            net.set_loss(0.0, src="n1", dst="n0")
+            net.set_loss(0.0, src="n2", dst="n0")
+
+        env.process(guarded(), label="fence-test")
+        # t=45: the entry has replicated (the first append round holds the
+        # sync slot until the 30 ms rpc timeout, so the entry ships on the
+        # second round at ~30 ms); n1 wins on log completeness.  t=80: the
+        # deposed leader reconnects and learns the outcome — fenced.
+        env.schedule(45.0, group.replica_on("n1").force_election)
+        env.schedule(80.0, heal)
+        result = env.run_until(outcome)
+
+        assert isinstance(result, FencedOut)
+        n0 = group.replica_on("n0")
+        assert n0.role == "follower"  # deposed by the term-2 append
+        assert n0.engine.stats.fenced_acks == 1
+        new_leader = group.leader_replica()
+        assert new_leader is group.replica_on("n1")
+        # The write is committed state everywhere — installed exactly once.
+        env.run(until=env.now + 100.0)
+        for replica in group.replicas:
+            assert replica.engine.read_latest("kv", "k") == {"id": "k", "value": 7}
+            assert replica.engine.stats.committed == 1
+
+
+class TestSnapshotCatchup:
+    def test_follower_restart_catches_up_from_snapshot_plus_suffix(self):
+        env = Environment(seed=6)
+        config = ReplicationConfig(compact_threshold=8, compact_keep=2)
+        net, group = make_group(env, config=config)
+        net.nodes["n2"].crash("test")
+
+        leader = group.leader_replica()
+        for i in range(20):
+            run(env, commit_row(env, group, f"k{i}", i, replica=leader))
+        assert leader.log.snapshot_index > 0  # the leader compacted
+
+        net.nodes["n2"].restart()
+        env.run(until=env.now + 300.0)
+        n2 = group.replica_on("n2")
+        # Catch-up went through InstallSnapshot (the compacted prefix is
+        # gone from the leader's log) plus the live suffix.
+        assert n2.log.snapshot_index >= leader.log.snapshot_index > 0
+        assert n2.applied_index == leader.applied_index
+        assert n2.log.last_index == leader.log.last_index
+        for i in (0, 10, 19):
+            assert n2.engine.read_latest("kv", f"k{i}") == {"id": f"k{i}", "value": i}
+
+
+class TestReads:
+    def test_leader_read_and_follower_read(self):
+        env = Environment(seed=7)
+        _net, group = make_group(env)
+        session = Session()
+        index = run(env, commit_row(env, group, "a", 1))
+        session.observe(index)
+
+        row = run(env, group.leader_read("kv", "a"))
+        assert row == {"id": "a", "value": 1}
+        # The read-index barrier costs a quorum round trip: time advanced.
+        assert env.now > 0
+
+        row = run(env, group.follower_read("kv", "a", session=session))
+        assert row == {"id": "a", "value": 1}
+
+    def test_read_your_writes_survives_failover(self):
+        env = Environment(seed=8)
+        net, group = make_group(env)
+        session = Session()
+        session.observe(run(env, commit_row(env, group, "a", 1)))
+
+        net.nodes["n0"].crash("test")
+        env.run(until=env.now + 400.0)
+        leader = group.leader_replica()
+        session.observe(run(env, commit_row(env, group, "a", 2, replica=leader)))
+
+        # The restarted old leader is behind; a session read pinned to it
+        # must wait for catch-up rather than serve the stale value.
+        net.nodes["n0"].restart()
+        env.run(until=env.now + 1.0)
+        row = run(env, group.follower_read("kv", "a", session=session, node="n0"))
+        assert row == {"id": "a", "value": 2}
+        assert group.replica_on("n0").applied_index >= session.min_index
+
+
+class TestHashseedInvariance:
+    _PROBE = '''\
+import hashlib
+import sys
+
+sys.path.insert(0, {src!r})
+
+from repro.db import IsolationLevel
+from repro.db.engine import Database
+from repro.net import Network
+from repro.replication import ReplicaGroup, ReplicationConfig
+from repro.sim import Environment
+
+env = Environment(seed=7)
+net = Network(env)
+
+
+def factory(node_name):
+    engine = Database(env, name="probe@" + node_name)
+    engine.create_table("kv")
+    return engine
+
+
+group = ReplicaGroup(env, net, name="probe", config=ReplicationConfig(),
+                     engine_factory=factory, node_names=["n0", "n1", "n2"])
+
+
+def commit(key, value):
+    leader = group.leader_replica()
+    engine = leader.engine
+    txn = engine.begin(IsolationLevel.SERIALIZABLE)
+    yield from engine.put(txn, "kv", key, {{"id": key, "value": value}})
+    gid = ("t", env.next_id("gid"))
+    writes = engine.stage_replicated(txn, gid)
+    return (yield from group.replicate(("commit", gid, writes), replica=leader))
+
+
+trace = []
+for round_no in range(3):
+    for k in range(4):
+        index = env.run_until(env.process(commit(f"k{{round_no}}-{{k}}",
+                                                 round_no * 10 + k)))
+        trace.append((round_no, k, index, round(env.now, 6)))
+    victim = group.leader_replica().node
+    victim.crash("probe")
+    env.run(until=env.now + 400.0)
+    victim.restart()
+    env.run(until=env.now + 400.0)
+    leader = group.leader_replica()
+    trace.append((leader.node.name, leader.term, round(env.now, 6)))
+
+keys = [f"k{{i}}-{{j}}" for i in range(3) for j in range(4)]
+state = [
+    (r.node.name, r.term, r.applied_index,
+     tuple((key, (r.engine.read_latest("kv", key) or {{}}).get("value"))
+           for key in keys))
+    for r in group.replicas
+]
+print(hashlib.sha256(repr((trace, state)).encode()).hexdigest())
+'''
+
+    def test_elections_and_replication_are_hashseed_invariant(self, tmp_path):
+        """The full propose/elect/failover/catch-up path must not leak
+        ``PYTHONHASHSEED``: named streams and stable iteration orders only."""
+        import os
+
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        script = tmp_path / "probe.py"
+        script.write_text(self._PROBE.format(src=src))
+        digests = set()
+        for seed in ("0", "1", "424242"):
+            out = subprocess.run(
+                [sys.executable, str(script)],
+                env={**os.environ, "PYTHONHASHSEED": seed},
+                capture_output=True, text=True, check=True,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1 and "" not in digests
+
+
+class TestReplicatedShardedDatabase:
+    def _make_db(self, env, num_shards=2, num_nodes=3, **kwargs):
+        db = ShardedDatabase(
+            env, num_shards=num_shards, num_nodes=num_nodes, name="bank",
+            rtt_ms=1.0, replication=ReplicationConfig(), **kwargs,
+        )
+        db.create_table("accounts")
+        return db
+
+    def _transfer(self, db, src, dst, amount):
+        txn = db.begin(SER)
+        try:
+            a = yield from db.get(txn, "accounts", src)
+            b = yield from db.get(txn, "accounts", dst)
+            yield from db.put(txn, "accounts", src,
+                              {"id": src, "balance": a["balance"] - amount})
+            yield from db.put(txn, "accounts", dst,
+                              {"id": dst, "balance": b["balance"] + amount})
+            yield from db.commit(txn)
+        finally:
+            if txn.status == "active":
+                db.abort(txn)
+        return txn
+
+    def test_single_shard_commit_replicates_to_quorum(self):
+        env = Environment(seed=9)
+        db = self._make_db(env)
+        k1 = key_on(0, 2)
+        k2 = key_on(0, 2, start=k1 + 1)
+        db.load("accounts", [{"id": k, "balance": 100} for k in (k1, k2)])
+
+        txn = run(env, self._transfer(db, k1, k2, 30))
+        assert txn.status == "committed"
+        assert not txn.is_distributed
+        assert 0 in txn.applied  # the quorum-acked log index
+        assert db.read_latest("accounts", k1)["balance"] == 70
+
+        env.run(until=env.now + 100.0)
+        for engine in db.replica_group(0).engines():
+            assert engine.read_latest("accounts", k1)["balance"] == 70
+            assert engine.read_latest("accounts", k2)["balance"] == 130
+
+    def test_cross_shard_2pc_commits_on_both_groups(self):
+        env = Environment(seed=10)
+        db = self._make_db(env)
+        k0, k1 = key_on(0, 2), key_on(1, 2)
+        db.load("accounts", [{"id": k, "balance": 100} for k in (k0, k1)])
+
+        txn = run(env, self._transfer(db, k0, k1, 25))
+        assert txn.status == "committed"
+        assert txn.is_distributed
+        assert set(txn.applied) == {0, 1}
+        total = sum(row["balance"] for row in db.all_rows("accounts"))
+        assert total == 200
+
+        env.run(until=env.now + 200.0)
+        for shard in (0, 1):
+            for engine in db.replica_group(shard).engines():
+                assert engine.in_doubt() == []  # no torn prepares left
+
+    def test_unreplicated_mode_is_unchanged(self):
+        env = Environment(seed=11)
+        db = ShardedDatabase(env, num_shards=4)
+        assert isinstance(db.shards, list) and len(db.shards) == 4
+        assert not hasattr(db, "repl_net")
+        with pytest.raises(ClusterError):
+            db.replica_group(0)
+        with pytest.raises(ClusterError):
+            run(env, db.migrate_shard(0, db.nodes[1], [db.nodes[1]]))
+
+    def test_migration_moves_whole_group_atomically(self):
+        env = Environment(seed=12)
+        db = self._make_db(env, num_nodes=4)
+        keys = [key_on(0, 2, start=i * 7) for i in range(6)]
+        db.load("accounts", [{"id": k, "balance": 50} for k in dict.fromkeys(keys)])
+        old_group = db.replica_group(0)
+        dest = db.nodes[3]
+
+        run(env, db.migrate_shard(0, dest))
+        new_group = db.replica_group(0)
+        assert new_group is not old_group
+        assert all(r.role == "stopped" for r in old_group.replicas)
+        assert db.directory.group_of(0)[0] == dest
+        assert new_group.leader_name() == dest
+        assert db.migration_stats.completed == 1
+
+        # Data survived the move and the shard still takes writes.
+        k1, k2 = sorted(dict.fromkeys(keys))[:2]
+        txn = run(env, self._transfer(db, k1, k2, 5))
+        assert txn.status == "committed"
+        total = sum(row["balance"] for row in db.all_rows("accounts"))
+        assert total == 50 * len(dict.fromkeys(keys))
+
+    def test_migration_racing_leader_election_aborts_cleanly(self):
+        """Satellite regression: a leader election (here: leader crash)
+        during the copy phase aborts the migration — ownership unchanged,
+        the old group keeps serving after failover."""
+        env = Environment(seed=13)
+        db = self._make_db(env, num_nodes=4, drain_timeout_ms=250.0)
+        keys = list(dict.fromkeys(key_on(0, 2, start=i * 3) for i in range(120)))
+        db.load("accounts", [{"id": k, "balance": 10} for k in keys])
+        old_group = db.replica_group(0)
+        leader_node = old_group.leader_replica().node
+
+        env.schedule(5.0, leader_node.crash, "race")
+        with pytest.raises(ClusterError):
+            run(env, db.migrate_shard(0, db.nodes[3]))
+        assert db.replica_group(0) is old_group
+        assert db.migration_stats.aborted == 1
+        assert db.directory.group_of(0)[0] == db.nodes[0]
+
+        # After the failover (and the crashed node's restart) the shard
+        # serves transactions from the surviving replicas.
+        leader_node.restart()
+        env.run(until=env.now + 500.0)
+        txn = run(env, self._transfer(db, keys[0], keys[1], 1))
+        assert txn.status == "committed"
+        total = sum(row["balance"] for row in db.all_rows("accounts"))
+        assert total == 10 * len(keys)
+
+    def test_rebalancer_plans_full_group_membership(self):
+        env = Environment(seed=14)
+        db = self._make_db(env, num_shards=4, num_nodes=5)
+        rebalancer = Rebalancer(env, db, min_load=0.5)
+        for _ in range(4):
+            db.shard_stats.record(0, 10.0)
+        db.shard_stats.roll_window()
+
+        move = rebalancer.plan()
+        assert move is not None and move.shard == 0
+        assert move.dest_nodes and move.dest_nodes[0] == move.dest
+        assert len(move.dest_nodes) == db.replication.factor
+        assert len(set(move.dest_nodes)) == len(move.dest_nodes)
+        assert all(node in db.nodes for node in move.dest_nodes)
+
+    def test_rebalancer_plan_is_empty_membership_when_unreplicated(self):
+        env = Environment(seed=15)
+        db = ShardedDatabase(env, num_shards=4, name="plain")
+        rebalancer = Rebalancer(env, db, min_load=0.5)
+        for _ in range(4):
+            db.shard_stats.record(0, 10.0)
+        db.shard_stats.roll_window()
+        move = rebalancer.plan()
+        assert move is not None and move.dest_nodes == ()
+
+
+class TestKillLeaderFault:
+    def test_plan_validates_and_requires_resolver(self):
+        plan = FaultPlan().kill_leader("shard0", at=10.0, until=50.0)
+        plan.validate()
+        env = Environment(seed=16)
+        net = Network(env)
+        with pytest.raises(FaultPlanError):
+            plan.apply(env, net)
+
+    def test_kill_leader_crashes_resolved_node_and_restarts_it(self):
+        env = Environment(seed=17)
+        net = Network(env)
+        net.add_node("n0")
+        plan = FaultPlan().kill_leader("shard0", at=10.0, until=50.0)
+        plan.apply(env, net, resolver=lambda label: "n0")
+        env.run(until=20.0)
+        assert not net.nodes["n0"].alive
+        env.run(until=60.0)
+        assert net.nodes["n0"].alive
+
+    def test_kill_leader_skips_leaderless_group(self):
+        env = Environment(seed=18)
+        net = Network(env)
+        net.add_node("n0")
+        plan = FaultPlan().kill_leader("shard0", at=10.0, until=50.0)
+        plan.apply(env, net, resolver=lambda label: None)
+        env.run(until=60.0)
+        assert net.nodes["n0"].alive
+
+
+class TestFollowerServer:
+    def test_follower_refuses_transactions_and_applies_suffix(self):
+        env = Environment(seed=19)
+        server = DatabaseServer(env, name="replica", follower=True)
+        server.create_table("kv")
+        with pytest.raises(InvalidTransactionState):
+            run(env, server.begin())
+
+        entries = [
+            (1, 1, ("noop",)),
+            (2, 1, ("commit", "g1", ((("kv", "a"), {"id": "a", "value": 1}),))),
+            (3, 1, ("commit", "g2", ((("kv", "b"), {"id": "b", "value": 2}),))),
+        ]
+        assert run(env, server.apply_log_suffix(entries)) == 3
+        assert server.applied_index == 3
+        # Idempotent catch-up: re-shipping an overlapping suffix is a no-op.
+        assert run(env, server.apply_log_suffix(entries)) == 0
+        assert run(env, server.read_latest("kv", "a"))["value"] == 1
+        assert run(env, server.read_latest("kv", "b"))["value"] == 2
+
+        server.promote()
+        txn = run(env, server.begin())
+        run(env, server.put(txn, "kv", "c", {"id": "c", "value": 3}))
+        run(env, server.commit(txn))
+        assert run(env, server.read_latest("kv", "c"))["value"] == 3
+
+
+class TestReplicationChaos:
+    def test_sound_trial_is_clean_and_deterministic(self):
+        first = run_trial("replication", seed=11)
+        second = run_trial("replication", seed=11)
+        assert first.violations == []
+        assert first.history_digest == second.history_digest
+        assert first.plan_json == second.plan_json
+
+    def test_broken_no_fencing_variant_is_caught(self):
+        result = run_trial("replication", seed=8, broken=True)
+        assert result.violations, "no-fencing variant must violate the oracles"
+        invariants = {v.invariant for v in result.violations}
+        assert invariants & {"conservation", "transfer_exactly_once"}
