@@ -63,7 +63,7 @@ def run_microservices():
 
     @service.handler("transfer")
     def transfer(ctx, payload):
-        from repro.apps.shop import _with_txn
+        from repro.apps.core.retry import with_txn
 
         def body(txn):
             src = yield from ctx.db.get(txn, "accounts", payload["src"])
@@ -76,7 +76,7 @@ def run_microservices():
                                    "balance": dst["balance"] + payload["amount"]})
             return True
 
-        result = yield from _with_txn(ctx, body)
+        result = yield from with_txn(ctx, body)
         return result
 
     app = MicroserviceApp(env, dedup_requests=True)

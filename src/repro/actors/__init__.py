@@ -21,6 +21,7 @@ from repro.actors.transactions import (
     ActorTransactionCoordinator,
     CommitUncertain,
     TransactionFailed,
+    TxnSession,
     transactional,
 )
 
@@ -33,5 +34,6 @@ __all__ = [
     "CommitUncertain",
     "StateStorageProvider",
     "TransactionFailed",
+    "TxnSession",
     "transactional",
 ]

@@ -58,6 +58,48 @@ class ActorTxnStats:
     commit_uncertain: int = 0
 
 
+class TxnSession:
+    """A dynamic transaction's participant surface (see ``execute_dynamic``).
+
+    Each :meth:`call` dispatches one method against the target actor's
+    tentative state (the same ``txn_execute`` participant protocol the
+    static path uses) and records the op for the prepare/commit phases.
+    Only actors declared in the transaction's ident set may be called —
+    their locks are held; touching anything else would be unserialized.
+    """
+
+    def __init__(self, coordinator: "ActorTransactionCoordinator", txn_id: int,
+                 idents: list[tuple[str, str]]) -> None:
+        self._coordinator = coordinator
+        self.txn_id = txn_id
+        self._declared = frozenset(idents)
+        self.ops: list[TxnOp] = []
+        self._tentative: dict[tuple[str, str], dict] = {}
+
+    def call(self, actor_type: str, key: str, method: str, args: tuple = ()) -> Generator:
+        ident = (actor_type, key)
+        if ident not in self._declared:
+            raise TransactionFailed(
+                f"txn {self.txn_id}: {ident} not in the declared actor set"
+            )
+        result = yield from self._coordinator.runtime._dispatch(
+            actor_type, key, "txn_execute",
+            ({"method": method, "args": list(args),
+              "txn_id": self.txn_id, "op_index": len(self.ops)},),
+            timeout=50.0, retries=1,
+        )
+        self.ops.append(TxnOp(actor_type, key, method, tuple(args)))
+        self._tentative[ident] = result["tentative_state"]
+        return result["result"]
+
+    def prepare(self) -> Generator:
+        """Durably prepare every touched actor's tentative version."""
+        for (actor_type, key), state in self._tentative.items():
+            yield from self._coordinator.runtime.provider.save(
+                actor_type, f"{key}#prepare-{self.txn_id}", state
+            )
+
+
 class ActorTransactionCoordinator:
     """Coordinates ACID multi-actor operations on an :class:`ActorRuntime`."""
 
@@ -93,18 +135,7 @@ class ActorTransactionCoordinator:
         idents = sorted({(op.actor_type, op.key) for op in ops})
         held: list[Lock] = []
         try:
-            for ident in idents:
-                lock = self._lock_for(*ident)
-                acquired = lock.acquire()
-                winner = yield any_of(
-                    self.env, [acquired, self.env.timeout(self.lock_timeout, "timeout")]
-                )
-                if winner[0] == 1:
-                    # Timed out; if the grant races in later, give it back.
-                    acquired.add_done_callback(lambda _f, l=lock: l.release())
-                    self.stats.lock_timeouts += 1
-                    raise TransactionFailed(f"txn {txn_id}: lock timeout on {ident}")
-                held.append(lock)
+            yield from self._acquire(txn_id, idents, held)
             results = yield from self._execute_and_prepare(txn_id, ops)
             try:
                 yield from self._commit(txn_id, ops)
@@ -127,7 +158,64 @@ class ActorTransactionCoordinator:
             for lock in held:
                 lock.release()
 
+    def execute_dynamic(self, idents: list[tuple[str, str]], driver) -> Generator:
+        """Run a *driver* generator atomically over a declared actor set.
+
+        Where :meth:`execute` takes a static op list, this takes the set of
+        ``(actor_type, key)`` participants up front (the declared-key
+        discipline) plus ``driver(session)`` — a generator that interleaves
+        arbitrary logic with :meth:`TxnSession.call` participant operations,
+        so a stored procedure can *read* several actors before deciding what
+        to write.  Locks on every declared ident are held throughout, so the
+        interleaving is serializable; prepare and commit then follow the
+        same two phases (and the same failure taxonomy) as :meth:`execute`.
+        """
+        txn_id = self.env.next_id("actor-txn")
+        idents = sorted(set(idents))
+        held: list[Lock] = []
+        try:
+            yield from self._acquire(txn_id, idents, held)
+            session = TxnSession(self, txn_id, idents)
+            result = yield from driver(session)
+            yield from session.prepare()
+            try:
+                yield from self._commit(txn_id, session.ops)
+            except Exception as exc:
+                raise CommitUncertain(
+                    f"txn {txn_id}: commit decision undeliverable: {exc!r}"
+                ) from exc
+            self.stats.committed += 1
+            return result
+        except CommitUncertain:
+            self.stats.commit_uncertain += 1
+            raise
+        except TransactionFailed:
+            self.stats.aborted += 1
+            raise
+        except Exception as exc:  # noqa: BLE001 - any failure aborts
+            self.stats.aborted += 1
+            raise TransactionFailed(f"txn {txn_id}: {exc!r}") from exc
+        finally:
+            for lock in held:
+                lock.release()
+
     # -- phases --------------------------------------------------------------
+
+    def _acquire(self, txn_id: int, idents: list[tuple[str, str]],
+                 held: list[Lock]) -> Generator:
+        """Acquire every ident's transaction lock (sorted, so no deadlock)."""
+        for ident in idents:
+            lock = self._lock_for(*ident)
+            acquired = lock.acquire()
+            winner = yield any_of(
+                self.env, [acquired, self.env.timeout(self.lock_timeout, "timeout")]
+            )
+            if winner[0] == 1:
+                # Timed out; if the grant races in later, give it back.
+                acquired.add_done_callback(lambda _f, l=lock: l.release())
+                self.stats.lock_timeouts += 1
+                raise TransactionFailed(f"txn {txn_id}: lock timeout on {ident}")
+            held.append(lock)
 
     def _execute_and_prepare(self, txn_id: int, ops: list[TxnOp]) -> Generator:
         """Execute each op against tentative state; durably prepare it."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.actors import Actor, ActorRuntime, ActorTransactionCoordinator, transactional
+from repro.apps.core import KernelApp
 from repro.dataflow import (
     DataflowRuntime,
     JobGraph,
@@ -31,11 +32,10 @@ from repro.faas import DurableEntities, SharedKv, TransactionalWorkflows
 from repro.net.latency import Latency
 from repro.sim import Environment
 from repro.storage.kv import CasConflict
-from repro.transactions.anomalies import EffectLedger
 from repro.workloads.transfers import TransferOp, TransferWorkload
 
 
-class DbBank:
+class DbBank(KernelApp):
     """Transfers against the transactional database (the monolith baseline)."""
 
     def __init__(
@@ -46,11 +46,10 @@ class DbBank:
         max_retries: int = 8,
         connections: int = 32,
     ) -> None:
-        self.env = env
+        super().__init__(env)
         self.workload = workload
         self.isolation = isolation
         self.max_retries = max_retries
-        self.ledger = EffectLedger()
         self.server = DatabaseServer(env, name="bank-db", connections=connections)
         self.server.create_table("accounts", primary_key="id")
         self.server.load("accounts", workload.initial_rows())
@@ -123,7 +122,7 @@ class _AccountActor(Actor):
         yield  # pragma: no cover
 
 
-class ActorBank:
+class ActorBank(KernelApp):
     """Transfers over virtual actors.
 
     ``mode="plain"`` issues withdraw + deposit as two independent actor
@@ -141,10 +140,9 @@ class ActorBank:
     ) -> None:
         if mode not in ("plain", "transaction"):
             raise ValueError(f"unknown mode {mode!r}")
-        self.env = env
+        super().__init__(env)
         self.workload = workload
         self.mode = mode
-        self.ledger = EffectLedger()
         self.runtime = ActorRuntime(env, num_silos=num_silos)
         self.runtime.register(_AccountActor)
         self.coordinator = ActorTransactionCoordinator(self.runtime)
@@ -189,7 +187,7 @@ class ActorBank:
         return total
 
 
-class FaasBank:
+class FaasBank(KernelApp):
     """Transfers on stateful FaaS, at three §4.2 consistency points.
 
     ``mode="kv"`` — naive read-modify-write on the shared KV: lost
@@ -201,10 +199,9 @@ class FaasBank:
     def __init__(self, env: Environment, workload: TransferWorkload, mode: str = "workflow") -> None:
         if mode not in ("kv", "entities", "workflow"):
             raise ValueError(f"unknown mode {mode!r}")
-        self.env = env
+        super().__init__(env)
         self.workload = workload
         self.mode = mode
-        self.ledger = EffectLedger()
         self.kv = SharedKv(env, rtt=Latency.intra_zone())
         self.entities = DurableEntities(env, rtt=Latency.intra_zone())
         self.entities.define_operation(
@@ -276,7 +273,7 @@ class FaasBank:
         return total
 
 
-class DataflowBank:
+class DataflowBank(KernelApp):
     """Transfers as a stream through the exactly-once dataflow engine.
 
     A transfer is one record keyed by the source account; the debit
@@ -292,9 +289,8 @@ class DataflowBank:
         workload: TransferWorkload,
         checkpoint_interval: float = 100.0,
     ) -> None:
-        self.env = env
+        super().__init__(env)
         self.workload = workload
-        self.ledger = EffectLedger()
         graph = JobGraph("bank")
         graph.source("transfers", emit_interval=0.1)
         graph.operator("debit", self._debit, parallelism=2, work_ms=0.1)
@@ -353,7 +349,7 @@ class DataflowBank:
         return sum(row["balance"] for row in self.balances())
 
 
-class DurableWorkflowBank:
+class DurableWorkflowBank(KernelApp):
     """Transfers as durable orchestrations (Durable Functions style).
 
     Each transfer is a workflow with two activities (debit, credit)
@@ -366,9 +362,8 @@ class DurableWorkflowBank:
     def __init__(self, env: Environment, workload: TransferWorkload) -> None:
         from repro.faas import DurableWorkflows, SharedKv
 
-        self.env = env
+        super().__init__(env)
         self.workload = workload
-        self.ledger = EffectLedger()
         self.kv = SharedKv(env, rtt=Latency.intra_zone())
         self.engine = DurableWorkflows(env, activity_latency=0.5)
 
@@ -409,7 +404,7 @@ class DurableWorkflowBank:
         ]
 
 
-class StatefunBank:
+class StatefunBank(KernelApp):
     """Transfers as Statefun entities: debit entity messages credit entity.
 
     Exactly-once via rewind + replay, atomic *per entity*, no isolation
@@ -422,9 +417,8 @@ class StatefunBank:
         workload: TransferWorkload,
         checkpoint_interval: float = 100.0,
     ) -> None:
-        self.env = env
+        super().__init__(env)
         self.workload = workload
-        self.ledger = EffectLedger()
         self.runtime = StatefunRuntime(env, checkpoint_interval=checkpoint_interval)
         balances = {row["id"]: row["balance"] for row in workload.initial_rows()}
 
@@ -471,13 +465,12 @@ class StatefunBank:
         return sum(row["balance"] for row in self.balances())
 
 
-class TxnDataflowBank:
+class TxnDataflowBank(KernelApp):
     """Transfers on the Styx-like transactional dataflow: serializable."""
 
     def __init__(self, env: Environment, workload: TransferWorkload, **engine_kwargs) -> None:
-        self.env = env
+        super().__init__(env)
         self.workload = workload
-        self.ledger = EffectLedger()
         engine_kwargs.setdefault("epoch_interval", 5.0)
         self.engine = TransactionalDataflow(env, **engine_kwargs)
         self.engine.register("transfer", self._transfer)

@@ -1,0 +1,29 @@
+"""The binder layer: deploy one :class:`AppSpec` onto each runtime.
+
+Importing this package registers the generic binders:
+
+- ``db`` / ``cluster`` — the monolith :class:`DatabaseServer` and the
+  sharded (optionally replicated) :class:`ShardedDatabase`;
+- ``microservice`` — entity-per-service over RPC with ``2pc`` (sound),
+  ``saga`` (compensating) and ``none`` (unsound control) modes;
+- ``actor`` — virtual actors under the Orleans-style transaction
+  coordinator (or uncoordinated ``plain`` mode);
+- ``dataflow`` — the Styx-like transactional dataflow engine;
+- ``faas`` — Beldi-style serializable OCC workflows over a shared KV.
+"""
+
+from repro.apps.core.binders.actor import ActorBinder, KernelEntityActor
+from repro.apps.core.binders.db import DbBinder, ShardedDbBinder
+from repro.apps.core.binders.dataflow import DataflowBinder
+from repro.apps.core.binders.faas import FaasBinder
+from repro.apps.core.binders.micro import MicroserviceBinder
+
+__all__ = [
+    "ActorBinder",
+    "DataflowBinder",
+    "DbBinder",
+    "FaasBinder",
+    "KernelEntityActor",
+    "MicroserviceBinder",
+    "ShardedDbBinder",
+]

@@ -1,0 +1,216 @@
+"""Database binders: the monolith baseline and the sharded cluster.
+
+Entities map to tables; a handler body runs inside one serializable
+local (or distributed) transaction via the shared retry discipline.
+``transaction_per_step=True`` honors a handler's ``steps`` split —
+running each step as its *own* transaction — which is exactly the
+unsound allocate-then-insert pattern the gap-free oracle must catch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable, Optional
+
+from repro.apps.core.base import AppUncertain, Binder, KernelContext, register_binder
+from repro.apps.core.retry import with_txn
+from repro.apps.core.spec import AppSpec, HandlerSpec
+from repro.db import DatabaseServer, IsolationLevel
+from repro.db.errors import FencedOut, TransactionAborted
+from repro.db.sharding import ShardedDatabase
+from repro.replication.errors import NoLeader, NotLeader, ReplicationError
+from repro.sim import Environment
+
+SER = IsolationLevel.SERIALIZABLE
+
+
+class _TableCtx(KernelContext):
+    """Entity access over one open (possibly distributed) transaction."""
+
+    def __init__(self, env, op, handler, db, txn, scratch=None) -> None:
+        super().__init__(env, op, handler, scratch)
+        self.db = db
+        self.txn = txn
+
+    def _get(self, entity: str, key: Hashable) -> Generator:
+        row = yield from self.db.get(self.txn, entity, key)
+        return dict(row) if row is not None else None
+
+    def _put(self, entity: str, key: Hashable, row: dict) -> Generator:
+        yield from self.db.put(self.txn, entity, key, row)
+
+    def _delete(self, entity: str, key: Hashable) -> Generator:
+        yield from self.db.delete(self.txn, entity, key)
+
+
+@register_binder
+class DbBinder(Binder):
+    """One app on the monolith database server (the §3 baseline)."""
+
+    runtime = "db"
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: AppSpec,
+        isolation: IsolationLevel = SER,
+        retries: int = 16,
+        connections: int = 32,
+        transaction_per_step: bool = False,
+    ) -> None:
+        super().__init__(env, spec)
+        self.isolation = isolation
+        self.retries = retries
+        self.transaction_per_step = transaction_per_step
+        self.sound = not transaction_per_step
+        self.db = DatabaseServer(env, name=f"{spec.name}-db", connections=connections)
+        for entity in spec.entities.values():
+            self.db.create_table(entity.name, primary_key=entity.key)
+        for entity_name, rows in spec.initial_rows.items():
+            self.db.load(entity_name, [dict(row) for row in rows])
+
+    def setup(self) -> Generator:
+        return
+        yield  # pragma: no cover
+
+    def execute(self, op: Any) -> Generator:
+        handler = self.handler_for(op)
+        bodies = (
+            handler.steps
+            if self.transaction_per_step and handler.steps
+            else (handler.body,)
+        )
+        scratch: dict = {}
+        result = None
+        for body in bodies:
+            result = yield from with_txn(
+                self,
+                self._txn_body(handler, op, body, scratch),
+                retries=self.retries,
+                isolation=self.isolation,
+            )
+        self.record_effect(op)
+        return result
+
+    def _txn_body(self, handler: HandlerSpec, op: Any, body, scratch: dict):
+        def run(txn):
+            ctx = _TableCtx(self.env, op, handler, self.db, txn, scratch)
+            result = yield from body(ctx, op)
+            return result
+
+        return run
+
+    def snapshot(self) -> dict[str, list[dict]]:
+        return {
+            entity: self.sorted_rows(
+                (dict(row) for row in self.db.engine.all_rows(entity)), entity
+            )
+            for entity in self.spec.entities
+        }
+
+
+@register_binder
+class ShardedDbBinder(Binder):
+    """One app on the sharded (optionally quorum-replicated) database.
+
+    Rows route by key across shards; cross-entity handlers become 2PC
+    across the touched shards, and with replication enabled each shard
+    is a quorum group with fenced leadership — so the binder surfaces
+    the cluster's full outcome vocabulary: clean aborts retry, lost
+    leadership retries after re-election, and an undeliverable commit
+    decision raises :class:`AppUncertain` (the Jepsen ``info`` class).
+    """
+
+    runtime = "cluster"
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: AppSpec,
+        db: Optional[ShardedDatabase] = None,
+        num_shards: int = 2,
+        retries: int = 16,
+        transaction_per_step: bool = False,
+        **db_opts,
+    ) -> None:
+        super().__init__(env, spec)
+        self.retries = retries
+        self.transaction_per_step = transaction_per_step
+        self.sound = not transaction_per_step
+        if db is None:
+            # Handler bodies dictate key-access order, so two cross-shard
+            # transactions can close a waits-for cycle no single shard's
+            # lock manager can see; bounded lock waits break such cycles
+            # into definite aborts the retry loop absorbs.
+            db_opts.setdefault("lock_wait_timeout_ms", 300.0)
+            db = ShardedDatabase(
+                env, num_shards=num_shards, name=f"{spec.name}-cluster",
+                **db_opts,
+            )
+        self.db = db
+        for entity in spec.entities.values():
+            self.db.create_table(entity.name, primary_key=entity.key)
+        for entity_name, rows in spec.initial_rows.items():
+            self.db.load(entity_name, [dict(row) for row in rows])
+
+    def setup(self) -> Generator:
+        return
+        yield  # pragma: no cover
+
+    def execute(self, op: Any) -> Generator:
+        handler = self.handler_for(op)
+        bodies = (
+            handler.steps
+            if self.transaction_per_step and handler.steps
+            else (handler.body,)
+        )
+        scratch: dict = {}
+        result = None
+        for body in bodies:
+            result = yield from self._run_txn(handler, op, body, scratch)
+        self.record_effect(op)
+        return result
+
+    def _run_txn(self, handler: HandlerSpec, op: Any, body, scratch: dict) -> Generator:
+        op_id = getattr(op, "op_id", op)
+        for attempt in range(self.retries):
+            txn = self.db.begin(SER)
+            try:
+                ctx = _TableCtx(self.env, op, handler, self.db, txn, scratch)
+                result = yield from body(ctx, op)
+                yield from self.db.commit(txn)
+                return result
+            except TransactionAborted:
+                self.db.abort(txn)
+                yield self.env.timeout(1.0 * (attempt + 1))
+            except (NotLeader, NoLeader):
+                # Definite clean abort: leadership moved (or an election is
+                # in flight) before anything replicated.  Back off long
+                # enough for a new leader to emerge, then retry.
+                self.db.abort(txn)
+                yield self.env.timeout(5.0 * (attempt + 1))
+            except (ReplicationError, FencedOut) as exc:
+                if getattr(txn, "status", None) == "uncertain":
+                    raise AppUncertain(
+                        f"{op_id}: commit outcome unknown: {exc!r}"
+                    ) from exc
+                # The abort decision replicated (2PC prepare failure) or the
+                # pinned replica died mid-transaction: definitely not
+                # committed, safe to retry on whatever leader emerges.
+                self.db.abort(txn)
+                yield self.env.timeout(5.0 * (attempt + 1))
+            except Exception as exc:
+                if getattr(txn, "status", None) == "uncertain":
+                    raise AppUncertain(
+                        f"{op_id}: commit outcome unknown: {exc!r}"
+                    ) from exc
+                self.db.abort(txn)
+                raise
+        raise RuntimeError(f"{op_id}: retries exhausted")
+
+    def snapshot(self) -> dict[str, list[dict]]:
+        return {
+            entity: self.sorted_rows(
+                (dict(row) for row in self.db.all_rows(entity)), entity
+            )
+            for entity in self.spec.entities
+        }

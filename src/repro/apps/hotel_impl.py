@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.apps.shop import _with_txn
+from repro.apps.core import KernelApp
+from repro.apps.core.retry import with_txn
 from repro.db import IsolationLevel
 from repro.microservices import Microservice, MicroserviceApp
 from repro.sim import Environment
-from repro.transactions.anomalies import EffectLedger
 from repro.workloads.hotel import HotelWorkload, ReserveOp, SearchOp
 
 SER = IsolationLevel.SERIALIZABLE
@@ -25,13 +25,12 @@ class NoVacancy(Exception):
     """The hotel is fully booked (a business outcome, not a bug)."""
 
 
-class HotelApp:
+class HotelApp(KernelApp):
     """Deployed hotel application plus workload executors."""
 
     def __init__(self, env: Environment, workload: HotelWorkload) -> None:
-        self.env = env
+        super().__init__(env)
         self.workload = workload
-        self.ledger = EffectLedger()
         self.app = MicroserviceApp(env, dedup_requests=True)
         self.app.add_service(self._search_service())
         self.app.add_service(self._reservation_service())
@@ -58,7 +57,7 @@ class HotelApp:
                 rows = yield from ctx.db.lookup(txn, "hotels", "city", payload["city"])
                 return sorted(r["id"] for r in rows)
 
-            result = yield from _with_txn(ctx, body)
+            result = yield from with_txn(ctx, body)
             return result
 
         return service
@@ -95,7 +94,7 @@ class HotelApp:
                 )
                 return payload["reservation_id"]
 
-            result = yield from _with_txn(ctx, body)
+            result = yield from with_txn(ctx, body)
             return result
 
         @service.handler("cancel")
@@ -116,7 +115,7 @@ class HotelApp:
                 )
                 return True
 
-            result = yield from _with_txn(ctx, body)
+            result = yield from with_txn(ctx, body)
             return result
 
         return service

@@ -1,0 +1,98 @@
+"""The invoicing app: gap-free invoice numbering as an :class:`AppSpec`.
+
+One handler allocates the next sequence number and writes the invoice
+that uses it, atomically — so committed state can never show a gap, no
+matter what crashes, migrations, or failovers interleave.  The spec also
+ships the classic *unsound* variant as ``steps``: allocate the counter
+in one transaction, insert the invoice in a second.  Any failure between
+the two burns a number forever — the gap the oracle must catch when a
+transaction-per-step binder runs the split under chaos.
+
+Invoices are keyed by operation id (the number is a field), so the write
+set is declarable before the number is known — the declared-key
+discipline that lets every binder route the transaction up front.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.core import (
+    AppSpec,
+    EntitySpec,
+    GapFreeSequenceSpec,
+    HandlerSpec,
+)
+from repro.workloads.invoicing import InvoiceOp, InvoicingWorkload
+
+COUNTER = "invoice"
+
+
+def _invoice_row(op: InvoiceOp, number: int) -> dict:
+    return {
+        "id": op.op_id,
+        "number": number,
+        "customer": op.customer,
+        "amount": op.amount,
+    }
+
+
+def _issue(ctx, op: InvoiceOp) -> Generator:
+    # Idempotent by construction: a client (or app node) that crashed
+    # after commit and re-runs the operation gets its original number
+    # back instead of burning a fresh one.
+    existing = yield from ctx.get("invoices", op.op_id)
+    if existing is not None:
+        return existing["number"]
+    counter = yield from ctx.get("counters", COUNTER)
+    number = counter["next"]
+    yield from ctx.put("counters", COUNTER, {"id": COUNTER, "next": number + 1})
+    yield from ctx.put("invoices", op.op_id, _invoice_row(op, number))
+    return number
+
+
+def _step_allocate(ctx, op: InvoiceOp) -> Generator:
+    """Unsound step 1: commit the counter increment on its own."""
+    counter = yield from ctx.get("counters", COUNTER)
+    number = counter["next"]
+    yield from ctx.put("counters", COUNTER, {"id": COUNTER, "next": number + 1})
+    ctx.scratch["number"] = number
+    return number
+
+
+def _step_insert(ctx, op: InvoiceOp) -> Generator:
+    """Unsound step 2: use the number committed by step 1.
+
+    Anything that dies between the two commits burns the number — the
+    gap-free invariant catches exactly this.
+    """
+    number = ctx.scratch["number"]
+    yield from ctx.put("invoices", op.op_id, _invoice_row(op, number))
+    return number
+
+
+def _reads(op: InvoiceOp):
+    return [("counters", COUNTER)]
+
+
+def _writes(op: InvoiceOp):
+    return [("counters", COUNTER), ("invoices", op.op_id)]
+
+
+def invoicing_spec(workload: InvoicingWorkload) -> AppSpec:
+    return AppSpec(
+        name="invoicing",
+        entities=[EntitySpec("invoices"), EntitySpec("counters")],
+        handlers=[
+            HandlerSpec(
+                "invoice", _issue, _reads, _writes,
+                steps=(_step_allocate, _step_insert),
+            )
+        ],
+        invariants=[
+            GapFreeSequenceSpec("invoices", "number", "counters", COUNTER),
+        ],
+        initial_rows=workload.initial_rows(),
+        kind="invoice",
+        effect_entity="invoices",
+    )

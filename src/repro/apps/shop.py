@@ -23,15 +23,15 @@ benchmark C5 shows what happens without it), and each service retries its
 
 from __future__ import annotations
 
-from typing import Callable, Generator
+from typing import Generator
 
+from repro.apps.core import KernelApp
+from repro.apps.core.retry import with_prepared_txn, with_txn
 from repro.db import IsolationLevel
-from repro.db.errors import TransactionAborted
 from repro.messaging.rpc import RpcRemoteError
 from repro.microservices import Microservice, MicroserviceApp
 from repro.sim import Environment
 from repro.transactions import Saga, SagaOrchestrator, SagaStep
-from repro.transactions.anomalies import EffectLedger
 from repro.workloads.marketplace import CheckoutOp, MarketplaceWorkload
 
 SER = IsolationLevel.SERIALIZABLE
@@ -39,45 +39,6 @@ SER = IsolationLevel.SERIALIZABLE
 
 class PaymentDeclined(Exception):
     """Business failure injected by the workload."""
-
-
-def _with_txn(ctx, body: Callable, retries: int = 8) -> Generator:
-    """Run ``body(txn)`` in a local transaction, retrying aborts.
-
-    Business errors (anything that is not a serialization failure) abort
-    the transaction and propagate; deadlock/conflict aborts are retried
-    with backoff, the way production database clients behave.
-    """
-    for attempt in range(retries):
-        txn = yield from ctx.db.begin(SER)
-        try:
-            result = yield from body(txn)
-            yield from ctx.db.commit(txn)
-            return result
-        except TransactionAborted:
-            yield from ctx.db.abort(txn)
-            yield ctx.env.timeout(1.0 * (attempt + 1))
-        except Exception:
-            yield from ctx.db.abort(txn)
-            raise
-    raise RuntimeError("local transaction retries exhausted")
-
-
-def _with_prepared_txn(ctx, body: Callable, retries: int = 8) -> Generator:
-    """Like :func:`_with_txn` but ends in *prepare*; returns the txn."""
-    for attempt in range(retries):
-        txn = yield from ctx.db.begin(SER)
-        try:
-            yield from body(txn)
-            yield from ctx.db.prepare(txn)
-            return txn
-        except TransactionAborted:
-            yield from ctx.db.abort(txn)
-            yield ctx.env.timeout(1.0 * (attempt + 1))
-        except Exception:
-            yield from ctx.db.abort(txn)
-            raise
-    raise RuntimeError("local transaction retries exhausted")
 
 
 def _register_decision_handlers(service: Microservice, prepared: dict) -> None:
@@ -98,7 +59,7 @@ def _register_decision_handlers(service: Microservice, prepared: dict) -> None:
         return "aborted"
 
 
-class MicroserviceShop:
+class MicroserviceShop(KernelApp):
     """The deployed application plus per-mode checkout executors."""
 
     def __init__(
@@ -113,12 +74,11 @@ class MicroserviceShop:
     ) -> None:
         if mode not in ("none", "saga", "2pc"):
             raise ValueError(f"unknown mode {mode!r}")
-        self.env = env
+        super().__init__(env)
         self.workload = workload
         self.mode = mode
         self.request_timeout = request_timeout
         self.zombie_safe_refunds = zombie_safe_refunds
-        self.ledger = EffectLedger()
         self.app = MicroserviceApp(env, shared_database=shared_database,
                                    dedup_requests=True)
         self.app.add_service(self._stock_service())
@@ -167,7 +127,7 @@ class MicroserviceShop:
                     )
                 return "reserved"
 
-            result = yield from _with_txn(ctx, body)
+            result = yield from with_txn(ctx, body)
             return result
 
         @service.handler("confirm")
@@ -185,7 +145,7 @@ class MicroserviceShop:
                     )
                 return "confirmed"
 
-            result = yield from _with_txn(ctx, body)
+            result = yield from with_txn(ctx, body)
             return result
 
         @service.handler("release")
@@ -207,7 +167,7 @@ class MicroserviceShop:
                     )
                 return "released"
 
-            result = yield from _with_txn(ctx, body)
+            result = yield from with_txn(ctx, body)
             return result
 
         prepared: dict[str, object] = {}
@@ -224,7 +184,7 @@ class MicroserviceShop:
                         {"stock": row["stock"] - quantity},
                     )
 
-            txn = yield from _with_prepared_txn(ctx, body)
+            txn = yield from with_prepared_txn(ctx, body)
             prepared[payload["order_id"]] = txn
             return "prepared"
 
@@ -262,7 +222,7 @@ class MicroserviceShop:
                 )
                 return "charged"
 
-            result = yield from _with_txn(ctx, body)
+            result = yield from with_txn(ctx, body)
             return result
 
         @service.handler("refund")
@@ -292,7 +252,7 @@ class MicroserviceShop:
                         )
                 return "refunded"
 
-            result = yield from _with_txn(ctx, body)
+            result = yield from with_txn(ctx, body)
             return result
 
         prepared: dict[str, object] = {}
@@ -308,7 +268,7 @@ class MicroserviceShop:
                     {"order_id": payload["order_id"], "amount": payload["amount"]},
                 )
 
-            txn = yield from _with_prepared_txn(ctx, body)
+            txn = yield from with_prepared_txn(ctx, body)
             prepared[payload["order_id"]] = txn
             return "prepared"
 
@@ -330,7 +290,7 @@ class MicroserviceShop:
                 )
                 return "created"
 
-            result = yield from _with_txn(ctx, body)
+            result = yield from with_txn(ctx, body)
             return result
 
         prepared: dict[str, object] = {}
@@ -343,7 +303,7 @@ class MicroserviceShop:
                     {"id": payload["order_id"], "items": payload["items"]},
                 )
 
-            txn = yield from _with_prepared_txn(ctx, body)
+            txn = yield from with_prepared_txn(ctx, body)
             prepared[payload["order_id"]] = txn
             return "prepared"
 

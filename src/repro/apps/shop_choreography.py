@@ -21,11 +21,11 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.apps.shop import _with_txn
+from repro.apps.core import KernelApp
+from repro.apps.core.retry import with_txn
 from repro.db import DatabaseServer, IsolationLevel
 from repro.messaging import Broker
 from repro.sim import Environment
-from repro.transactions.anomalies import EffectLedger
 from repro.transactions.choreography import ChoreographyMonitor, Reactor
 from repro.workloads.marketplace import CheckoutOp, MarketplaceWorkload
 
@@ -42,20 +42,19 @@ TOPICS = (
 
 
 class _DbCtx:
-    """Adapter giving :func:`_with_txn` what it expects (db + env)."""
+    """Adapter giving :func:`~repro.apps.core.retry.with_txn` what it expects (db + env)."""
 
     def __init__(self, env: Environment, db: DatabaseServer) -> None:
         self.env = env
         self.db = db
 
 
-class ChoreographedShop:
+class ChoreographedShop(KernelApp):
     """The event-driven checkout deployment."""
 
     def __init__(self, env: Environment, workload: MarketplaceWorkload) -> None:
-        self.env = env
+        super().__init__(env)
         self.workload = workload
-        self.ledger = EffectLedger()
         self.broker = Broker(env)
         for topic in TOPICS:
             self.broker.create_topic(topic)
@@ -107,7 +106,7 @@ class ChoreographedShop:
                 )
 
         try:
-            yield from _with_txn(ctx, body)
+            yield from with_txn(ctx, body)
         except ValueError:
             # Business rejection before any state change: terminal event.
             return [("checkout-compensated", event["saga_id"], {})]
@@ -128,7 +127,7 @@ class ChoreographedShop:
                 {"order_id": event["saga_id"], "amount": event["amount"]},
             )
 
-        yield from _with_txn(ctx, body)
+        yield from with_txn(ctx, body)
         return [("payment-ok", event["saga_id"], {"items": event["items"]})]
 
     def _finalize(self, event: dict) -> Generator:
@@ -146,7 +145,7 @@ class ChoreographedShop:
                     txn, "reservations", f"{event['saga_id']}/{product}"
                 )
 
-        yield from _with_txn(stock_ctx, confirm)
+        yield from with_txn(stock_ctx, confirm)
         order_ctx = _DbCtx(self.env, self.order_db)
 
         def create(txn):
@@ -154,7 +153,7 @@ class ChoreographedShop:
                 txn, "orders", {"id": event["saga_id"], "items": event["items"]}
             )
 
-        yield from _with_txn(order_ctx, create)
+        yield from with_txn(order_ctx, create)
         return [("checkout-completed", event["saga_id"], {})]
 
     def _release_stock(self, event: dict) -> Generator:
@@ -176,7 +175,7 @@ class ChoreographedShop:
                     txn, "reservations", f"{event['saga_id']}/{product}"
                 )
 
-        yield from _with_txn(ctx, body)
+        yield from with_txn(ctx, body)
         return [("checkout-compensated", event["saga_id"], {})]
 
     # -- client --------------------------------------------------------------------------

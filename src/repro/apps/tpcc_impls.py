@@ -17,13 +17,13 @@ from __future__ import annotations
 
 from typing import Generator
 
+from repro.apps.core import KernelApp
 from repro.dataflow import TransactionalDataflow
 from repro.db import DatabaseServer, IsolationLevel
 from repro.db.errors import TransactionAborted
 from repro.faas import SharedKv, TransactionalWorkflows, WorkflowAborted
 from repro.net.latency import Latency
 from repro.sim import Environment
-from repro.transactions.anomalies import EffectLedger
 from repro.workloads.tpcc import (
     NewOrderOp,
     OrderStatusOp,
@@ -34,14 +34,13 @@ from repro.workloads.tpcc import (
 SER = IsolationLevel.SERIALIZABLE
 
 
-class DbTpcc:
+class DbTpcc(KernelApp):
     """TPC-C-lite on the monolithic serializable database."""
 
     def __init__(self, env: Environment, workload: TpccLite, max_retries: int = 8) -> None:
-        self.env = env
+        super().__init__(env)
         self.workload = workload
         self.max_retries = max_retries
-        self.ledger = EffectLedger()
         self.server = DatabaseServer(env, name="tpcc-db")
         for table in ("warehouses", "districts", "customers", "items",
                       "stock", "orders", "order_lines"):
@@ -139,7 +138,7 @@ class DbTpcc:
         }
 
 
-class _KvTpccCommon:
+class _KvTpccCommon(KernelApp):
     """Shared key naming + final-state assembly for KV-based builds."""
 
     workload: TpccLite
@@ -219,9 +218,8 @@ class WorkflowTpcc(_KvTpccCommon):
     """TPC-C-lite as Beldi-style OCC workflows over the shared KV."""
 
     def __init__(self, env: Environment, workload: TpccLite, max_retries: int = 24) -> None:
-        self.env = env
+        super().__init__(env)
         self.workload = workload
-        self.ledger = EffectLedger()
         self.kv = SharedKv(env, rtt=Latency.intra_zone())
         for key, value in self.seed_items().items():
             self.kv.store.put(key, value)
@@ -295,9 +293,8 @@ class StyxTpcc(_KvTpccCommon):
     """TPC-C-lite on the deterministic transactional dataflow."""
 
     def __init__(self, env: Environment, workload: TpccLite, **engine_kwargs) -> None:
-        self.env = env
+        super().__init__(env)
         self.workload = workload
-        self.ledger = EffectLedger()
         engine_kwargs.setdefault("epoch_interval", 5.0)
         self.engine = TransactionalDataflow(env, **engine_kwargs)
         self.engine.register("new_order", self._new_order)

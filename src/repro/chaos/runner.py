@@ -27,7 +27,7 @@ from repro.transactions.anomalies import Violation
 #: The runtimes a trial can target.
 RUNTIMES = (
     "microservice", "actor", "dataflow", "faas", "cluster", "overload",
-    "replication",
+    "replication", "ledger", "invoicing",
 )
 
 #: Concurrent client processes per trial.

@@ -20,6 +20,10 @@ from typing import Any, Callable, Generator, Optional
 
 from repro.actors import ActorError, CommitUncertain, TransactionFailed
 from repro.apps import ActorBank, FaasBank, MicroserviceShop, TxnDataflowBank
+from repro.apps.core import AppFailure, AppUncertain
+from repro.apps.core.binders import MicroserviceBinder, ShardedDbBinder
+from repro.apps.invoicing import invoicing_spec
+from repro.apps.ledger import ledger_spec
 from repro.chaos.config import ChaosConfig
 from repro.cluster import ClusterError
 from repro.db import Database, IsolationLevel, ShardedDatabase, TxnStatus
@@ -47,6 +51,7 @@ from repro.replication import (
 )
 from repro.sim import Environment, Interrupted
 from repro.workloads import MarketplaceWorkload, TransferWorkload
+from repro.workloads.invoicing import InvoicingWorkload
 
 
 class Scenario:
@@ -804,6 +809,213 @@ class OverloadScenario(Scenario):
         return "info"
 
 
+class LedgerScenario(Scenario):
+    """The kernel-defined payments ledger on entity-per-service microservices.
+
+    The first scenario driven entirely through :mod:`repro.apps.core`: the
+    app is an :class:`~repro.apps.core.AppSpec` (double-entry postings with
+    conservation, double-entry, and causal-audit invariants), the runtime
+    is the generic :class:`MicroserviceBinder`, and the oracles are
+    *compiled from the spec's invariants* — nothing here is hand-written
+    for the scenario.
+
+    Sound mode commits each posting via OCC 2PC across the accounts,
+    postings, and audit services.  Broken mode (``mode="none"``) applies
+    the buffered writes service-by-service with no coordination: a crash
+    or partition mid-sequence moves balances without recording the posting
+    (caught by ``double_entry``) or records a posting with no audit entry
+    (caught by ``causal_audit``).
+    """
+
+    name = "ledger"
+    kind = "posting"
+    default_config = ChaosConfig(
+        crashable=("accounts", "postings", "audit"),
+        partitionable=("edge-client", "accounts", "postings", "audit"),
+        loss_rate=(0.03, 0.15),
+        duplication_rate=(0.03, 0.15),
+    )
+
+    def __init__(self, env: Environment, broken: bool = False) -> None:
+        super().__init__(env, broken)
+        self.workload = TransferWorkload(
+            num_accounts=12, initial_balance=100, amount=10, theta=0.5
+        )
+        self.spec = ledger_spec(self.workload)
+        mode = "none" if broken else "2pc"
+        self.binder = MicroserviceBinder(
+            env, self.spec, mode=mode, request_timeout=150.0
+        )
+        self.net = self.binder.app.net
+
+    def setup(self) -> Generator:
+        yield from self.binder.setup()
+
+    def ops(self) -> list:
+        return list(self.workload.operations(self.env.stream("workload"), 18))
+
+    def execute(self, op) -> Generator:
+        result = yield from self.binder.execute(op)
+        return result
+
+    def final_state(self) -> Any:
+        return self.binder.snapshot()
+
+    def oracles(self) -> list[Oracle]:
+        return self.binder.oracles()
+
+    def classify(self, exc: Exception) -> str:
+        # The binder's vocabulary: AppUncertain is the 2PC decision window.
+        # Validation exhaustion (RuntimeError) means every attempt aborted;
+        # a remote handler error or first-contact rejection never committed.
+        if isinstance(exc, AppUncertain):
+            return "info"
+        if isinstance(exc, (AppFailure, RuntimeError, RpcRemoteError, RpcRejected)):
+            return "fail"
+        return "info"
+
+
+class InvoicingScenario(Scenario):
+    """Gap-free invoice numbering on replicated shards under migration.
+
+    The invoicing :class:`~repro.apps.core.AppSpec` runs through the
+    generic :class:`ShardedDbBinder` on two quorum-replicated shards
+    (factor 3 over four nodes) while a seeded driver keeps live-migrating
+    whole replica groups between nodes and the nemesis kills leaders,
+    crashes followers, and partitions the replica network.  The
+    spec-compiled gap-free oracle judges the result: committed invoices
+    must show numbers ``1..k`` with no gap and no duplicate, no matter
+    how the allocator's shard moved or failed over mid-run.
+
+    Broken mode keeps the cluster sound and breaks the *application*:
+    ``transaction_per_step=True`` honors the handler's unsound step split
+    (allocate the number in one transaction, insert the invoice in a
+    second), so any failure or uncertainty between the two burns a number
+    — the gap the oracle must catch.
+    """
+
+    name = "invoicing"
+    kind = "invoice"
+    default_config = ChaosConfig(
+        fault_classes=("kill_leader", "crash", "partition"),
+        crashable=(
+            "invoicing-app0", "invoicing-app1",
+            "invoicing-cluster/node0", "invoicing-cluster/node1",
+            "invoicing-cluster/node2", "invoicing-cluster/node3",
+        ),
+        partitionable=(
+            "invoicing-cluster/node0", "invoicing-cluster/node1",
+            "invoicing-cluster/node2", "invoicing-cluster/node3",
+        ),
+        leader_groups=("shard0", "shard1"),
+        episodes=5,
+        downtime=(40.0, 100.0),
+    )
+
+    def __init__(self, env: Environment, broken: bool = False) -> None:
+        super().__init__(env, broken)
+        self.workload = InvoicingWorkload()
+        self.spec = invoicing_spec(self.workload)
+        self.binder = ShardedDbBinder(
+            env, self.spec,
+            num_shards=2,
+            transaction_per_step=broken,
+            num_nodes=4,
+            rtt_ms=1.0,
+            drain_timeout_ms=250.0,
+            replication=ReplicationConfig(factor=3),
+        )
+        self.db = self.binder.db
+        self.net = self.db.repl_net
+        #: operations run as processes on crashable app nodes — a crash
+        #: kills the handler between its transactions, which is exactly
+        #: the window where the broken step-split burns a number.
+        self.app_nodes = [
+            self.net.add_node(f"invoicing-app{i}") for i in range(2)
+        ]
+
+    def resolve_leader(self, label: str) -> Optional[str]:
+        shard = int(label.removeprefix("shard"))
+        return self.db.replica_group(shard).leader_name()
+
+    def setup(self) -> Generator:
+        self.env.process(
+            self._migration_driver(), label="invoicing.migration-driver"
+        )
+        yield from self.binder.setup()
+
+    def _migration_driver(self) -> Generator:
+        """Keep live-migrating replica groups while the nemesis works."""
+        rng = self.env.stream("invoicing-migrations")
+        while True:
+            yield self.env.timeout(40.0 + rng.random() * 40.0)
+            shard = rng.randrange(self.db.num_shards)
+            alive = [
+                n for n in self.db.nodes
+                if self.net.node(n) is None or self.net.node(n).alive
+            ]
+            if len(alive) < self.db.replication.factor:
+                continue
+            dest = rng.choice(alive)
+            try:
+                yield from self.db.migrate_shard(shard, dest)
+            except ClusterError:
+                continue  # raced a fault or another migration; try later
+
+    def ops(self) -> list:
+        return list(
+            self.workload.operations(self.env.stream("workload"), 18)
+        )
+
+    def execute(self, op) -> Generator:
+        """Run the op on an alive app node, re-running it after crashes.
+
+        Safe for the sound (atomic, idempotent) handler: a re-run after a
+        crash-after-commit reads the existing invoice back.  The broken
+        step-split has no such protection — a re-run allocates a fresh
+        number and the crashed attempt's allocation is burned.
+        """
+        crashed = False
+        while True:
+            node = next((n for n in self.app_nodes if n.alive), None)
+            if node is None:
+                yield self.env.timeout(10.0)
+                continue
+            try:
+                attempt = node.spawn(
+                    self.binder.execute(op), label=f"invoicing:{op.op_id}"
+                )
+                result = yield attempt
+                return result
+            except (Interrupted, NodeCrashed):
+                crashed = True
+                yield self.env.timeout(5.0)
+            except Exception as exc:
+                if crashed:
+                    # A crashed earlier attempt may have committed; this
+                    # definite-looking failure is not definite any more.
+                    raise AppUncertain(
+                        f"{op.op_id}: failed after a crashed attempt"
+                    ) from exc
+                raise
+
+    def final_state(self) -> Any:
+        return self.binder.snapshot()
+
+    def oracles(self) -> list[Oracle]:
+        return self.binder.oracles()
+
+    def classify(self, exc: Exception) -> str:
+        # The binder retries every definite abort internally; what escapes
+        # is either the uncertainty window (info) or exhaustion/routing
+        # errors whose attempts all definitely aborted (fail).
+        if isinstance(exc, AppUncertain):
+            return "info"
+        if isinstance(exc, (RuntimeError, ClusterError)):
+            return "fail"
+        return "info"
+
+
 def bind_engine_to_node(env: Environment, node, engine) -> None:
     """Tie a :class:`TransactionalDataflow` lifecycle to a network node.
 
@@ -835,6 +1047,8 @@ _SCENARIOS = {
     "cluster": ClusterScenario,
     "overload": OverloadScenario,
     "replication": ReplicationScenario,
+    "ledger": LedgerScenario,
+    "invoicing": InvoicingScenario,
 }
 
 

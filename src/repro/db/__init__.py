@@ -20,6 +20,7 @@ from repro.db.errors import (
     DeadlockAbort,
     DuplicateKey,
     FencedOut,
+    LockTimeout,
     TransactionAborted,
     TransactionError,
     WriteConflict,
@@ -38,6 +39,7 @@ __all__ = [
     "IsolationLevel",
     "LockManager",
     "LockMode",
+    "LockTimeout",
     "Row",
     "ShardedDatabase",
     "Transaction",

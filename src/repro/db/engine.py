@@ -60,6 +60,7 @@ from repro.db.errors import (
     DuplicateKey,
     FencedOut,
     InvalidTransactionState,
+    LockTimeout,
     NoSuchTable,
     TransactionAborted,
     WriteConflict,
@@ -67,6 +68,7 @@ from repro.db.errors import (
 from repro.db.locks import LockManager, LockMode
 from repro.flow import LoadSignal
 from repro.sim import Environment
+from repro.sim.events import any_of
 from repro.storage.wal import WriteAheadLog
 
 _DELETED = None  # a version with row=None is a deletion marker
@@ -321,6 +323,7 @@ class Database:
         adaptive: bool = False,
         flush_window_ms: float = 2.0,
         load_knee: float = 8.0,
+        lock_wait_timeout_ms: Optional[float] = None,
     ) -> None:
         self.env = env
         self.name = name
@@ -336,6 +339,12 @@ class Database:
         self._group_commit = group_commit
         self._copy_reads = copy_reads
         self._adaptive = adaptive
+        if lock_wait_timeout_ms is not None and lock_wait_timeout_ms <= 0:
+            raise ValueError("lock_wait_timeout_ms must be positive")
+        #: bounded lock waits (None = wait forever, rely on local deadlock
+        #: detection).  Sharded deployments set this: a waits-for cycle
+        #: spanning shards is invisible to any one shard's lock manager.
+        self._lock_wait_timeout_ms = lock_wait_timeout_ms
         if flush_window_ms < 0:
             raise ValueError("flush_window_ms must be non-negative")
         if load_knee <= 0:
@@ -414,7 +423,22 @@ class Database:
                     tid=txn.tid,
                 )
                 try:
-                    yield grant
+                    if self._lock_wait_timeout_ms is None:
+                        yield grant
+                    else:
+                        winner = yield any_of(self.env, [
+                            grant,
+                            self.env.timeout(
+                                self._lock_wait_timeout_ms, "lock-timeout"
+                            ),
+                        ])
+                        if winner[0] == 1:
+                            raise LockTimeout(
+                                txn.tid, resource, self._lock_wait_timeout_ms
+                            )
+                except LockTimeout:
+                    span.annotate(outcome="timeout")
+                    raise
                 except TransactionAborted:
                     span.annotate(outcome="deadlock")
                     raise

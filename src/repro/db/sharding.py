@@ -295,6 +295,7 @@ class ShardedDatabase:
         copy_reads: bool = False,
         adaptive: bool = False,
         flush_window_ms: float = 2.0,
+        lock_wait_timeout_ms: Optional[float] = None,
         replication: Optional[ReplicationConfig] = None,
     ) -> None:
         if num_shards <= 0:
@@ -318,6 +319,7 @@ class ShardedDatabase:
         self.engine_options = {
             "gc": gc, "group_commit": group_commit, "copy_reads": copy_reads,
             "adaptive": adaptive, "flush_window_ms": flush_window_ms,
+            "lock_wait_timeout_ms": lock_wait_timeout_ms,
         }
         if replication is None:
             self.shards = [
