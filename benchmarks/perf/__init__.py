@@ -48,9 +48,30 @@ def host_info() -> dict:
     }
 
 
+def tracing_mode() -> dict:
+    """Which observability modes are active in this process.
+
+    Tracing (and any profiler hooks) slow the measured code down, so
+    numbers taken with different modes are not comparable — results and
+    the baseline both record the mode, and the gate warns loudly on a
+    mismatch instead of silently comparing apples to oranges.
+    """
+    from repro.obs import default_tracing_enabled
+
+    return {
+        "default_tracing": bool(default_tracing_enabled()),
+        "profile_hooks": sys.getprofile() is not None,
+    }
+
+
 def write_results(metrics: dict, *, smoke: bool = False, path: str = BENCH_JSON) -> str:
     """Persist a metrics dict (metric name -> number) as BENCH_perf.json."""
-    payload = {"host": host_info(), "smoke": smoke, "metrics": metrics}
+    payload = {
+        "host": host_info(),
+        "mode": tracing_mode(),
+        "smoke": smoke,
+        "metrics": metrics,
+    }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -43,6 +43,14 @@ def run(smoke: bool = False) -> dict:
     b1_elapsed = time.perf_counter() - start
     metrics["e2e_b1_wall_sec"] = round(b1_elapsed, 4)
     metrics["e2e_b1_txns_per_sec"] = round(_txn_count(b1_results) / b1_elapsed)
+    # Deterministic efficiency metric: kernel events per completed B1
+    # transaction (lower is better; independent of the host clock).
+    from repro.obs import events_per_txn
+
+    total_events = sum(r.extra["events_executed"] for r in b1_results)
+    metrics["e2e_b1_events_per_txn"] = events_per_txn(
+        total_events, _txn_count(b1_results)
+    )
 
     start = time.perf_counter()
     c1_results = bench_c1_paradigms.run_all()

@@ -33,6 +33,41 @@ if REPO_SRC not in sys.path:
 
 REGRESSION_TOLERANCE = 0.20
 
+PROFILE_REPORT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks", "perf", "profile_report.txt",
+)
+PROFILE_SCENARIO = "B1 YCSB mix F / serializable / seed 183 (single cell)"
+
+
+def profile_report_text(top: int = 25) -> str:
+    """Deterministic hot-function report over one pinned-seed B1 cell.
+
+    Ranked by call count (not wall time), restricted to ``repro`` code,
+    with per-transaction kernel-event accounting appended — everything in
+    the text is a pure function of the workload, so CI can regenerate it
+    and fail on drift.
+    """
+    from benchmarks import bench_b1_ycsb
+    from repro.obs import CallCountProfiler, events_per_txn
+
+    with CallCountProfiler() as prof:
+        result = bench_b1_ycsb.run_one(
+            "F", "serializable", bench_b1_ycsb.LEVELS[2][1], seed=183
+        )
+    events = result.extra["events_executed"]
+    txns = sum(
+        recorder.count for recorder in result.metrics.recorders().values()
+    )
+    text = prof.report(top=top, scenario=PROFILE_SCENARIO)
+    text += (
+        "per-transaction accounting:\n"
+        f"  kernel events executed  {events}\n"
+        f"  completed transactions  {txns}\n"
+        f"  events per transaction  {events_per_txn(events, txns)}\n"
+    )
+    return text
+
 
 def collect(smoke: bool, only: str | None = None) -> dict:
     from benchmarks import bench_c15_overload, bench_c16_replication
@@ -40,6 +75,7 @@ def collect(smoke: bool, only: str | None = None) -> dict:
         bench_e2e,
         bench_kernel,
         bench_locks,
+        bench_messaging,
         bench_parallel,
         bench_storage,
     )
@@ -48,6 +84,7 @@ def collect(smoke: bool, only: str | None = None) -> dict:
         ("kernel", bench_kernel),
         ("locks", bench_locks),
         ("storage", bench_storage),
+        ("messaging", bench_messaging),
         ("e2e", bench_e2e),
         ("c15-overload", bench_c15_overload),
         ("c16-replication", bench_c16_replication),
@@ -102,6 +139,16 @@ def compare(metrics: dict, baseline_metrics: dict, skip: set | None = None) -> l
                     f"{name}: {current:.3f}s > {ceiling:.3f}s "
                     f"(baseline {base:.3f}s, +{(current / base - 1):.0%})"
                 )
+        elif name.endswith("_per_txn"):
+            # Efficiency counters (e.g. kernel events per transaction):
+            # deterministic, lower is better, gated tighter than the
+            # wall-clock metrics because host noise cannot move them.
+            ceiling = base * 1.02
+            if current > ceiling:
+                regressions.append(
+                    f"{name}: {current:,.2f} > {ceiling:,.2f} "
+                    f"(baseline {base:,.2f}, +{(current / base - 1):.1%})"
+                )
     return regressions
 
 
@@ -121,6 +168,17 @@ def main(argv=None) -> int:
         "are merged into an existing BENCH_perf.json and the gate checks "
         "only the metrics that ran",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="write the deterministic hot-function report "
+        "(benchmarks/perf/profile_report.txt) instead of running the "
+        "wall-clock benches",
+    )
+    parser.add_argument(
+        "--check-drift", action="store_true",
+        help="with --profile: regenerate the report and fail if it differs "
+        "from the committed one (CI drift gate) instead of rewriting it",
+    )
     args = parser.parse_args(argv)
 
     from benchmarks.perf import (
@@ -129,8 +187,42 @@ def main(argv=None) -> int:
         affinity_cpus,
         host_info,
         load_baseline,
+        tracing_mode,
         write_results,
     )
+
+    if args.profile:
+        text = profile_report_text()
+        if args.check_drift:
+            committed = ""
+            if os.path.exists(PROFILE_REPORT):
+                with open(PROFILE_REPORT) as handle:
+                    committed = handle.read()
+            if text != committed:
+                print(
+                    "[perfcheck] FAIL: profile report drifted from the "
+                    f"committed {PROFILE_REPORT}"
+                )
+                print(
+                    "[perfcheck] the hot path changed; regenerate with "
+                    "`python scripts/perfcheck.py --profile` and review the diff"
+                )
+                current = committed.splitlines()
+                new = text.splitlines()
+                for line in new:
+                    if line not in current:
+                        print(f"  + {line}")
+                for line in current:
+                    if line not in new:
+                        print(f"  - {line}")
+                return 1
+            print("[perfcheck] OK: profile report matches the committed one")
+            return 0
+        with open(PROFILE_REPORT, "w") as handle:
+            handle.write(text)
+        print(f"[perfcheck] wrote {PROFILE_REPORT}")
+        print(text)
+        return 0
 
     metrics = collect(smoke=args.smoke, only=args.only)
     fresh = set(metrics)
@@ -159,7 +251,11 @@ def main(argv=None) -> int:
         return 0
 
     if args.update_baseline:
-        payload = {"host": host_info(), "metrics": metrics}
+        payload = {
+            "host": host_info(),
+            "mode": tracing_mode(),
+            "metrics": metrics,
+        }
         if "pre_change" in baseline:
             payload["pre_change"] = baseline["pre_change"]
         with open(BASELINE_JSON, "w") as handle:
@@ -171,6 +267,20 @@ def main(argv=None) -> int:
     if not baseline:
         print("[perfcheck] no committed baseline; run with --update-baseline")
         return 0
+    current_mode = tracing_mode()
+    baseline_mode = baseline.get("mode")
+    if baseline_mode is None:
+        print(
+            "[perfcheck] WARNING: baseline does not record its tracing/"
+            "profile mode; assuming it was measured untraced — re-run "
+            "--update-baseline to record the mode"
+        )
+    elif baseline_mode != current_mode:
+        print(
+            "[perfcheck] WARNING: observability mode mismatch — baseline "
+            f"measured with {baseline_mode}, this run is {current_mode}; "
+            "wall-clock comparisons across modes are not meaningful"
+        )
     baseline_metrics = baseline.get("metrics", {})
     skip = {name for name in baseline_metrics if name not in fresh}
     baseline_host = baseline.get("host", {})

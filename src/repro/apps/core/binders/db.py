@@ -142,6 +142,14 @@ class ShardedDbBinder(Binder):
             # lock manager can see; bounded lock waits break such cycles
             # into definite aborts the retry loop absorbs.
             db_opts.setdefault("lock_wait_timeout_ms", 300.0)
+            # Reference-mode grants, deliberately: synchronous (fast-path)
+            # grants let a deadlock-victim retry re-take its first lock in
+            # the same instant it restarts, which can phase-lock one
+            # operation into closing — and losing — the same cross-shard
+            # cycle on every attempt until its retries exhaust.  The
+            # kernel round-trip per grant is what lets a competing waiter
+            # slip in and break the lockstep.
+            db_opts.setdefault("fast_grants", False)
             db = ShardedDatabase(
                 env, num_shards=num_shards, name=f"{spec.name}-cluster",
                 **db_opts,

@@ -36,7 +36,9 @@ class DatabaseServer:
     The keyword-only ``gc``/``group_commit``/``copy_reads`` flags pass
     through to the underlying :class:`~repro.db.engine.Database` (storage
     fast paths and their reference modes), as do ``adaptive`` and
-    ``flush_window_ms`` (the load-adaptive group-commit/GC windows).
+    ``flush_window_ms`` (the load-adaptive group-commit/GC windows) and
+    ``fast_grants`` (consume already-granted pool connections and locks
+    without a suspension round trip; ``False`` is the reference mode).
     """
 
     def __init__(
@@ -52,6 +54,7 @@ class DatabaseServer:
         copy_reads: bool = False,
         adaptive: bool = False,
         flush_window_ms: float = 2.0,
+        fast_grants: bool = True,
         follower: bool = False,
     ) -> None:
         self.env = env
@@ -63,6 +66,7 @@ class DatabaseServer:
             copy_reads=copy_reads,
             adaptive=adaptive,
             flush_window_ms=flush_window_ms,
+            fast_grants=fast_grants,
         )
         self.name = name
         #: follower mode: the server is a read replica — interactive
@@ -74,6 +78,7 @@ class DatabaseServer:
         self._service = op_service_time or Latency.local_disk()
         self._rtt = network_rtt or Latency.intra_zone()
         self._rng = env.stream(f"dbserver:{name}")
+        self._fast_grants = fast_grants
 
     # -- schema (instant, setup-time) -----------------------------------------
 
@@ -87,6 +92,12 @@ class DatabaseServer:
         self.engine.load(table, rows)
 
     # -- transactional API ------------------------------------------------------
+
+    # The public operations below are plain functions returning the inner
+    # generator (callers drive them with ``yield from`` either way), so an
+    # untraced run pays neither the span bookkeeping nor the extra
+    # delegating generator frame per operation — the per-op overhead this
+    # facade adds is exactly one timeout yield plus two RNG draws.
 
     def _charge(self) -> Generator:
         yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
@@ -102,11 +113,10 @@ class DatabaseServer:
 
     def begin(self, isolation: IsolationLevel = IsolationLevel.SERIALIZABLE) -> Generator:
         """Open a transaction, waiting for a pooled connection."""
-        return (
-            yield from self._traced(
-                "db.begin", self._begin(isolation), isolation=isolation.value
-            )
-        )
+        gen = self._begin(isolation)
+        if self.env.tracer.enabled:
+            return self._traced("db.begin", gen, isolation=isolation.value)
+        return gen
 
     def _begin(self, isolation: IsolationLevel) -> Generator:
         if self.follower:
@@ -114,118 +124,133 @@ class DatabaseServer:
                 f"{self.name} is a follower replica: interactive "
                 "transactions must go to the leader"
             )
-        tracer = self.env.tracer
         grant = self._pool.acquire()
         if grant.done:
-            yield grant
+            if not self._fast_grants:
+                yield grant
         else:
             # Pool exhausted: surface the queueing delay as its own span —
             # the §3.3 performance-isolation contention made visible.
+            tracer = self.env.tracer
             wait = tracer.begin("db.pool_wait", db=self.name)
             try:
                 yield grant
             finally:
                 tracer.end(wait)
-        yield from self._charge()
+        yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
         return self.engine.begin(isolation)
 
     def get(self, txn: Transaction, table: str, key: Hashable) -> Generator:
-        return (yield from self._traced("db.get", self._get(txn, table, key), table=table))
+        gen = self._get(txn, table, key)
+        if self.env.tracer.enabled:
+            return self._traced("db.get", gen, table=table)
+        return gen
 
     def _get(self, txn: Transaction, table: str, key: Hashable) -> Generator:
-        yield from self._charge()
+        yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
         return (yield from self.engine.get(txn, table, key))
 
     def scan(self, txn: Transaction, table: str, predicate=None) -> Generator:
-        return (
-            yield from self._traced("db.scan", self._scan(txn, table, predicate), table=table)
-        )
+        gen = self._scan(txn, table, predicate)
+        if self.env.tracer.enabled:
+            return self._traced("db.scan", gen, table=table)
+        return gen
 
     def _scan(self, txn: Transaction, table: str, predicate) -> Generator:
-        yield from self._charge()
+        yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
         rows = yield from self.engine.scan(txn, table, predicate)
         # Result-set transfer cost: scans are not free the way gets are.
         yield self.env.timeout(0.002 * len(rows))
         return rows
 
     def lookup(self, txn: Transaction, table: str, column: str, value: Any) -> Generator:
-        return (
-            yield from self._traced(
-                "db.lookup", self._lookup(txn, table, column, value), table=table
-            )
-        )
+        gen = self._lookup(txn, table, column, value)
+        if self.env.tracer.enabled:
+            return self._traced("db.lookup", gen, table=table)
+        return gen
 
     def _lookup(self, txn: Transaction, table: str, column: str, value: Any) -> Generator:
-        yield from self._charge()
+        yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
         return (yield from self.engine.lookup(txn, table, column, value))
 
     def range_lookup(
         self, txn: Transaction, table: str, column: str, low: Any, high: Any
     ) -> Generator:
-        return (
-            yield from self._traced(
-                "db.range_lookup",
-                self._range_lookup(txn, table, column, low, high),
-                table=table,
-            )
-        )
+        gen = self._range_lookup(txn, table, column, low, high)
+        if self.env.tracer.enabled:
+            return self._traced("db.range_lookup", gen, table=table)
+        return gen
 
     def _range_lookup(
         self, txn: Transaction, table: str, column: str, low: Any, high: Any
     ) -> Generator:
-        yield from self._charge()
+        yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
         rows = yield from self.engine.range_lookup(txn, table, column, low, high)
         yield self.env.timeout(0.002 * len(rows))
         return rows
 
     def insert(self, txn: Transaction, table: str, row: dict) -> Generator:
-        yield from self._traced("db.insert", self._insert(txn, table, row), table=table)
+        gen = self._insert(txn, table, row)
+        if self.env.tracer.enabled:
+            return self._traced("db.insert", gen, table=table)
+        return gen
 
     def _insert(self, txn: Transaction, table: str, row: dict) -> Generator:
-        yield from self._charge()
+        yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
         yield from self.engine.insert(txn, table, row)
 
     def put(self, txn: Transaction, table: str, key: Hashable, row: dict) -> Generator:
-        yield from self._traced("db.put", self._put(txn, table, key, row), table=table)
+        gen = self._put(txn, table, key, row)
+        if self.env.tracer.enabled:
+            return self._traced("db.put", gen, table=table)
+        return gen
 
     def _put(self, txn: Transaction, table: str, key: Hashable, row: dict) -> Generator:
-        yield from self._charge()
+        yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
         yield from self.engine.put(txn, table, key, row)
 
     def update(self, txn: Transaction, table: str, key: Hashable, changes: dict) -> Generator:
-        return (
-            yield from self._traced(
-                "db.update", self._update(txn, table, key, changes), table=table
-            )
-        )
+        gen = self._update(txn, table, key, changes)
+        if self.env.tracer.enabled:
+            return self._traced("db.update", gen, table=table)
+        return gen
 
     def _update(self, txn: Transaction, table: str, key: Hashable, changes: dict) -> Generator:
-        yield from self._charge()
+        yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
         return (yield from self.engine.update(txn, table, key, changes))
 
     def delete(self, txn: Transaction, table: str, key: Hashable) -> Generator:
-        yield from self._traced("db.delete", self._delete(txn, table, key), table=table)
+        gen = self._delete(txn, table, key)
+        if self.env.tracer.enabled:
+            return self._traced("db.delete", gen, table=table)
+        return gen
 
     def _delete(self, txn: Transaction, table: str, key: Hashable) -> Generator:
-        yield from self._charge()
+        yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
         yield from self.engine.delete(txn, table, key)
 
     def commit(self, txn: Transaction) -> Generator:
-        yield from self._traced("db.commit", self._commit(txn))
+        gen = self._commit(txn)
+        if self.env.tracer.enabled:
+            return self._traced("db.commit", gen)
+        return gen
 
     def _commit(self, txn: Transaction) -> Generator:
         try:
-            yield from self._charge()
+            yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
             yield from self.engine.commit(txn)
         finally:
             self._release_connection(txn)
 
     def abort(self, txn: Transaction) -> Generator:
-        yield from self._traced("db.abort", self._abort(txn))
+        gen = self._abort(txn)
+        if self.env.tracer.enabled:
+            return self._traced("db.abort", gen)
+        return gen
 
     def _abort(self, txn: Transaction) -> Generator:
         try:
-            yield from self._charge()
+            yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
             self.engine.abort(txn)
         finally:
             self._release_connection(txn)
@@ -295,28 +320,37 @@ class DatabaseServer:
     # -- XA -----------------------------------------------------------------------
 
     def prepare(self, txn: Transaction) -> Generator:
-        yield from self._traced("db.prepare", self._prepare(txn))
+        gen = self._prepare(txn)
+        if self.env.tracer.enabled:
+            return self._traced("db.prepare", gen)
+        return gen
 
     def _prepare(self, txn: Transaction) -> Generator:
-        yield from self._charge()
+        yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
         yield from self.engine.prepare(txn)
 
     def commit_prepared(self, txn: Transaction) -> Generator:
-        yield from self._traced("db.commit_prepared", self._commit_prepared(txn))
+        gen = self._commit_prepared(txn)
+        if self.env.tracer.enabled:
+            return self._traced("db.commit_prepared", gen)
+        return gen
 
     def _commit_prepared(self, txn: Transaction) -> Generator:
         try:
-            yield from self._charge()
+            yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
             self.engine.commit_prepared(txn)
         finally:
             self._release_connection(txn)
 
     def abort_prepared(self, txn: Transaction) -> Generator:
-        yield from self._traced("db.abort_prepared", self._abort_prepared(txn))
+        gen = self._abort_prepared(txn)
+        if self.env.tracer.enabled:
+            return self._traced("db.abort_prepared", gen)
+        return gen
 
     def _abort_prepared(self, txn: Transaction) -> Generator:
         try:
-            yield from self._charge()
+            yield self.env.timeout(self._rtt(self._rng) + self._service(self._rng))
             self.engine.abort_prepared(txn)
         finally:
             self._release_connection(txn)

@@ -296,6 +296,7 @@ class ShardedDatabase:
         adaptive: bool = False,
         flush_window_ms: float = 2.0,
         lock_wait_timeout_ms: Optional[float] = None,
+        fast_grants: bool = True,
         replication: Optional[ReplicationConfig] = None,
     ) -> None:
         if num_shards <= 0:
@@ -320,6 +321,7 @@ class ShardedDatabase:
             "gc": gc, "group_commit": group_commit, "copy_reads": copy_reads,
             "adaptive": adaptive, "flush_window_ms": flush_window_ms,
             "lock_wait_timeout_ms": lock_wait_timeout_ms,
+            "fast_grants": fast_grants,
         }
         if replication is None:
             self.shards = [

@@ -130,6 +130,21 @@ class WorkloadDriver:
             op = ops[op_index]
             kind = _kind_of(op)
             tracer = self.env.tracer
+            if not tracer.enabled:
+                # Untraced fast path: no span bookkeeping per operation.
+                started = self.env.now
+                try:
+                    yield from execute(op)
+                except Interrupted:
+                    raise
+                except Exception:  # noqa: BLE001 - a failure the client observed
+                    self.metrics.record_failure(kind)
+                    raise
+                self.metrics.record_success(kind, self.env.now - started)
+                op_id = getattr(op, "op_id", None)
+                if op_id is not None:
+                    self.ledger.acknowledge(op_id)
+                return
             # Each client-visible operation is a root span: the unit the
             # critical-path report decomposes.
             span = tracer.begin(f"op:{kind}", parent=None, index=op_index)

@@ -17,6 +17,7 @@ from repro.flow import AdmissionController, RetryBudget, PRIORITY_NORMAL
 from repro.messaging.idempotency import IdempotencyStore
 from repro.net.network import Message, Network
 from repro.net.node import Node
+from repro.obs.tracer import NULL_SPAN
 from repro.sim import Environment, Interrupted, any_of
 
 
@@ -56,30 +57,69 @@ class RpcRejected(RpcError):
         self.detail = detail
 
 
-@dataclass
 class _Request:
-    request_id: int
-    method: str
-    payload: Any
-    reply_to: str
-    reply_port: str
-    idempotency_key: Optional[str]
-    #: Caller's span id, carried across the wire for causal trace linking.
-    trace_parent: Optional[int] = None
-    #: Absolute virtual-time deadline, propagated so downstream work can be
-    #: dropped once nobody is waiting for it (None = no deadline).
-    deadline: Optional[float] = None
-    #: Admission-control priority class (repro.flow PRIORITY_*).
-    priority: int = PRIORITY_NORMAL
+    """One wire request.  ``__slots__``: built once per attempt on the hot
+    path, so dataclass construction overhead is measurable."""
+
+    __slots__ = (
+        "request_id", "method", "payload", "reply_to", "reply_port",
+        "idempotency_key", "trace_parent", "deadline", "priority",
+    )
+
+    def __init__(
+        self,
+        request_id: int,
+        method: str,
+        payload: Any,
+        reply_to: str,
+        reply_port: str,
+        idempotency_key: Optional[str],
+        trace_parent: Optional[int] = None,
+        deadline: Optional[float] = None,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        self.request_id = request_id
+        self.method = method
+        self.payload = payload
+        self.reply_to = reply_to
+        self.reply_port = reply_port
+        self.idempotency_key = idempotency_key
+        #: Caller's span id, carried across the wire for causal trace linking.
+        self.trace_parent = trace_parent
+        #: Absolute virtual-time deadline, propagated so downstream work can
+        #: be dropped once nobody is waiting for it (None = no deadline).
+        self.deadline = deadline
+        #: Admission-control priority class (repro.flow PRIORITY_*).
+        self.priority = priority
 
 
-@dataclass
 class _Reply:
-    request_id: int
-    ok: bool
-    value: Any
-    #: Machine-readable failure class ("rejected" = shed at admission).
-    code: Optional[str] = None
+    """One wire reply (``code="rejected"`` = shed at admission)."""
+
+    __slots__ = ("request_id", "ok", "value", "code")
+
+    def __init__(
+        self, request_id: int, ok: bool, value: Any, code: Optional[str] = None
+    ) -> None:
+        self.request_id = request_id
+        self.ok = ok
+        self.value = value
+        self.code = code
+
+
+class _ReplyBatch:
+    """Several replies to the same destination coalesced into one envelope.
+
+    Produced only by servers with ``coalesce_replies=True``: replies issued
+    within the same virtual instant to one (node, port) share a single
+    network message — one latency sample, one delivery event — instead of
+    one message each.
+    """
+
+    __slots__ = ("replies",)
+
+    def __init__(self, replies: list[_Reply]) -> None:
+        self.replies = replies
 
 
 @dataclass
@@ -116,6 +156,16 @@ class RpcServer:
     (reply code ``"rejected"`` → the client raises :class:`RpcRejected`),
     and requests whose propagated deadline already passed are dropped
     unexecuted — the two server-side overload defenses of ``repro.flow``.
+
+    ``coalesce_replies=True`` batches replies issued within one virtual
+    instant to the same (node, port) into a single network message (a
+    :class:`_ReplyBatch` the client pump unpacks).  Off by default: fewer
+    wire messages also means fewer latency samples, so coalescing changes
+    reply timing and is an opt-in trade, not a golden-equivalent fast path.
+
+    ``local_fast_path=True`` hands replies addressed to this server's own
+    node directly to the local port, skipping network dispatch entirely
+    (the loopback half of the client-side same-node shortcut).
     """
 
     def __init__(
@@ -125,21 +175,28 @@ class RpcServer:
         service: str = "rpc",
         dedup_store: Optional[IdempotencyStore] = None,
         admission: Optional[AdmissionController] = None,
+        *,
+        coalesce_replies: bool = False,
+        local_fast_path: bool = False,
     ) -> None:
         self.network = network
         self.node = node
         self.service = service
         self.dedup = dedup_store
         self.admission = admission
+        self.coalesce_replies = coalesce_replies
+        self.local_fast_path = local_fast_path
         self._handlers: dict[str, Callable[[Any], Generator]] = {}
         self.stats = RpcStats()
         self._executed_keys: set[str] = set()
         self._inflight: dict[str, Any] = {}  # idempotency key -> Future
+        self._reply_buffer: dict[tuple[str, str], list[_Reply]] = {}
         self.node.on_restart(lambda _node: self._on_restart())
         self._start()
 
     def _on_restart(self) -> None:
         self._inflight = {}  # in-flight executions died with the node
+        self._reply_buffer = {}  # buffered replies died with the node
         self._start()
 
     def register(self, method: str, handler: Callable[[Any], Generator]) -> None:
@@ -158,8 +215,15 @@ class RpcServer:
 
         self.node.spawn(listen(self.network.env), label=f"{self.service}.listener")
 
-    def _handle(self, message: Message) -> Generator:
+    def _handle(self, message: Message):
+        # Plain function: untraced requests run the processing generator
+        # directly (no span bookkeeping, no delegating frame).
         request: _Request = message.payload
+        if self.network.env.tracer.enabled:
+            return self._handle_traced(request)
+        return self._process(request, NULL_SPAN)
+
+    def _handle_traced(self, request: _Request) -> Generator:
         tracer = self.network.env.tracer
         span = tracer.begin(
             "rpc.handle",
@@ -168,11 +232,11 @@ class RpcServer:
             node=self.node.name,
         )
         try:
-            yield from self._handle_traced(request, span)
+            yield from self._process(request, span)
         finally:
             tracer.end(span)
 
-    def _handle_traced(self, request: _Request, span: Any) -> Generator:
+    def _process(self, request: _Request, span: Any) -> Generator:
         handler = self._handlers.get(request.method)
         if handler is None:
             self._reply(request, ok=False, value=f"no such method {request.method!r}")
@@ -220,33 +284,32 @@ class RpcServer:
                 code="rejected",
             )
             return
+        # Execution proper (inlined rather than a nested generator: one
+        # frame per request at benchmark rates).
         try:
-            yield from self._execute(request, span)
+            if key is not None:
+                if self.dedup is not None:
+                    self._inflight[key] = self.network.env.future(
+                        label=f"inflight:{key}"
+                    )
+                if key in self._executed_keys:
+                    self.stats.duplicate_executions += 1
+                self._executed_keys.add(key)
+            try:
+                result = yield from handler(request.payload)
+            except Interrupted:
+                raise  # node crashed mid-handler; no reply is ever sent
+            except Exception as exc:  # noqa: BLE001 - report remote errors to caller
+                self._settle_inflight(key, ok=False, value=repr(exc))
+                self._reply(request, ok=False, value=repr(exc))
+                return
+            if key is not None and self.dedup is not None:
+                self.dedup.record(key, result)
+            self._settle_inflight(key, ok=True, value=result)
+            self._reply(request, ok=True, value=result)
         finally:
             if self.admission is not None:
                 self.admission.release()
-
-    def _execute(self, request: _Request, span: Any) -> Generator:
-        handler = self._handlers[request.method]
-        key = request.idempotency_key
-        if key is not None and self.dedup is not None:
-            self._inflight[key] = self.network.env.future(label=f"inflight:{key}")
-        if key is not None:
-            if key in self._executed_keys:
-                self.stats.duplicate_executions += 1
-            self._executed_keys.add(key)
-        try:
-            result = yield from handler(request.payload)
-        except Interrupted:
-            raise  # node crashed mid-handler; no reply is ever sent
-        except Exception as exc:  # noqa: BLE001 - report remote errors to caller
-            self._settle_inflight(key, ok=False, value=repr(exc))
-            self._reply(request, ok=False, value=repr(exc))
-            return
-        if key is not None and self.dedup is not None:
-            self.dedup.record(key, result)
-        self._settle_inflight(key, ok=True, value=result)
-        self._reply(request, ok=True, value=result)
 
     def _settle_inflight(self, key: Optional[str], ok: bool, value: Any) -> None:
         if key is None or self.dedup is None:
@@ -258,21 +321,56 @@ class RpcServer:
     def _reply(
         self, request: _Request, ok: bool, value: Any, code: Optional[str] = None
     ) -> None:
-        self.network.send(
-            self.node.name,
-            request.reply_to,
-            request.reply_port,
-            _Reply(request.request_id, ok, value, code),
-        )
+        reply = _Reply(request.request_id, ok, value, code)
+        if self.coalesce_replies:
+            key = (request.reply_to, request.reply_port)
+            buffered = self._reply_buffer.get(key)
+            if buffered is not None:
+                buffered.append(reply)
+                return
+            self._reply_buffer[key] = [reply]
+            # Flush after every handler that can finish at this instant has
+            # finished: call_soon runs behind all currently-ready events.
+            self.network.env.call_soon(self._flush_replies, key)
+            return
+        self._send_reply(request.reply_to, request.reply_port, reply)
+
+    def _flush_replies(self, key: tuple[str, str]) -> None:
+        replies = self._reply_buffer.pop(key, None)
+        if not replies:
+            return  # node restarted between buffer and flush
+        payload: Any = replies[0] if len(replies) == 1 else _ReplyBatch(replies)
+        self._send_reply(key[0], key[1], payload)
+
+    def _send_reply(self, dst: str, port: str, payload: Any) -> None:
+        if self.local_fast_path and dst == self.node.name:
+            self.network.send_local(dst, port, payload)
+            return
+        self.network.send(self.node.name, dst, port, payload)
 
 
 class RpcClient:
-    """Issues calls from a node, with timeout/retry and reply matching."""
+    """Issues calls from a node, with timeout/retry and reply matching.
 
-    def __init__(self, network: Network, node: Node, service: str = "rpc") -> None:
+    ``local_fast_path=True`` sends requests addressed to this client's own
+    node straight to the local service port, skipping network dispatch
+    (no latency sample, no loss/duplication/partition).  Off by default:
+    it changes call timing, so it is an opt-in optimization for
+    colocated-tier topologies, not a golden-equivalent fast path.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        node: Node,
+        service: str = "rpc",
+        *,
+        local_fast_path: bool = False,
+    ) -> None:
         self.network = network
         self.node = node
         self.service = service
+        self.local_fast_path = local_fast_path
         self.stats = RpcStats()
         self._pending: dict[int, Any] = {}
         self._reply_port = f"{service}-replies"
@@ -298,10 +396,14 @@ class RpcClient:
         def pump(env: Environment) -> Generator:
             while True:
                 message = yield inbox.get()
-                reply: _Reply = message.payload
-                fut = self._pending.pop(reply.request_id, None)
-                if fut is not None:
-                    fut.try_succeed(reply)
+                payload = message.payload
+                replies = (
+                    payload.replies if type(payload) is _ReplyBatch else (payload,)
+                )
+                for reply in replies:
+                    fut = self._pending.pop(reply.request_id, None)
+                    if fut is not None:
+                        fut.try_succeed(reply)
 
         self.node.spawn(pump(self.network.env), label=f"{self._reply_port}.pump")
 
@@ -340,8 +442,9 @@ class RpcClient:
         """
         env = self.network.env
         tracer = env.tracer
+        traced = tracer.enabled
         self.stats.calls += 1
-        span = tracer.begin("rpc.call", dst=dst, method=method)
+        span = tracer.begin("rpc.call", dst=dst, method=method) if traced else NULL_SPAN
         attempts = 0
         try:
             while attempts <= retries:
@@ -362,14 +465,21 @@ class RpcClient:
                     reply_to=self.node.name,
                     reply_port=self._reply_port,
                     idempotency_key=idempotency_key,
-                    trace_parent=span.span_id if tracer.enabled else None,
+                    trace_parent=span.span_id if traced else None,
                     deadline=deadline,
                     priority=priority,
                 )
-                attempt_span = tracer.begin("rpc.attempt", attempt=attempts)
+                attempt_span = (
+                    tracer.begin("rpc.attempt", attempt=attempts)
+                    if traced
+                    else NULL_SPAN
+                )
                 fut = env.future(label=f"rpc:{dst}.{method}#{request_id}")
                 self._pending[request_id] = fut
-                self.network.send(self.node.name, dst, self.service, request)
+                if self.local_fast_path and dst == self.node.name:
+                    self.network.send_local(dst, self.service, request)
+                else:
+                    self.network.send(self.node.name, dst, self.service, request)
                 wait = timeout
                 if deadline is not None:
                     wait = min(wait, deadline - env.now)

@@ -10,7 +10,7 @@ messaging layer built on top of this module provides.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.net.latency import Latency, Sampler
@@ -18,23 +18,52 @@ from repro.net.node import Node
 from repro.sim import Environment
 
 
-@dataclass(frozen=True)
 class Message:
-    """An envelope traveling between two nodes."""
+    """An envelope traveling between two nodes.
 
-    msg_id: int
-    src: str
-    dst: str
-    port: str
-    payload: Any
-    sent_at: float
-    duplicate: bool = False
-    #: Causal tracing span covering the in-flight interval (None untraced).
-    span: Any = field(default=None, compare=False, repr=False)
-    #: Whether the receiver was alive when the message left the sender —
-    #: distinguishes a crash-race (receiver died mid-flight) from a send
-    #: aimed at an already-dead node.
-    dst_alive_at_send: bool = field(default=True, compare=False, repr=False)
+    A ``__slots__`` class rather than a frozen dataclass: one envelope is
+    built per dispatched message, and frozen-dataclass construction is the
+    second-hottest allocation on the RPC path.  Treat instances as
+    immutable.
+    """
+
+    __slots__ = (
+        "msg_id", "src", "dst", "port", "payload", "sent_at", "duplicate",
+        "span", "dst_alive_at_send",
+    )
+
+    def __init__(
+        self,
+        msg_id: int,
+        src: str,
+        dst: str,
+        port: str,
+        payload: Any,
+        sent_at: float,
+        duplicate: bool = False,
+        span: Any = None,
+        dst_alive_at_send: bool = True,
+    ) -> None:
+        self.msg_id = msg_id
+        self.src = src
+        self.dst = dst
+        self.port = port
+        self.payload = payload
+        self.sent_at = sent_at
+        self.duplicate = duplicate
+        #: Causal tracing span covering the in-flight interval (None untraced).
+        self.span = span
+        #: Whether the receiver was alive when the message left the sender —
+        #: distinguishes a crash-race (receiver died mid-flight) from a send
+        #: aimed at an already-dead node.
+        self.dst_alive_at_send = dst_alive_at_send
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(msg_id={self.msg_id!r}, src={self.src!r}, "
+            f"dst={self.dst!r}, port={self.port!r}, payload={self.payload!r}, "
+            f"sent_at={self.sent_at!r}, duplicate={self.duplicate!r})"
+        )
 
 
 @dataclass
@@ -186,6 +215,36 @@ class Network:
         if faults.duplicate_rate > 0 and self._rng.random() < faults.duplicate_rate:
             self.stats.duplicated += 1
             self._dispatch(src, dst, port, payload, msg_id, faults, duplicate=True)
+        return msg_id
+
+    def send_local(self, node_name: str, port: str, payload: Any) -> int:
+        """Loopback delivery: hand ``payload`` straight to a port on
+        ``node_name``, skipping latency sampling and fault injection.
+
+        A process talking to itself does not traverse the fabric, so the
+        message cannot be lost, duplicated, partitioned, or delayed — the
+        RPC same-node fast path relies on exactly that.  Still counted in
+        ``stats`` (sent + delivered, or dropped_dead when the node is down)
+        so conservation assertions keep holding.
+        """
+        node = self.nodes.get(node_name)
+        if node is None:
+            raise KeyError(f"unknown destination node {node_name!r}")
+        msg_id = next(self._msg_ids)
+        self.stats.sent += 1
+        message = Message(
+            msg_id=msg_id,
+            src=node_name,
+            dst=node_name,
+            port=port,
+            payload=payload,
+            sent_at=self.env.now,
+            dst_alive_at_send=node.alive,
+        )
+        if node.deliver(port, message):
+            self.stats.delivered += 1
+        else:
+            self.stats.dropped_dead += 1
         return msg_id
 
     def _effective_faults(self, src: str, dst: str) -> _LinkFaults:

@@ -17,6 +17,7 @@ untraced runs produce identical metrics.
 """
 
 from repro.obs.export import chrome_trace_events, chrome_trace_json, critical_path_report
+from repro.obs.profile import CallCountProfiler, events_per_txn, subsystem_counters
 from repro.obs.tracer import (
     NULL_SPAN,
     NULL_TRACER,
@@ -32,6 +33,7 @@ from repro.obs.tracer import (
 __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
+    "CallCountProfiler",
     "NullTracer",
     "Span",
     "Tracer",
@@ -41,5 +43,7 @@ __all__ = [
     "default_tracer",
     "default_tracing_enabled",
     "drain_registered_tracers",
+    "events_per_txn",
     "set_default_tracing",
+    "subsystem_counters",
 ]

@@ -33,6 +33,10 @@ class ReplicationConfig:
     leader_wait_ms: float = 200.0
     #: max log entries per AppendEntries batch
     max_append_batch: int = 32
+    #: hold a proposal's replication nudge open this long so proposals
+    #: arriving within the window share one AppendEntries batch instead of
+    #: one RPC each (0.0 = nudge immediately, the exact reference behavior)
+    append_window_ms: float = 0.0
     #: compact the log once it holds more than this many entries ...
     compact_threshold: int = 256
     #: ... keeping at least this many trailing entries for cheap catch-up

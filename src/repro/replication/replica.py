@@ -87,6 +87,7 @@ class Replica:
         self._peer_needs_snapshot: set[str] = set()
         self._last_contact = env.now
         self._wake: Optional[Any] = None
+        self._nudge_pending = False
         self._needs_repair = False
         self._applied_waiters: list[tuple[int, Any]] = []
 
@@ -143,6 +144,7 @@ class Replica:
         self.leader_hint = None
         self._inflight.clear()
         self._peer_needs_snapshot.clear()
+        self._nudge_pending = False
         self._needs_repair = False
         self._last_contact = self.env.now
         if self.config.fencing:
@@ -309,6 +311,28 @@ class Replica:
         if wake is not None:
             self._wake = None
             wake.try_succeed(None)
+
+    def _nudge_soon(self) -> None:
+        """Nudge replication, optionally after the append window.
+
+        With ``append_window_ms > 0`` the first proposal arms a timer and
+        later proposals ride along: when it fires, every entry appended in
+        the window leaves in one AppendEntries batch (piggybacking into the
+        existing ``max_append_batch`` path) instead of one RPC each.  With
+        the default ``0.0`` this is exactly ``_nudge()``.
+        """
+        window = self.config.append_window_ms
+        if window <= 0.0:
+            self._nudge()
+            return
+        if self._nudge_pending:
+            return
+        self._nudge_pending = True
+        self.env.schedule(window, self._fire_deferred_nudge)
+
+    def _fire_deferred_nudge(self) -> None:
+        self._nudge_pending = False
+        self._nudge()
 
     def _replicate_loop(self, term: int) -> Generator:
         wake = None
@@ -555,7 +579,7 @@ class Replica:
             self._apply_committed()
         else:
             self._advance_commit()  # factor-1 groups commit immediately
-        self._nudge()
+        self._nudge_soon()
         return ack
 
     def _apply_committed(self) -> None:

@@ -8,17 +8,37 @@ records not yet flushed (``fsync`` moves the durability horizon).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 
-@dataclass(frozen=True)
 class LogRecord:
-    """A single durable log entry."""
+    """A single durable log entry.
 
-    lsn: int
-    kind: str
-    payload: Any
+    A plain ``__slots__`` class rather than a frozen dataclass: the engine
+    appends one record per write plus one per commit decision, and frozen-
+    dataclass construction (``object.__setattr__`` per field) is measurable
+    at that rate.  Records are immutable by convention.
+    """
+
+    __slots__ = ("lsn", "kind", "payload")
+
+    def __init__(self, lsn: int, kind: str, payload: Any) -> None:
+        self.lsn = lsn
+        self.kind = kind
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"LogRecord(lsn={self.lsn!r}, kind={self.kind!r}, payload={self.payload!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, LogRecord):
+            return NotImplemented
+        return (self.lsn, self.kind, self.payload) == (
+            other.lsn, other.kind, other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lsn, self.kind))
 
 
 class WriteAheadLog:

@@ -580,7 +580,11 @@ class TestAdaptiveFlushWindow:
         assert db.stats.adaptive_deferrals == 0
 
     def test_sustained_load_defers_group_flushes(self, env):
-        db = Database(env, adaptive=True, flush_window_ms=2.0, load_knee=2.0)
+        # fast_grants=False: with the uncontended-grant fast path on, this
+        # no-timeout hammer loop runs in a single virtual instant and all
+        # commits legitimately share one group, so deferral never triggers.
+        db = Database(env, adaptive=True, flush_window_ms=2.0, load_knee=2.0,
+                      fast_grants=False)
         db.create_table("t", primary_key="id")
         self._hammer(env, db)
         assert db.stats.adaptive_deferrals > 0

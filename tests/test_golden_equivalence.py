@@ -161,6 +161,51 @@ def test_adaptive_mode_defaults_off():
     assert db.load_signal is None
 
 
+# -- grant fast path (uncontended lock/pool acquires skip the kernel) ---------
+
+
+def _force_fast_grants(monkeypatch, value):
+    """Route every Database and DatabaseServer through ``fast_grants=``."""
+    from repro.db.server import DatabaseServer
+
+    original_db = Database.__init__
+
+    def patched_db(self, env, name="db", **kwargs):
+        kwargs["fast_grants"] = value
+        original_db(self, env, name, **kwargs)
+
+    monkeypatch.setattr(Database, "__init__", patched_db)
+    original_server = DatabaseServer.__init__
+
+    def patched_server(self, env, name="db", *args, **kwargs):
+        kwargs["fast_grants"] = value
+        original_server(self, env, name, *args, **kwargs)
+
+    monkeypatch.setattr(DatabaseServer, "__init__", patched_server)
+
+
+@pytest.mark.parametrize("table_fn", [_b1_table, _c1_table],
+                         ids=["B1", "C1"])
+def test_result_tables_identical_across_grant_modes(monkeypatch, table_fn):
+    """Uncontended acquires resolving synchronously (fast_grants=True) vs
+    always round-tripping through the kernel (the reference mode) must
+    produce byte-identical result tables: a grant that is already done
+    carries no virtual-time charge either way."""
+    _force_fast_grants(monkeypatch, True)
+    fast = table_fn()
+    _force_fast_grants(monkeypatch, False)
+    reference = table_fn()
+    assert fast == reference
+
+
+def test_trace_export_identical_across_grant_modes(monkeypatch):
+    _force_fast_grants(monkeypatch, True)
+    fast = _traced_transfer_json()
+    _force_fast_grants(monkeypatch, False)
+    reference = _traced_transfer_json()
+    assert fast == reference
+
+
 # -- parallel execution (repro.parallel): where cells run is invisible --------
 
 

@@ -1,0 +1,387 @@
+"""Equivalence and regression tests for the messaging/tracing fast paths.
+
+Every optimization added by the hot-path pass keeps a reference mode; the
+bar here matches the flag's contract:
+
+- opt-in *timing-changing* paths (reply coalescing, same-node shortcut,
+  append-window piggybacking) must produce the **same outcomes and final
+  state** as their reference mode, with strictly less wire traffic;
+- span sampling must keep **whole trees** and leave ``sample_every=1``
+  exports byte-identical to the default;
+- the read paths audited in the bugfix sweep must never mutate shared
+  state as a side effect of being asked a question.
+"""
+
+import pytest
+
+from repro.messaging.rpc import RpcClient, RpcRemoteError, RpcServer
+from repro.net import Network
+from repro.obs import Tracer, chrome_trace_json
+from repro.replication import ReplicaGroup, ReplicationConfig
+from repro.sim import Environment
+
+
+def run(env, gen, label="test"):
+    return env.run_until(env.process(gen, label=label))
+
+
+# -- reply coalescing ---------------------------------------------------------
+
+
+def _coalesce_scenario(coalesce: bool):
+    env = Environment(seed=7)
+    net = Network(env)
+    net.add_node("server")
+    client_node = net.add_node("client")
+    server = RpcServer(
+        net, net.node("server"), service="svc", coalesce_replies=coalesce
+    )
+    gate = env.future(label="gate")
+
+    def handler(payload):
+        # Every in-flight handler resumes in the same virtual instant when
+        # the gate opens, so all replies are issued together.
+        yield gate
+        return payload * 2
+
+    server.register("work", handler)
+    client = RpcClient(net, client_node, service="svc")
+    results = []
+
+    def one_call(i):
+        value = yield from client.call("server", "work", i, timeout=500.0)
+        results.append((i, value))
+
+    for i in range(6):
+        env.process(one_call(i), label=f"call{i}")
+
+    def opener(env):
+        yield env.timeout(50.0)
+        gate.succeed(None)
+
+    env.process(opener(env), label="opener")
+    env.run(until=1_000.0)
+    return results, net.stats.sent, net.stats.delivered
+
+
+def test_coalesced_replies_same_outcomes_fewer_messages():
+    reference, ref_sent, ref_delivered = _coalesce_scenario(False)
+    coalesced, fast_sent, fast_delivered = _coalesce_scenario(True)
+    expected = [(i, i * 2) for i in range(6)]
+    assert sorted(reference) == expected
+    assert sorted(coalesced) == expected
+    # Six simultaneous replies leave as one batch envelope instead of six.
+    assert fast_sent < ref_sent
+    assert fast_delivered < ref_delivered
+
+
+def test_coalescing_defaults_off():
+    env = Environment(seed=1)
+    net = Network(env)
+    net.add_node("n")
+    server = RpcServer(net, net.node("n"))
+    assert server.coalesce_replies is False
+    assert server.local_fast_path is False
+
+
+def test_coalesced_error_replies_still_arrive():
+    env = Environment(seed=3)
+    net = Network(env)
+    net.add_node("server")
+    client_node = net.add_node("client")
+    server = RpcServer(
+        net, net.node("server"), service="svc", coalesce_replies=True
+    )
+
+    def boom(payload):
+        raise ValueError("nope")
+        yield  # pragma: no cover - generator protocol only
+
+    server.register("boom", boom)
+    client = RpcClient(net, client_node, service="svc")
+
+    def caller(env):
+        with pytest.raises(RpcRemoteError):
+            yield from client.call("server", "boom", None, retries=0)
+        return True
+
+    assert run(env, caller(env)) is True
+
+
+# -- same-node shortcut -------------------------------------------------------
+
+
+def _loopback_scenario(fast: bool):
+    env = Environment(seed=11)
+    net = Network(env)
+    node = net.add_node("app")
+    server = RpcServer(
+        net, node, service="svc",
+        coalesce_replies=False, local_fast_path=fast,
+    )
+    state = {"count": 0}
+
+    def bump(payload):
+        state["count"] += payload
+        return state["count"]
+        yield  # pragma: no cover - generator protocol only
+
+    server.register("bump", bump)
+    client = RpcClient(net, node, service="svc", local_fast_path=fast)
+
+    def caller(env):
+        values = []
+        for i in range(8):
+            values.append((yield from client.call("app", "bump", i + 1)))
+        return values
+
+    values = run(env, caller(env))
+    return values, state["count"], client.stats
+
+
+def test_same_node_shortcut_same_results_and_state():
+    ref_values, ref_state, ref_stats = _loopback_scenario(False)
+    fast_values, fast_state, fast_stats = _loopback_scenario(True)
+    assert fast_values == ref_values == [1, 3, 6, 10, 15, 21, 28, 36]
+    assert fast_state == ref_state == 36
+    assert fast_stats.calls == ref_stats.calls == 8
+    assert fast_stats.timeouts == ref_stats.timeouts == 0
+
+
+def test_same_node_shortcut_skips_latency():
+    """Loopback calls finish in zero virtual time (no latency samples)."""
+    env = Environment(seed=12)
+    net = Network(env)
+    node = net.add_node("app")
+    server = RpcServer(net, node, service="svc", local_fast_path=True)
+
+    def echo(payload):
+        return payload
+        yield  # pragma: no cover - generator protocol only
+
+    server.register("echo", echo)
+    client = RpcClient(net, node, service="svc", local_fast_path=True)
+
+    def caller(env):
+        value = yield from client.call("app", "echo", 42)
+        return (value, env.now)
+
+    value, finished_at = run(env, caller(env))
+    assert value == 42
+    assert finished_at == 0.0
+    assert net.stats.sent == net.stats.delivered == 2  # request + reply
+
+
+def test_send_local_dead_node_counts_dropped():
+    env = Environment(seed=13)
+    net = Network(env)
+    node = net.add_node("app")
+    node.bind("p")
+    node.crash()
+    net.send_local("app", "p", "payload")
+    assert net.stats.dropped_dead == 1
+    assert net.stats.delivered == 0
+
+
+# -- span sampling ------------------------------------------------------------
+
+
+def _traced_run(tracer):
+    from repro.apps import DbBank
+    from repro.harness import WorkloadDriver
+    from repro.workloads import ClosedLoop, TransferWorkload
+
+    env = Environment(seed=77, tracer=tracer)
+    workload = TransferWorkload(num_accounts=20, theta=0.7)
+    bank = DbBank(env, workload)
+    ops = list(workload.operations(env.stream("ops:sampling"), 64))
+    driver = WorkloadDriver(env, label="sampling")
+    driver.ledger = bank.ledger
+    arrival = ClosedLoop(clients=4, ops_per_client=16, think_time_ms=2.0)
+    env.run_until(env.process(driver.run(ops, bank.execute, arrival)))
+    return tracer
+
+
+def test_sample_every_1_export_identical_to_default():
+    full = chrome_trace_json(_traced_run(Tracer()))
+    explicit = chrome_trace_json(_traced_run(Tracer(sample_every=1)))
+    assert full == explicit
+
+
+def test_sampling_keeps_whole_trees():
+    """With sample_every=2 every retained span's parent is retained too —
+    sampling drops whole root trees, never interior edges."""
+    tracer = _traced_run(Tracer(sample_every=2))
+    assert tracer.spans
+    retained_ids = {span.span_id for span in tracer.spans}
+    for span in tracer.spans:
+        if span.parent_id is not None:
+            assert span.parent_id in retained_ids
+
+
+def test_sampling_halves_roots():
+    full_roots = len(_traced_run(Tracer()).roots())
+    sampled_roots = len(_traced_run(Tracer(sample_every=2)).roots())
+    assert sampled_roots == (full_roots + 1) // 2
+
+
+def test_sample_every_validates():
+    with pytest.raises(ValueError):
+        Tracer(sample_every=0)
+
+
+# -- replication append piggybacking ------------------------------------------
+
+
+def _replication_scenario(window_ms: float):
+    from repro.db import IsolationLevel
+    from repro.db.engine import Database
+
+    env = Environment(seed=5)
+    net = Network(env)
+
+    def factory(node_name):
+        engine = Database(env, name=f"g@{node_name}")
+        engine.create_table("kv")
+        return engine
+
+    config = ReplicationConfig(append_window_ms=window_ms)
+    group = ReplicaGroup(
+        env, net, name="g", config=config,
+        engine_factory=factory, node_names=["r0", "r1", "r2"],
+    )
+    leader = group.leader_replica()
+
+    def proposer(env):
+        # Pipelined proposals 3ms apart — longer than the intra-zone RTT,
+        # so without a window each proposal triggers its own sync round,
+        # while a 10ms window lets several share one AppendEntries batch.
+        acks = []
+        for i in range(12):
+            engine = leader.engine
+            txn = engine.begin(IsolationLevel.SERIALIZABLE)
+            yield from engine.put(txn, "kv", i, {"id": i, "value": i * 10})
+            gid = ("t", i)
+            writes = engine.stage_replicated(txn, gid)
+            acks.append(leader.propose(("commit", gid, writes)))
+            yield env.timeout(3.0)
+        for ack in acks:
+            status, _detail = yield ack
+            assert status == "ok"
+
+    run(env, proposer(env))
+    env.run(until=250.0)  # same fixed horizon: heartbeat counts comparable
+    applied = [replica.applied_index for replica in group.replicas]
+    values = [
+        [replica.engine.read_latest("kv", i) for i in range(12)]
+        for replica in group.replicas
+    ]
+    return applied, values, leader.client.stats.calls
+
+
+def test_append_window_same_state_fewer_rpcs():
+    """append_window_ms batches same-window proposals into shared
+    AppendEntries RPCs: identical replicated state, fewer leader calls."""
+    ref_applied, ref_values, ref_calls = _replication_scenario(0.0)
+    win_applied, win_values, win_calls = _replication_scenario(10.0)
+    assert win_applied == ref_applied
+    assert win_values == ref_values
+    for row_set in win_values:
+        assert [row["value"] for row in row_set] == [i * 10 for i in range(12)]
+    assert win_calls < ref_calls
+
+
+def test_append_window_defaults_off():
+    assert ReplicationConfig().append_window_ms == 0.0
+
+
+# -- bugfix sweep: read paths must not mutate ---------------------------------
+
+
+def test_effective_faults_reads_do_not_create_link_entries():
+    env = Environment(seed=1)
+    net = Network(env)
+    net.add_node("a")
+    net.add_node("b")
+    net.send("a", "b", "p", "x")
+    assert net._link_faults == {}
+    assert net._effective_faults("a", "b") is net._global_faults
+    assert net._link_faults == {}
+
+
+def test_is_partitioned_does_not_mutate():
+    env = Environment(seed=1)
+    net = Network(env)
+    net.add_node("a")
+    net.add_node("b")
+    assert net.is_partitioned("a", "b") is False
+    assert net._partitions == set()
+
+
+def test_unknown_method_reply_leaves_server_state_clean():
+    env = Environment(seed=2)
+    net = Network(env)
+    net.add_node("server")
+    client_node = net.add_node("client")
+    server = RpcServer(net, net.node("server"), service="svc")
+    client = RpcClient(net, client_node, service="svc")
+
+    def caller(env):
+        with pytest.raises(RpcRemoteError):
+            yield from client.call("server", "nope", None, retries=0)
+        return True
+
+    assert run(env, caller(env)) is True
+    assert server._handlers == {}
+    assert server._inflight == {}
+    assert server._executed_keys == set()
+
+
+# -- fast-grant boundary: cross-shard 2PC keeps reference grants --------------
+
+
+def test_cluster_binder_defaults_to_reference_grants():
+    """ShardedDbBinder pins ``fast_grants=False``: synchronous grants let a
+    deadlock-victim retry re-take its first lock in the instant it restarts,
+    phase-locking one op into losing the same cross-shard cycle until its
+    retries exhaust (seen as 16 consecutive DeadlockAborts on the C17
+    invoicing workload, seed 11)."""
+    from repro.apps.core import bind
+    from repro.apps.invoicing import invoicing_spec
+    from repro.workloads.invoicing import InvoicingWorkload
+
+    env = Environment(seed=11)
+    binder = bind("cluster", env, invoicing_spec(InvoicingWorkload()),
+                  num_shards=2)
+    assert all(eng._fast_grants is False for eng in binder.db.shards)
+
+    ops = list(InvoicingWorkload().operations(env.stream("ops:invoicing"), 40))
+    errors = []
+
+    def one(op):
+        try:
+            yield from binder.execute(op)
+        except Exception as exc:  # noqa: BLE001 — any client-visible failure
+            errors.append((op.op_id, type(exc).__name__))
+
+    def driver():
+        pending = []
+        for op in ops:
+            yield env.timeout(2.0)
+            pending.append(env.process(one(op)))
+        for proc in pending:
+            yield proc
+        return True
+
+    assert run(env, driver()) is True
+    assert errors == []
+
+
+def test_sharded_database_threads_fast_grants_to_engines():
+    from repro.db import ShardedDatabase
+
+    env = Environment(seed=3)
+    fast = ShardedDatabase(env, num_shards=2)
+    assert all(eng._fast_grants is True for eng in fast.shards)
+    ref = ShardedDatabase(env, num_shards=2, name="ref", fast_grants=False)
+    assert all(eng._fast_grants is False for eng in ref.shards)

@@ -1,0 +1,94 @@
+"""The deterministic profiling layer: counts, reports, accounting."""
+
+from repro.db import IsolationLevel
+from repro.db.engine import Database
+from repro.net import Network
+from repro.obs import CallCountProfiler, events_per_txn, subsystem_counters
+from repro.sim import Environment
+
+
+def _tiny_workload():
+    env = Environment(seed=9)
+    db = Database(env)
+    db.create_table("kv")
+
+    def writer(env):
+        for i in range(10):
+            txn = db.begin(IsolationLevel.SERIALIZABLE)
+            yield from db.put(txn, "kv", i, {"id": i, "value": i})
+            yield from db.commit(txn)
+            yield env.timeout(1.0)
+
+    env.run_until(env.process(writer(env)))
+    return env, db
+
+
+class TestCallCountProfiler:
+    def test_counts_restricted_to_repro_code(self):
+        with CallCountProfiler() as prof:
+            _tiny_workload()
+        rows = prof.counts()
+        assert rows, "expected repro-code calls to be recorded"
+        for subsystem, label, calls in rows:
+            assert calls > 0
+            assert "/" not in label and "\\" not in label  # no paths leak
+        subsystems = {row[0] for row in rows}
+        assert "sim" in subsystems and "db" in subsystems
+
+    def test_counts_deterministic_across_runs(self):
+        with CallCountProfiler() as first:
+            _tiny_workload()
+        with CallCountProfiler() as second:
+            _tiny_workload()
+        assert first.counts() == second.counts()
+
+    def test_report_is_stable_text(self):
+        with CallCountProfiler() as prof:
+            _tiny_workload()
+        report = prof.report(top=5, scenario="tiny")
+        assert "# scenario: tiny" in report
+        assert "calls by subsystem:" in report
+        assert "top 5 functions by calls:" in report
+        # Regenerating the report from the same profile is byte-stable.
+        assert report == prof.report(top=5, scenario="tiny")
+
+    def test_by_subsystem_sums_to_total(self):
+        with CallCountProfiler() as prof:
+            _tiny_workload()
+        assert sum(prof.by_subsystem().values()) == prof.total_calls()
+
+
+class TestSubsystemCounters:
+    def test_harvests_kernel_network_and_db(self):
+        env, db = _tiny_workload()
+        net = Network(env)
+        net.add_node("a")
+        net.add_node("b").bind("p")
+        net.send("a", "b", "p", "x")
+        env.run()
+        counters = subsystem_counters(env=env, network=net, databases=[db])
+        assert counters["kernel.events_executed"] == env.events_executed
+        assert counters["kernel.events_executed"] > 0
+        assert counters["net.sent"] == 1
+        assert counters["net.delivered"] == 1
+        assert counters["db.committed"] == 10
+        assert counters["tracer.spans"] == 0  # untraced run
+
+    def test_multiple_members_are_summed(self):
+        env, db = _tiny_workload()
+        env2, db2 = _tiny_workload()
+        counters = subsystem_counters(databases=[db, db2])
+        assert counters["db.committed"] == 20
+
+
+class TestEventsPerTxn:
+    def test_rounding(self):
+        assert events_per_txn(2404, 240) == 10.02
+
+    def test_zero_transactions_is_zero(self):
+        assert events_per_txn(100, 0) == 0.0
+
+    def test_matches_manual_division(self):
+        env, _db = _tiny_workload()
+        value = events_per_txn(env.events_executed, 10)
+        assert value == round(env.events_executed / 10, 2)
